@@ -1,0 +1,109 @@
+//! Criterion benches: real (wall-clock) performance of the pure-MPI
+//! collective algorithms running over the threaded runtime, real data.
+
+use collectives::{allgather, allgatherv, allreduce, bcast, op::Sum, Tuning};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msim::{Ctx, SimConfig, Universe};
+use simnet::{ClusterSpec, CostModel};
+
+fn run_real<T: Send>(ranks: usize, f: impl Fn(&mut Ctx) -> T + Send + Sync) {
+    let cfg = SimConfig::new(ClusterSpec::regular(2, ranks / 2), CostModel::cray_aries());
+    Universe::run(cfg, f).expect("bench universe");
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather");
+    g.sample_size(10);
+    for count in [64usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("recursive_doubling", count), &count, |b, &count| {
+            b.iter(|| {
+                run_real(8, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(count, |i| i as f64);
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    allgather::recursive_doubling(ctx, &world, &send, &mut recv);
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ring", count), &count, |b, &count| {
+            b.iter(|| {
+                run_real(8, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(count, |i| i as f64);
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    allgather::ring(ctx, &world, &send, &mut recv);
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bruck", count), &count, |b, &count| {
+            b.iter(|| {
+                run_real(8, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(count, |i| i as f64);
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    allgather::bruck(ctx, &world, &send, &mut recv);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgatherv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgatherv");
+    g.sample_size(10);
+    g.bench_function("ring_irregular", |b| {
+        b.iter(|| {
+            run_real(8, |ctx| {
+                let world = ctx.world();
+                let counts: Vec<usize> = (0..world.size()).map(|r| 64 * (r + 1)).collect();
+                let send = ctx.buf_from_fn(counts[world.rank()], |i| i as f64);
+                let mut recv = ctx.buf_zeroed::<f64>(counts.iter().sum());
+                allgatherv::ring(ctx, &world, &send, &counts, &mut recv);
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast");
+    g.sample_size(10);
+    for count in [64usize, 16384] {
+        g.bench_with_input(BenchmarkId::new("tuned", count), &count, |b, &count| {
+            b.iter(|| {
+                run_real(8, move |ctx| {
+                    let world = ctx.world();
+                    let mut buf = ctx.buf_from_fn(count, |i| i as f64);
+                    bcast::tuned(ctx, &world, &mut buf, 0, &Tuning::cray_mpich());
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(10);
+    g.bench_function("rabenseifner_16k", |b| {
+        b.iter(|| {
+            run_real(8, |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(16384, |i| i as f64);
+                let mut recv = ctx.buf_zeroed::<f64>(16384);
+                allreduce::rabenseifner(ctx, &world, &send, &mut recv, Sum);
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allgather,
+    bench_allgatherv,
+    bench_bcast,
+    bench_allreduce
+);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Criterion wrapper around small instances of the paper-figure
+//! workloads, so `cargo bench` exercises every experiment code path
+//! end-to-end (the full-scale figure data comes from the `fig*` binaries,
+//! whose virtual-time output is deterministic and needs no statistics).
+
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use bpmf::{hy_bpmf, ori_bpmf, BpmfConfig, Dataset, SyntheticSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use msim::{SimConfig, Universe};
+use simnet::{ClusterSpec, Placement};
+use std::sync::Arc;
+use summa::{hy_summa, ori_summa, SummaSpec};
+
+fn bench_micro_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_micro");
+    g.sample_size(10);
+    let m = Machine::hazel_hen();
+    g.bench_function("fig7_point", |b| {
+        b.iter(|| {
+            allgather_latency(
+                ClusterSpec::single_node(24),
+                &m,
+                512,
+                AllgatherVariant::Hybrid,
+                Placement::SmpBlock,
+            )
+        })
+    });
+    g.bench_function("fig9_point", |b| {
+        b.iter(|| {
+            allgather_latency(
+                ClusterSpec::regular(8, 6),
+                &m,
+                512,
+                AllgatherVariant::PureSmpAware,
+                Placement::SmpBlock,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_app_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_apps");
+    g.sample_size(10);
+    let m = Machine::hazel_hen();
+    let cost = m.cost.clone();
+    let tuning = m.tuning.clone();
+
+    g.bench_function("fig11_point_hy", |b| {
+        let tuning = tuning.clone();
+        let cost = cost.clone();
+        b.iter(move || {
+            let cfg = SimConfig::new(ClusterSpec::regular(2, 8), cost.clone()).phantom();
+            let spec = SummaSpec { q: 4, block: 64, tuning: tuning.clone() };
+            Universe::run(cfg, move |ctx| hy_summa(ctx, &spec).elapsed_us).unwrap()
+        })
+    });
+    g.bench_function("fig11_point_ori", |b| {
+        let tuning = tuning.clone();
+        let cost = cost.clone();
+        b.iter(move || {
+            let cfg = SimConfig::new(ClusterSpec::regular(2, 8), cost.clone()).phantom();
+            let spec = SummaSpec { q: 4, block: 64, tuning: tuning.clone() };
+            Universe::run(cfg, move |ctx| ori_summa(ctx, &spec).elapsed_us).unwrap()
+        })
+    });
+
+    let data = Arc::new(Dataset::synthesize(&SyntheticSpec::tiny(3)));
+    let cfg_bpmf = BpmfConfig {
+        k: 8,
+        iters: 2,
+        seed: 1,
+        tuning: tuning.clone(),
+        compute_scale: 1.0,
+    };
+    g.bench_function("fig12_point_hy", |b| {
+        let data = Arc::clone(&data);
+        let cfg_bpmf = cfg_bpmf.clone();
+        let cost = cost.clone();
+        b.iter(move || {
+            let sim = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+            let data = Arc::clone(&data);
+            let cfg = cfg_bpmf.clone();
+            Universe::run(sim, move |ctx| hy_bpmf(ctx, &data, &cfg).elapsed_us).unwrap()
+        })
+    });
+    g.bench_function("fig12_point_ori", |b| {
+        let data = Arc::clone(&data);
+        let cfg_bpmf = cfg_bpmf.clone();
+        let cost = cost.clone();
+        b.iter(move || {
+            let sim = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+            let data = Arc::clone(&data);
+            let cfg = cfg_bpmf.clone();
+            Universe::run(sim, move |ctx| ori_bpmf(ctx, &data, &cfg).elapsed_us).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro_figures, bench_app_figures);
+
+mod extension_points {
+    use super::*;
+    use cg::{hy_cg, ori_cg, CgSpec};
+    use stencil::{hy_jacobi, ori_jacobi, StencilSpec};
+
+    pub fn bench_extension_apps(c: &mut Criterion) {
+        let mut g = c.benchmark_group("figures_extensions");
+        g.sample_size(10);
+        let m = Machine::hazel_hen();
+        let cost = m.cost.clone();
+
+        g.bench_function("stencil_point_hy", {
+            let cost = cost.clone();
+            move |b| {
+                let cost = cost.clone();
+                b.iter(move || {
+                    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+                    let spec = StencilSpec { n: 32, iters: 5 };
+                    Universe::run(cfg, move |ctx| hy_jacobi(ctx, &spec).elapsed_us).unwrap()
+                })
+            }
+        });
+        g.bench_function("stencil_point_ori", {
+            let cost = cost.clone();
+            move |b| {
+                let cost = cost.clone();
+                b.iter(move || {
+                    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+                    let spec = StencilSpec { n: 32, iters: 5 };
+                    Universe::run(cfg, move |ctx| ori_jacobi(ctx, &spec).elapsed_us).unwrap()
+                })
+            }
+        });
+        g.bench_function("cg_point_hy", {
+            let cost = cost.clone();
+            move |b| {
+                let cost = cost.clone();
+                b.iter(move || {
+                    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+                    let spec = CgSpec { n: 256, iters: 5 };
+                    Universe::run(cfg, move |ctx| hy_cg(ctx, &spec).elapsed_us).unwrap()
+                })
+            }
+        });
+        g.bench_function("cg_point_ori", {
+            let cost = cost.clone();
+            move |b| {
+                let cost = cost.clone();
+                b.iter(move || {
+                    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), cost.clone()).phantom();
+                    let spec = CgSpec { n: 256, iters: 5 };
+                    Universe::run(cfg, move |ctx| ori_cg(ctx, &spec).elapsed_us).unwrap()
+                })
+            }
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(ext_benches, extension_points::bench_extension_apps);
+
+criterion_main!(benches, ext_benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: wall-clock cost of the hybrid collectives (setup
+//! and per-call) versus the SMP-aware baseline, real data.
+
+use collectives::{smp_aware::SmpAware, Tuning};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmpi::{HyAllgather, HyBcast, HybridComm};
+use msim::{SimConfig, Universe};
+use simnet::{ClusterSpec, CostModel};
+
+fn bench_hybrid_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_allgather_e2e");
+    g.sample_size(10);
+    for count in [64usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("hybrid", count), &count, |b, &count| {
+            b.iter(|| {
+                let cfg =
+                    SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+                Universe::run(cfg, move |ctx| {
+                    let world = ctx.world();
+                    let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                    let ag = HyAllgather::<f64>::new(ctx, &hc, count);
+                    let mine: Vec<f64> = (0..count).map(|i| i as f64).collect();
+                    ag.write_my_block(ctx, &mine);
+                    ag.execute(ctx);
+                })
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("smp_aware", count), &count, |b, &count| {
+            b.iter(|| {
+                let cfg =
+                    SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+                Universe::run(cfg, move |ctx| {
+                    let world = ctx.world();
+                    let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+                    let send = ctx.buf_from_fn(count, |i| i as f64);
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    sa.allgather(ctx, &send, &mut recv);
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hybrid_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_bcast_e2e");
+    g.sample_size(10);
+    g.bench_function("hybrid_4096", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+            Universe::run(cfg, |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                let bc = HyBcast::<f64>::new(ctx, &hc, 4096);
+                if ctx.rank() == 0 {
+                    bc.write_message(ctx, &vec![1.0; 4096]);
+                }
+                bc.execute(ctx, 0);
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hybrid_allgather, bench_hybrid_bcast);
+criterion_main!(benches);

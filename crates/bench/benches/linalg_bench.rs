@@ -1,0 +1,36 @@
+//! Criterion benches: the dense linear-algebra substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{gemm::matmul, Cholesky, Mat};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let a = Mat::from_fn(n, n, |r, cc| ((r + cc) % 7) as f64);
+        let b = Mat::from_fn(n, n, |r, cc| ((r * cc) % 5) as f64);
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky");
+    g.sample_size(20);
+    for n in [16usize, 64] {
+        let b = Mat::from_fn(n, n, |r, cc| ((r * 3 + cc) % 11) as f64 / 11.0);
+        let mut a = matmul(&b, &b.t());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        g.bench_with_input(BenchmarkId::new("factor", n), &n, |bch, _| {
+            bch.iter(|| Cholesky::new(&a).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_cholesky);
+criterion_main!(benches);

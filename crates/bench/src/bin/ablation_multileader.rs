@@ -1,0 +1,41 @@
+//! Related-work ablation (paper reference [14], Kandalla et al.):
+//! multi-leader SMP-aware allgather vs the single-leader baseline vs the
+//! hybrid approach.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(16, 24);
+    let mut rows = Vec::new();
+    for pow in [0usize, 4, 8, 12, 14] {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        let hy = allgather_latency(
+            spec.clone(),
+            &m,
+            elems,
+            AllgatherVariant::Hybrid,
+            Placement::SmpBlock,
+        );
+        row.push(us(hy));
+        for leaders in [1usize, 2, 4] {
+            let t = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::MultiLeader { leaders },
+                Placement::SmpBlock,
+            );
+            row.push(us(t));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation ([14]) — multi-leader allgather, 16 nodes x 24 ppn (Cray MPI), µs",
+        &["elems", "Hybrid", "1-leader", "2-leader", "4-leader"],
+        &rows,
+    );
+}

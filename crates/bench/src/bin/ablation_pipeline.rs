@@ -1,0 +1,43 @@
+//! Conclusion-section extension (paper reference [30]): pipelined
+//! large-message hybrid allgather. The paper stops at 256 KiB and notes a
+//! pipeline method applies beyond; this sweep shows where segmentation
+//! starts to pay on the bridge exchange.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(16, 24);
+    let mut rows = Vec::new();
+    // 32 Ki .. 512 Ki doubles per rank = 256 KiB .. 4 MiB messages.
+    for pow in [15usize, 16, 17, 18, 19] {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        let plain = allgather_latency(
+            spec.clone(),
+            &m,
+            elems,
+            AllgatherVariant::Hybrid,
+            Placement::SmpBlock,
+        );
+        row.push(us(plain));
+        for seg in [1usize << 12, 1 << 14, 1 << 16] {
+            let t = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::HybridPipelined { segment_elems: seg },
+                Placement::SmpBlock,
+            );
+            row.push(us(t));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Extension ([30]) — pipelined hybrid allgather >256 KiB, 16 nodes x 24 ppn, µs",
+        &["elems", "plain", "seg=4Ki", "seg=16Ki", "seg=64Ki"],
+        &rows,
+    );
+}

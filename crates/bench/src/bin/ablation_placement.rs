@@ -1,0 +1,30 @@
+//! §6 ablation: rank placement — SMP-style block placement vs
+//! round-robin. The hybrid allgather handles non-SMP placements through
+//! the node-sorted global rank array (window indexing), while the pure
+//! MPI baseline has to permute the node-sorted result into rank order.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(16, 24);
+    let mut rows = Vec::new();
+    for pow in [0usize, 4, 8, 12, 14] {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        for placement in [Placement::SmpBlock, Placement::RoundRobin] {
+            for variant in [AllgatherVariant::Hybrid, AllgatherVariant::PureSmpAware] {
+                let t = allgather_latency(spec.clone(), &m, elems, variant, placement.clone());
+                row.push(us(t));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation (paper §6) — rank placement, 16 nodes x 24 ppn (Cray MPI), µs",
+        &["elems", "Hy/SMP", "Pure/SMP", "Hy/RR", "Pure/RR"],
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! §6 ablation: on-node synchronization flavor of the hybrid allgather —
+//! full `MPI_Barrier` (paper default) vs shared-cache flags vs
+//! point-to-point pairs, across message sizes on 64 nodes × 24 ppn.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use hmpi::SyncMethod;
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(64, 24);
+    let mut rows = Vec::new();
+    for pow in [0usize, 4, 8, 12, 14] {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        for sync in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+            let t = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::HybridSync(sync),
+                Placement::SmpBlock,
+            );
+            row.push(us(t));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation (paper §6) — Hy_Allgather sync flavor, 64 nodes x 24 ppn (Cray MPI), µs",
+        &["elems", "Barrier", "SharedFlags", "P2P"],
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Topology ablation: the headline figures use a flat network; the
+//! Aries interconnect of the paper's Cray XC40 is actually a dragonfly.
+//! This sweep turns the dragonfly surcharge on and shows that the
+//! hybrid-vs-pure comparison is insensitive to it: both variants' bridge
+//! traffic crosses groups identically, so the ratio is stable even as
+//! absolute latencies rise.
+
+use bench::table::{print_table, ratio, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let spec = ClusterSpec::regular(64, 24);
+    let mut rows = Vec::new();
+    for (label, extra) in [("flat", 0.0f64), ("df+0.4us", 0.4), ("df+1.0us", 1.0)] {
+        let mut m = Machine::hazel_hen();
+        if extra > 0.0 {
+            m.cost = m.cost.with_dragonfly(16, extra);
+        }
+        for elems in [512usize, 16384] {
+            let hy = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::Hybrid,
+                Placement::SmpBlock,
+            );
+            let pure = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::PureSmpAware,
+                Placement::SmpBlock,
+            );
+            rows.push(vec![
+                label.to_string(),
+                elems.to_string(),
+                us(hy),
+                us(pure),
+                ratio(pure, hy),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation — dragonfly topology (64 nodes x 24 ppn, groups of 16), µs",
+        &["topology", "elems", "Hy_Allgather", "Allgather", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,94 @@
+//! Extension bench: the hybrid allreduce (on-node reduce -> bridge
+//! allreduce -> shared result window) vs the library `MPI_Allreduce`,
+//! across vector sizes, plus the CG application end to end.
+
+use bench::table::{print_table, ratio, us};
+use bench::Machine;
+use cg::{hy_cg, ori_cg, CgSpec};
+use collectives::{allreduce, barrier, op::Sum};
+use hmpi::{HyAllreduce, HybridComm};
+use msim::{SimConfig, Universe};
+use simnet::ClusterSpec;
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(16, 24);
+
+    // Micro: allreduce latency across vector sizes.
+    let mut rows = Vec::new();
+    for pow in [0usize, 4, 8, 12, 14] {
+        let count = 1usize << pow;
+        let cost = m.cost.clone();
+        let tuning = m.tuning.clone();
+        let hy = {
+            let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+            let tuning = tuning.clone();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, tuning.clone());
+                let ar = HyAllreduce::<f64>::new(ctx, &hc, count);
+                let send = ctx.buf_zeroed::<f64>(count);
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                for _ in 0..3 {
+                    ar.execute(ctx, &send, Sum);
+                }
+                (ctx.now() - t0) / 3.0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let flat = {
+            let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+            let tuning = tuning.clone();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_zeroed::<f64>(count);
+                let mut recv = ctx.buf_zeroed::<f64>(count);
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                for _ in 0..3 {
+                    allreduce::tuned(ctx, &world, &send, &mut recv, Sum, &tuning);
+                }
+                (ctx.now() - t0) / 3.0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        rows.push(vec![count.to_string(), us(hy), us(flat), ratio(flat, hy)]);
+    }
+    print_table(
+        "Extension — hybrid vs library allreduce, 16 nodes x 24 ppn (Cray MPI), µs",
+        &["count", "Hy_Allreduce", "Allreduce", "speedup"],
+        &rows,
+    );
+
+    // Application: conjugate gradient (3 scalar allreduces/iteration).
+    let mut rows = Vec::new();
+    for cores in [48usize, 96, 192, 384] {
+        let cg_spec = CgSpec { n: 1 << 18, iters: 25 };
+        let time = |hybrid: bool| {
+            let cfg = SimConfig::new(bench::cluster_for(cores), m.cost.clone()).phantom();
+            let cg_spec = cg_spec.clone();
+            Universe::run(cfg, move |ctx| {
+                if hybrid { hy_cg(ctx, &cg_spec) } else { ori_cg(ctx, &cg_spec) }.elapsed_us
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let ori = time(false);
+        let hy = time(true);
+        rows.push(vec![cores.to_string(), us(ori), us(hy), ratio(ori, hy)]);
+    }
+    print_table(
+        "Extension — CG Poisson solver (262144 unknowns, 25 iters), µs",
+        &["cores", "Ori_CG", "Hy_CG", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Extension bench: hybrid all-to-all (one aggregated message per node
+//! pair, paper reference [31]'s hierarchical idea in MPI+MPI form) vs
+//! the flat library `MPI_Alltoall`.
+
+use bench::table::{print_table, us};
+use bench::Machine;
+use collectives::{alltoall, barrier};
+use hmpi::{HyAlltoall, HybridComm};
+use msim::{SimConfig, Universe};
+use simnet::ClusterSpec;
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(8, 24);
+    let mut rows = Vec::new();
+    for pow in [0usize, 3, 6, 9, 12] {
+        let count = 1usize << pow;
+        let cost = m.cost.clone();
+        let tuning = m.tuning.clone();
+        let hy = {
+            let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+            let tuning = tuning.clone();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, tuning.clone());
+                let a2a = HyAlltoall::<f64>::new(ctx, &hc, count);
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                for _ in 0..3 {
+                    a2a.execute(ctx);
+                }
+                (ctx.now() - t0) / 3.0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let flat = {
+            let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+            let tuning = tuning.clone();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_zeroed::<f64>(count * world.size());
+                let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                for _ in 0..3 {
+                    alltoall::tuned(ctx, &world, &send, &mut recv, count, &tuning);
+                }
+                (ctx.now() - t0) / 3.0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        rows.push(vec![count.to_string(), us(hy), us(flat), format!("{:.2}", flat / hy)]);
+    }
+    print_table(
+        "Extension ([31]) — hybrid vs flat all-to-all, 8 nodes x 24 ppn (Cray MPI), µs",
+        &["count", "Hy_Alltoall", "Alltoall", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Extension bench (paper conclusion, "p2p communications"): Jacobi halo
+//! exchange, pure MPI vs hybrid MPI+MPI, sweeping processes per node on
+//! a fixed 8-node cluster. The hybrid eliminates all intra-node halo
+//! messages, so its advantage grows with ppn like the collectives'.
+
+use bench::table::{print_table, ratio, us};
+use bench::Machine;
+use msim::{SimConfig, Universe};
+use simnet::ClusterSpec;
+use stencil::{hy_jacobi, ori_jacobi, StencilSpec};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let mut rows = Vec::new();
+    for ppn in [2usize, 4, 8, 16, 24] {
+        let p = 8 * ppn;
+        // Keep ~48x48 cells per rank as ppn grows (weak-ish scaling).
+        let n = ((p as f64).sqrt() * 48.0) as usize;
+        let spec = StencilSpec { n, iters: 20 };
+        let time = |hybrid: bool| {
+            let cfg = SimConfig::new(ClusterSpec::regular(8, ppn), m.cost.clone()).phantom();
+            let spec = spec.clone();
+            Universe::run(cfg, move |ctx| {
+                if hybrid {
+                    hy_jacobi(ctx, &spec).elapsed_us
+                } else {
+                    ori_jacobi(ctx, &spec).elapsed_us
+                }
+            })
+            .expect("stencil run")
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let ori = time(false);
+        let hy = time(true);
+        rows.push(vec![
+            ppn.to_string(),
+            n.to_string(),
+            us(ori),
+            us(hy),
+            ratio(ori, hy),
+        ]);
+    }
+    print_table(
+        "Extension — Jacobi halo exchange, 8 nodes, 20 iters (Cray MPI), µs",
+        &["ppn", "grid", "Ori_Jacobi", "Hy_Jacobi", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 10: Hy_Allgather vs Allgather on irregularly populated nodes —
+//! 42 nodes with 24 processes plus one node with 16 (1024 ranks total).
+//!
+//! Expected shape (paper): the hybrid keeps a constant advantage even on
+//! the irregular population.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let mut rows = Vec::new();
+    for pow in 0..=15 {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        for m in Machine::both() {
+            let spec = ClusterSpec::fig10_irregular();
+            let hy = allgather_latency(
+                spec.clone(),
+                &m,
+                elems,
+                AllgatherVariant::Hybrid,
+                Placement::SmpBlock,
+            );
+            let pure = allgather_latency(
+                spec,
+                &m,
+                elems,
+                AllgatherVariant::PureSmpAware,
+                Placement::SmpBlock,
+            );
+            row.push(us(hy));
+            row.push(us(pure));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 10 — Allgather on irregular nodes (42x24 + 1x16 = 1024 cores), time in µs",
+        &[
+            "elems",
+            "Hy+OpenMPI",
+            "All+OpenMPI",
+            "Hy+CrayMPI",
+            "All+CrayMPI",
+        ],
+        &rows,
+    );
+}

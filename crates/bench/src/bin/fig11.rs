@@ -1,0 +1,49 @@
+//! Figure 11: Ori_SUMMA vs Hy_SUMMA execution time and ratio for
+//! per-core blocks of 8², 64², 128² and 256² as the core count grows.
+//!
+//! Expected shape (paper): ratio > 1 everywhere; up to ~5× for 8×8
+//! blocks with all processes on one node; the advantage shrinks as the
+//! block size grows (compute dominates).
+
+use bench::machines::{cluster_for, Machine};
+use bench::table::{print_table, ratio, us};
+use collectives::Tuning;
+use msim::{Ctx, SimConfig, Universe};
+use summa::{hy_summa, ori_summa, SummaReport, SummaSpec};
+
+fn run(q: usize, block: usize, machine: &Machine, kernel: fn(&mut Ctx, &SummaSpec) -> SummaReport) -> f64 {
+    let cores = q * q;
+    let cfg = SimConfig::new(cluster_for(cores), machine.cost.clone()).phantom();
+    let spec = SummaSpec {
+        q,
+        block,
+        tuning: machine.tuning.clone(),
+    };
+    let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us)
+        .expect("SUMMA run must not fail");
+    r.per_rank.into_iter().fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let machine = Machine::hazel_hen(); // the paper runs SUMMA on Hazel Hen
+    let _ = Tuning::cray_mpich();
+    for block in [8usize, 64, 128, 256] {
+        let mut rows = Vec::new();
+        for q in [2usize, 4, 6, 8, 12, 16, 23, 32] {
+            let cores = q * q;
+            let ori = run(q, block, &machine, ori_summa);
+            let hy = run(q, block, &machine, hy_summa);
+            rows.push(vec![
+                cores.to_string(),
+                us(ori),
+                us(hy),
+                ratio(ori, hy),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 11 — SUMMA, per-core block {block}x{block} (Cray MPI), time in µs"),
+            &["cores", "Ori_SUMMA", "Hy_SUMMA", "ratio"],
+            &rows,
+        );
+    }
+}

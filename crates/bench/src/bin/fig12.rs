@@ -1,0 +1,43 @@
+//! Figure 12: Ori_BPMF vs Hy_BPMF total time over 20 Gibbs iterations on
+//! the chembl_20-like dataset, cores 24..1024.
+//!
+//! Expected shape (paper): the ratio Ori/Hy stays above 1 and rises
+//! slowly with the core count (to ~1.04–1.10 at 1024 cores).
+
+use bench::machines::{cluster_for, Machine};
+use bench::table::{print_table, ratio, us};
+use bpmf::{hy_bpmf, ori_bpmf, BpmfConfig, Dataset, SyntheticSpec};
+use msim::{SimConfig, Universe};
+use std::sync::Arc;
+
+fn main() {
+    let machine = Machine::hazel_hen(); // the paper runs BPMF on Hazel Hen
+    let data = Arc::new(Dataset::synthesize(&SyntheticSpec::chembl20_like(20)));
+    let cfg = BpmfConfig::paper(7, machine.tuning.clone());
+
+    let mut rows = Vec::new();
+    for cores in [24usize, 120, 240, 360, 480, 1024] {
+        let time = |hybrid: bool| {
+            let sim = SimConfig::new(cluster_for(cores), machine.cost.clone()).phantom();
+            let data = Arc::clone(&data);
+            let cfg = cfg.clone();
+            let r = Universe::run(sim, move |ctx| {
+                if hybrid {
+                    hy_bpmf(ctx, &data, &cfg).elapsed_us
+                } else {
+                    ori_bpmf(ctx, &data, &cfg).elapsed_us
+                }
+            })
+            .expect("BPMF run must not fail");
+            r.per_rank.into_iter().fold(0.0f64, f64::max)
+        };
+        let ori = time(false);
+        let hy = time(true);
+        rows.push(vec![cores.to_string(), us(ori), us(hy), ratio(ori, hy)]);
+    }
+    print_table(
+        "Fig. 12 — BPMF TotalTime of 20 Gibbs iterations (chembl_20-like, Cray MPI), µs",
+        &["cores", "Ori_BPMF-TT", "Hy_BPMF-TT", "ratio"],
+        &rows,
+    );
+}

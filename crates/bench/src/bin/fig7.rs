@@ -1,0 +1,48 @@
+//! Figure 7: Hy_Allgather vs Allgather within one full node (24
+//! processes), 2^0..2^15 doubles, both MPI flavors.
+//!
+//! Expected shape (paper): Hy_Allgather is flat (one barrier) and always
+//! below the pure-MPI Allgather, whose cost grows with message size.
+
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use bench::table::{print_table, us};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let machines = Machine::both();
+    let mut rows = Vec::new();
+    for pow in 0..=15 {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        for m in &machines {
+            let hy = allgather_latency(
+                ClusterSpec::single_node(24),
+                m,
+                elems,
+                AllgatherVariant::Hybrid,
+                Placement::SmpBlock,
+            );
+            let pure = allgather_latency(
+                ClusterSpec::single_node(24),
+                m,
+                elems,
+                AllgatherVariant::PureSmpAware,
+                Placement::SmpBlock,
+            );
+            row.push(us(hy));
+            row.push(us(pure));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 7 — Allgather within one full node (24 ppn), time in µs",
+        &[
+            "elems",
+            "Hy+OpenMPI",
+            "All+OpenMPI",
+            "Hy+CrayMPI",
+            "All+CrayMPI",
+        ],
+        &rows,
+    );
+}

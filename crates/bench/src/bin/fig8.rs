@@ -1,0 +1,46 @@
+//! Figure 8: Hy_Allgather vs Allgather with ONE process per node across
+//! 4, 16 and 64 nodes — the paper's worst case for the hybrid approach
+//! (it degenerates to Allgatherv vs Allgather on the bridge).
+//!
+//! Expected shape (paper): Hy slightly *worse* than pure (Allgatherv is
+//! less optimized than Allgather), with the gap shrinking at 64 nodes
+//! and at large sizes.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    for m in Machine::both() {
+        let mut rows = Vec::new();
+        for pow in 0..=15 {
+            let elems = 1usize << pow;
+            let mut row = vec![elems.to_string()];
+            for nodes in [4usize, 16, 64] {
+                let spec = ClusterSpec::regular(nodes, 1);
+                let hy = allgather_latency(
+                    spec.clone(),
+                    &m,
+                    elems,
+                    AllgatherVariant::Hybrid,
+                    Placement::SmpBlock,
+                );
+                let pure = allgather_latency(
+                    spec,
+                    &m,
+                    elems,
+                    AllgatherVariant::PureSmpAware,
+                    Placement::SmpBlock,
+                );
+                row.push(us(hy));
+                row.push(us(pure));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 8 ({}) — Allgather, 1 process/node, time in µs", m.name),
+            &["elems", "Hy_4", "All_4", "Hy_16", "All_16", "Hy_64", "All_64"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 9: Hy_Allgather vs Allgather across 64 nodes as the number of
+//! processes per node grows from 3 to 24, for 512 (a) and 16384 (b)
+//! doubles.
+//!
+//! Expected shape (paper): the hybrid advantage grows with
+//! processes-per-node.
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    for elems in [512usize, 16384] {
+        let mut rows = Vec::new();
+        for ppn in (3..=24).step_by(3) {
+            let mut row = vec![ppn.to_string()];
+            for m in Machine::both() {
+                let spec = ClusterSpec::regular(64, ppn);
+                let hy = allgather_latency(
+                    spec.clone(),
+                    &m,
+                    elems,
+                    AllgatherVariant::Hybrid,
+                    Placement::SmpBlock,
+                );
+                let pure = allgather_latency(
+                    spec,
+                    &m,
+                    elems,
+                    AllgatherVariant::PureSmpAware,
+                    Placement::SmpBlock,
+                );
+                row.push(us(hy));
+                row.push(us(pure));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 9 — Allgather across 64 nodes, {elems} doubles, time in µs"),
+            &[
+                "ppn",
+                "Hy+OpenMPI",
+                "All+OpenMPI",
+                "Hy+CrayMPI",
+                "All+CrayMPI",
+            ],
+            &rows,
+        );
+    }
+}

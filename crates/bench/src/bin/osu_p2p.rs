@@ -1,0 +1,58 @@
+//! OSU-style point-to-point latency: intra-node and inter-node ping-pong
+//! across message sizes, for both machine models. This is the
+//! calibration anchor described in docs/COSTMODEL.md — the numbers here
+//! should look like the corresponding OSU microbenchmark output on the
+//! modeled systems.
+
+use bench::table::{print_table, us};
+use bench::Machine;
+use msim::{Payload, SimConfig, Universe};
+use simnet::ClusterSpec;
+
+fn pingpong(machine: &Machine, inter: bool, bytes: usize) -> f64 {
+    // 2 nodes x 2 cores: ranks 0,1 share node 0; rank 2 lives on node 1.
+    let cfg = SimConfig::new(ClusterSpec::regular(2, 2), machine.cost.clone()).phantom();
+    let iters = 10usize;
+    let r = Universe::run(cfg, move |ctx| {
+        let world = ctx.world();
+        let peer_of_0 = if inter { 2 } else { 1 };
+        let me = ctx.rank();
+        if me == 0 {
+            let t0 = ctx.now();
+            for _ in 0..iters {
+                ctx.send(&world, peer_of_0, 0, Payload::Phantom(bytes));
+                ctx.recv(&world, peer_of_0, 1);
+            }
+            (ctx.now() - t0) / (2 * iters) as f64 // one-way latency
+        } else if me == peer_of_0 {
+            for _ in 0..iters {
+                ctx.recv(&world, 0, 0);
+                ctx.send(&world, 0, 1, Payload::Phantom(bytes));
+            }
+            0.0
+        } else {
+            0.0
+        }
+    })
+    .expect("pingpong");
+    r.per_rank[0]
+}
+
+fn main() {
+    for m in [Machine::hazel_hen(), Machine::vulcan()] {
+        let mut rows = Vec::new();
+        for pow in [0usize, 3, 6, 10, 13, 16, 20] {
+            let bytes = 1usize << pow;
+            rows.push(vec![
+                bytes.to_string(),
+                us(pingpong(&m, false, bytes)),
+                us(pingpong(&m, true, bytes)),
+            ]);
+        }
+        print_table(
+            &format!("osu_latency ({}) — one-way ping-pong latency, µs", m.name),
+            &["bytes", "intra-node", "inter-node"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Configurable allgather sweep — explore your own parameter space
+//! without editing code. Everything is set through environment
+//! variables:
+//!
+//! ```bash
+//! NODES=32 PPN=16 MACHINE=vulcan VARIANTS=hybrid,smp,flat MAX_POW=12 \
+//!     cargo run --release -p bench --bin sweep
+//! ```
+//!
+//! | var | default | meaning |
+//! |---|---|---|
+//! | `NODES` | 16 | number of nodes |
+//! | `PPN` | 24 | processes per node |
+//! | `MACHINE` | `hazelhen` | `hazelhen` (Cray) or `vulcan` (OpenMPI) |
+//! | `VARIANTS` | `hybrid,smp` | comma list: `hybrid`, `smp`, `flat`, `flags`, `pipelined` |
+//! | `MIN_POW` / `MAX_POW` | 0 / 15 | element-count sweep 2^MIN..2^MAX |
+//! | `PLACEMENT` | `smp` | `smp` or `rr` (round robin) |
+
+use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
+use hmpi::SyncMethod;
+use simnet::{ClusterSpec, Placement};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_str(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn variant_of(name: &str) -> Option<(String, AllgatherVariant)> {
+    let v = match name.trim() {
+        "hybrid" => AllgatherVariant::Hybrid,
+        "smp" => AllgatherVariant::PureSmpAware,
+        "flat" => AllgatherVariant::PureFlat,
+        "flags" => AllgatherVariant::HybridSync(SyncMethod::SharedFlags),
+        "pipelined" => AllgatherVariant::HybridPipelined { segment_elems: 1 << 14 },
+        other => {
+            eprintln!("unknown variant '{other}' (use hybrid, smp, flat, flags, pipelined)");
+            return None;
+        }
+    };
+    Some((name.trim().to_string(), v))
+}
+
+fn main() {
+    let nodes = env_usize("NODES", 16);
+    let ppn = env_usize("PPN", 24);
+    let min_pow = env_usize("MIN_POW", 0);
+    let max_pow = env_usize("MAX_POW", 15);
+    let machine = match env_str("MACHINE", "hazelhen").as_str() {
+        "vulcan" => Machine::vulcan(),
+        _ => Machine::hazel_hen(),
+    };
+    let placement = match env_str("PLACEMENT", "smp").as_str() {
+        "rr" => Placement::RoundRobin,
+        _ => Placement::SmpBlock,
+    };
+    let variants: Vec<(String, AllgatherVariant)> = env_str("VARIANTS", "hybrid,smp")
+        .split(',')
+        .filter_map(variant_of)
+        .collect();
+    assert!(!variants.is_empty(), "no valid variants selected");
+
+    let mut rows = Vec::new();
+    for pow in min_pow..=max_pow {
+        let elems = 1usize << pow;
+        let mut row = vec![elems.to_string()];
+        for (_, v) in &variants {
+            let t = allgather_latency(
+                ClusterSpec::regular(nodes, ppn),
+                &machine,
+                elems,
+                *v,
+                placement.clone(),
+            );
+            row.push(us(t));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["elems"];
+    for (name, _) in &variants {
+        headers.push(name);
+    }
+    print_table(
+        &format!(
+            "Allgather sweep — {nodes} nodes x {ppn} ppn, {} ({placement:?}), µs",
+            machine.name
+        ),
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Schedule report: the structural difference between the hybrid and the
+//! SMP-aware pure-MPI allgather, straight from the runtime's event trace
+//! (message counts, volumes per link class, copies, node traffic).
+//!
+//! This is the paper's Fig. 3 rendered as numbers.
+
+use bench::Machine;
+use bench::table::print_table;
+use collectives::{smp_aware::SmpAware, Tuning};
+use hmpi::{HyAllgather, HybridComm};
+use msim::{SimConfig, Universe};
+use simnet::analysis::{node_traffic_matrix, TrafficStats};
+use simnet::{ClusterSpec, Placement};
+
+fn main() {
+    let m = Machine::hazel_hen();
+    let spec = ClusterSpec::regular(4, 8);
+    let elems = 1024usize;
+    let map = Placement::SmpBlock.build(&spec);
+
+    let run_traced = |hybrid: bool| {
+        let cfg = SimConfig::new(spec.clone(), m.cost.clone()).phantom().traced();
+        let tuning = m.tuning.clone();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            if hybrid {
+                let hc = HybridComm::new(ctx, &world, tuning.clone());
+                let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+                ag.execute(ctx);
+            } else {
+                let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+                let send = ctx.buf_zeroed::<f64>(elems);
+                let mut recv = ctx.buf_zeroed::<f64>(elems * world.size());
+                sa.allgather(ctx, &send, &mut recv);
+            }
+        })
+        .expect("traced run");
+        r.tracer.events()
+    };
+
+    let mut rows = Vec::new();
+    let mut matrices = Vec::new();
+    for (name, hybrid) in [("Allgather (pure, SMP-aware)", false), ("Hy_Allgather (hybrid)", true)] {
+        let events = run_traced(hybrid);
+        let s = TrafficStats::of(&events);
+        rows.push(vec![
+            name.to_string(),
+            s.intra_msgs.to_string(),
+            s.intra_bytes.to_string(),
+            s.inter_msgs.to_string(),
+            s.inter_bytes.to_string(),
+            s.copy_bytes.to_string(),
+            s.window_bytes.to_string(),
+        ]);
+        matrices.push((name, node_traffic_matrix(&events, &map)));
+    }
+    print_table(
+        "Schedule structure — allgather of 1024 doubles/rank, 4 nodes x 8 ppn",
+        &[
+            "variant",
+            "intra msgs",
+            "intra B",
+            "inter msgs",
+            "inter B",
+            "copied B",
+            "window B",
+        ],
+        &rows,
+    );
+
+    for (name, m) in matrices {
+        println!("\nnode-to-node payload bytes — {name}:");
+        for row in &m {
+            println!(
+                "  {}",
+                row.iter().map(|b| format!("{b:>9}")).collect::<Vec<_>>().join(" ")
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The two evaluation systems of the paper.
+
+use collectives::Tuning;
+use simnet::{ClusterSpec, CostModel};
+
+/// A cluster + MPI-library pairing.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Display name used in the figure output.
+    pub name: &'static str,
+    /// Hardware cost model.
+    pub cost: CostModel,
+    /// MPI-library algorithm-selection tuning.
+    pub tuning: Tuning,
+}
+
+impl Machine {
+    /// Cray XC40 "Hazel Hen" with Cray MPI (MPICH-derived).
+    pub fn hazel_hen() -> Self {
+        Self {
+            name: "Cray MPI",
+            cost: CostModel::cray_aries(),
+            tuning: Tuning::cray_mpich(),
+        }
+    }
+
+    /// NEC "Vulcan" with OpenMPI over InfiniBand.
+    pub fn vulcan() -> Self {
+        Self {
+            name: "OpenMPI",
+            cost: CostModel::nec_infiniband(),
+            tuning: Tuning::open_mpi(),
+        }
+    }
+
+    /// Both machines, in the order the paper plots them.
+    pub fn both() -> Vec<Machine> {
+        vec![Self::vulcan(), Self::hazel_hen()]
+    }
+}
+
+/// The cluster allocation for a given core count on 24-core nodes: full
+/// nodes plus one partially-populated node for the remainder (as on the
+/// paper's systems).
+pub fn cluster_for(cores: usize) -> ClusterSpec {
+    assert!(cores > 0);
+    const PPN: usize = 24;
+    if cores <= PPN {
+        return ClusterSpec::single_node(cores);
+    }
+    let full = cores / PPN;
+    let rem = cores % PPN;
+    let mut nodes = vec![PPN; full];
+    if rem > 0 {
+        nodes.push(rem);
+    }
+    ClusterSpec::irregular(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_differ() {
+        let (a, b) = (Machine::hazel_hen(), Machine::vulcan());
+        assert_ne!(a.name, b.name);
+        assert_ne!(a.cost, b.cost);
+        assert_ne!(a.tuning, b.tuning);
+    }
+
+    #[test]
+    fn cluster_for_core_counts() {
+        assert_eq!(cluster_for(16).num_nodes(), 1);
+        assert_eq!(cluster_for(24).num_nodes(), 1);
+        assert_eq!(cluster_for(48).num_nodes(), 2);
+        let c = cluster_for(1024);
+        assert_eq!(c.total_cores(), 1024);
+        assert_eq!(c.num_nodes(), 43);
+        assert_eq!(c.cores_on(42), 16);
+    }
+}

@@ -1,0 +1,55 @@
+//! Plain-text table output for the figure harnesses.
+
+/// Print a titled, aligned table. `rows` are already formatted cells.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("{}", line.join("  "));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format a microsecond value the way the paper's log plots read.
+pub fn us(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.3}", a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(3.14159), "3.14");
+        assert_eq!(us(1234.5), "1234.5");
+        assert_eq!(ratio(3.0, 2.0), "1.500");
+    }
+}

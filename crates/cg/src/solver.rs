@@ -1,0 +1,346 @@
+//! The CG solver: serial oracle plus the two distributed variants.
+
+use collectives::{allreduce, barrier, op::Sum, Tuning};
+use hmpi::{HyAllreduce, HybridComm};
+use msim::{Buf, Communicator, Ctx, DataMode, Payload};
+
+const TAG_LEFT: u32 = 0x3000; // halo moving toward lower ranks
+const TAG_RIGHT: u32 = 0x3001;
+
+/// Parameters of one CG run.
+#[derive(Debug, Clone)]
+pub struct CgSpec {
+    /// Problem dimension (number of unknowns).
+    pub n: usize,
+    /// CG iterations (fixed count, for benchmarking determinism).
+    pub iters: usize,
+}
+
+/// Per-rank outcome.
+#[derive(Debug, Clone)]
+pub struct CgReport {
+    /// Virtual time of the timed region (µs).
+    pub elapsed_us: f64,
+    /// This rank's slice of the solution (real mode only).
+    pub x: Option<Vec<f64>>,
+    /// Final squared residual ‖r‖² (real mode only).
+    pub rs: Option<f64>,
+}
+
+/// The right-hand side.
+pub fn rhs(i: usize) -> f64 {
+    ((i % 13) as f64 - 6.0) / 13.0
+}
+
+/// Balanced contiguous partition (same convention as bpmf).
+fn partition(n: usize, p: usize, r: usize) -> (usize, usize) {
+    let base = n / p;
+    let rem = n % p;
+    let start = r * base + r.min(rem);
+    (start, start + base + usize::from(r < rem))
+}
+
+/// Serial CG oracle: returns (x, final ‖r‖²) after `iters` iterations.
+pub fn serial_cg(n: usize, iters: usize) -> (Vec<f64>, f64) {
+    let matvec = |v: &[f64]| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let left = if i > 0 { v[i - 1] } else { 0.0 };
+                let right = if i + 1 < n { v[i + 1] } else { 0.0 };
+                2.0 * v[i] - left - right
+            })
+            .collect()
+    };
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+
+    let mut x = vec![0.0; n];
+    let mut r: Vec<f64> = (0..n).map(rhs).collect();
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    for _ in 0..iters {
+        let ap = matvec(&p);
+        let alpha = rs_old / dot(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    (x, rs_old)
+}
+
+/// How the distributed variant computes global dot products.
+enum DotScheme {
+    /// Library `MPI_Allreduce` on the world communicator.
+    Flat(Tuning),
+    /// The hybrid allreduce through a node-shared result window.
+    Hybrid(HyAllreduce<f64>),
+}
+
+impl DotScheme {
+    /// Globally reduce a per-rank partial sum. In phantom mode the value
+    /// content is meaningless but the communication schedule is exact.
+    fn reduce(&self, ctx: &mut Ctx, world: &Communicator, partial: f64) -> f64 {
+        match self {
+            DotScheme::Flat(tuning) => {
+                let send = match ctx.mode() {
+                    DataMode::Real => Buf::Real(vec![partial]),
+                    DataMode::Phantom => Buf::Phantom(1),
+                };
+                let mut recv = ctx.buf_zeroed::<f64>(1);
+                allreduce::tuned(ctx, world, &send, &mut recv, Sum, tuning);
+                recv.get(0)
+            }
+            DotScheme::Hybrid(ar) => {
+                let send = match ctx.mode() {
+                    DataMode::Real => Buf::Real(vec![partial]),
+                    DataMode::Phantom => Buf::Phantom(1),
+                };
+                ar.execute(ctx, &send, Sum);
+                ar.read_result()[0]
+            }
+        }
+    }
+}
+
+fn run_cg(ctx: &mut Ctx, spec: &CgSpec, hybrid: bool) -> CgReport {
+    let world = ctx.world();
+    let p_ranks = world.size();
+    let me = world.rank();
+    let real = ctx.mode() == DataMode::Real;
+    let (lo, hi) = partition(spec.n, p_ranks, me);
+    let n_local = hi - lo;
+
+    let scheme = if hybrid {
+        let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+        DotScheme::Hybrid(HyAllreduce::<f64>::new(ctx, &hc, 1))
+    } else {
+        DotScheme::Flat(Tuning::cray_mpich())
+    };
+
+    // Local state. `p_halo` wraps the search direction with one halo
+    // cell on each side for the tridiagonal matvec.
+    let mut x = vec![0.0f64; n_local];
+    let mut r: Vec<f64> = (lo..hi).map(rhs).collect();
+    let mut p_halo = vec![0.0f64; n_local + 2];
+    if real {
+        p_halo[1..=n_local].copy_from_slice(&r);
+    }
+
+    barrier::tuned(ctx, &world);
+    let t0 = ctx.now();
+
+    let local_dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(u, v)| u * v).sum() };
+    ctx.compute(2.0 * n_local as f64);
+    let mut rs_old = scheme.reduce(ctx, &world, if real { local_dot(&r, &r) } else { 0.0 });
+
+    for _ in 0..spec.iters {
+        // --- Halo exchange of the search direction ---
+        let left = (me > 0).then(|| me - 1);
+        let right = (me + 1 < p_ranks).then(|| me + 1);
+        let scalar = |v: f64| -> Payload {
+            if real {
+                Buf::Real(vec![v]).payload_all()
+            } else {
+                Payload::Phantom(8)
+            }
+        };
+        let mut reqs = Vec::new();
+        if let Some(nb) = left {
+            ctx.send(&world, nb, TAG_LEFT, scalar(p_halo[1]));
+            reqs.push((ctx.irecv(&world, nb, TAG_RIGHT), 0usize));
+        }
+        if let Some(nb) = right {
+            ctx.send(&world, nb, TAG_RIGHT, scalar(p_halo[n_local]));
+            reqs.push((ctx.irecv(&world, nb, TAG_LEFT), 1));
+        }
+        for (req, side) in reqs {
+            let payload = req.wait(ctx);
+            if real {
+                let mut v = [0.0f64];
+                msim::elem::bytes_to_slice(payload.bytes(), &mut v);
+                if side == 0 {
+                    p_halo[0] = v[0];
+                } else {
+                    p_halo[n_local + 1] = v[0];
+                }
+            }
+        }
+
+        // --- ap = A p (edge cells of the global domain see zero) ---
+        ctx.compute(3.0 * n_local as f64);
+        let mut ap = vec![0.0f64; n_local];
+        if real {
+            for i in 0..n_local {
+                ap[i] = 2.0 * p_halo[i + 1] - p_halo[i] - p_halo[i + 2];
+            }
+        }
+
+        // --- alpha = rs_old / (p · Ap) ---
+        ctx.compute(2.0 * n_local as f64);
+        let p_ap = scheme.reduce(ctx, &world, if real {
+            local_dot(&p_halo[1..=n_local], &ap)
+        } else {
+            0.0
+        });
+        ctx.compute(4.0 * n_local as f64);
+        let mut rs_new_partial = 0.0;
+        if real {
+            let alpha = rs_old / p_ap;
+            for i in 0..n_local {
+                x[i] += alpha * p_halo[i + 1];
+                r[i] -= alpha * ap[i];
+            }
+            rs_new_partial = local_dot(&r, &r);
+        }
+        ctx.compute(2.0 * n_local as f64);
+        let rs_new = scheme.reduce(ctx, &world, rs_new_partial);
+
+        ctx.compute(2.0 * n_local as f64);
+        if real {
+            let beta = rs_new / rs_old;
+            for i in 0..n_local {
+                p_halo[i + 1] = r[i] + beta * p_halo[i + 1];
+            }
+        }
+        rs_old = rs_new;
+    }
+    let elapsed_us = ctx.now() - t0;
+
+    CgReport {
+        elapsed_us,
+        x: real.then_some(x),
+        rs: real.then_some(rs_old),
+    }
+}
+
+/// **Ori_CG** — pure MPI (library allreduce, private results).
+pub fn ori_cg(ctx: &mut Ctx, spec: &CgSpec) -> CgReport {
+    run_cg(ctx, spec, false)
+}
+
+/// **Hy_CG** — hybrid MPI+MPI ([`HyAllreduce`] through node-shared
+/// result windows).
+pub fn hy_cg(ctx: &mut Ctx, spec: &CgSpec) -> CgReport {
+    run_cg(ctx, spec, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    #[test]
+    fn serial_cg_converges_on_poisson() {
+        let n = 64;
+        let (_, rs0) = serial_cg(n, 0);
+        let (_, rs) = serial_cg(n, 40);
+        assert!(rs < rs0 * 1e-6, "CG must reduce the residual: {rs0} -> {rs}");
+    }
+
+    #[test]
+    fn serial_cg_solves_exactly_in_n_steps() {
+        // CG on an n x n SPD system converges in at most n iterations
+        // (exactly, modulo rounding).
+        let n = 12;
+        let (x, rs) = serial_cg(n, n);
+        assert!(rs < 1e-18, "residual {rs}");
+        // Check A x = b directly.
+        for i in 0..n {
+            let left = if i > 0 { x[i - 1] } else { 0.0 };
+            let right = if i + 1 < n { x[i + 1] } else { 0.0 };
+            let ax = 2.0 * x[i] - left - right;
+            assert!((ax - rhs(i)).abs() < 1e-9, "row {i}: {ax} vs {}", rhs(i));
+        }
+    }
+
+    fn check_matches_serial(nodes: usize, ppn: usize, n: usize, iters: usize, hybrid: bool) {
+        let (sx, srs) = serial_cg(n, iters);
+        let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+        let out = Universe::run(cfg, move |ctx| {
+            let spec = CgSpec { n, iters };
+            let rep = if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) };
+            (rep.x.unwrap(), rep.rs.unwrap())
+        })
+        .unwrap();
+        // Distributed dot products reduce per-rank partials in tree
+        // order, so results match the serial left-fold to rounding, not
+        // bitwise.
+        let p = nodes * ppn;
+        for rank in 0..p {
+            let (lo, hi) = partition(n, p, rank);
+            let (x, rs) = &out.per_rank[rank];
+            for (a, b) in x.iter().zip(&sx[lo..hi]) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "rank {rank}: {a} vs {b}"
+                );
+            }
+            assert!(
+                (rs - srs).abs() <= 1e-12 * srs.abs().max(1e-30),
+                "rank {rank} residual {rs} vs {srs}"
+            );
+        }
+    }
+
+    #[test]
+    fn ori_cg_matches_serial() {
+        check_matches_serial(2, 3, 37, 9, false);
+        check_matches_serial(1, 5, 24, 6, false);
+    }
+
+    #[test]
+    fn hy_cg_matches_serial() {
+        check_matches_serial(2, 3, 37, 9, true);
+        check_matches_serial(3, 2, 24, 6, true);
+        check_matches_serial(1, 4, 16, 5, true);
+    }
+
+    #[test]
+    fn phantom_and_real_times_agree() {
+        let time = |phantom: bool, hybrid: bool| {
+            let mut cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::cray_aries());
+            if phantom {
+                cfg = cfg.phantom();
+            }
+            Universe::run(cfg, move |ctx| {
+                let spec = CgSpec { n: 60, iters: 4 };
+                if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) }.elapsed_us
+            })
+            .unwrap()
+            .per_rank
+        };
+        assert_eq!(time(false, false), time(true, false), "ori");
+        assert_eq!(time(false, true), time(true, true), "hy");
+    }
+
+    #[test]
+    fn hybrid_is_competitive() {
+        // Scalar allreduces are latency-bound; the hybrid variant's win
+        // is structural (one result copy per node), and its latency must
+        // stay comparable to the library allreduce.
+        let time = |hybrid: bool| {
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(4, 16), CostModel::cray_aries()).phantom();
+            Universe::run(cfg, move |ctx| {
+                let spec = CgSpec { n: 4096, iters: 10 };
+                if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) }.elapsed_us
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let (t_ori, t_hy) = (time(false), time(true));
+        assert!(
+            t_hy < t_ori * 1.25,
+            "hybrid CG ({t_hy}) must stay within 25% of pure MPI ({t_ori})"
+        );
+    }
+}

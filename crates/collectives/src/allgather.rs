@@ -1,0 +1,290 @@
+//! Regular allgather algorithms (`MPI_Allgather`).
+//!
+//! The three classic schedules from MPICH (paper reference [28]):
+//!
+//! * [`recursive_doubling`] — log₂ p rounds, power-of-two communicators,
+//!   best for short/medium totals;
+//! * [`bruck`] — ⌈log₂ p⌉ rounds for any p, pays an extra local rotation,
+//!   used for short totals on non-power-of-two communicators;
+//! * [`ring`] — p−1 rounds of neighbor exchange, bandwidth-optimal, used
+//!   for long totals;
+//! * [`tuned`] — the MPICH-style runtime selection among the above.
+//!
+//! Every rank contributes `count` elements; the result (p·count elements,
+//! blocks in rank order) lands in `recv` on every rank.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::selection::Tuning;
+use crate::tags;
+
+fn place_own_block<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, send: &Buf<T>, recv: &mut Buf<T>) {
+    let count = send.len();
+    recv.copy_from(comm.rank() * count, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+}
+
+fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, recv: &Buf<T>) {
+    assert_eq!(
+        recv.len(),
+        send.len() * comm.size(),
+        "recv must hold comm.size() blocks of send.len() elements"
+    );
+}
+
+/// Recursive doubling: in round k, exchange the 2^k blocks accumulated so
+/// far with the partner `rank XOR 2^k`.
+///
+/// # Panics
+/// Panics unless the communicator size is a power of two.
+pub fn recursive_doubling<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+) {
+    let p = comm.size();
+    assert!(p.is_power_of_two(), "recursive doubling requires a power-of-two communicator");
+    check_args(comm, send, recv);
+    let me = comm.rank();
+    let count = send.len();
+    place_own_block(ctx, comm, send, recv);
+
+    let mut mask = 1usize;
+    while mask < p {
+        let partner = me ^ mask;
+        let my_block_start = me & !(mask - 1);
+        let partner_block_start = partner & !(mask - 1);
+        ctx.send_region(
+            comm,
+            partner,
+            tags::ALLGATHER,
+            recv,
+            my_block_start * count,
+            mask * count,
+        );
+        let payload = ctx.recv(comm, partner, tags::ALLGATHER);
+        recv.write_payload(partner_block_start * count, &payload);
+        mask <<= 1;
+    }
+}
+
+/// Bruck's algorithm: ⌈log₂ p⌉ rounds over a rotated temporary buffer,
+/// followed by a local rotation into rank order (the rotation is the
+/// overhead that keeps Bruck a short-message algorithm).
+pub fn bruck<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, send: &Buf<T>, recv: &mut Buf<T>) {
+    check_args(comm, send, recv);
+    let p = comm.size();
+    let me = comm.rank();
+    let count = send.len();
+
+    // tmp[j] holds block (me + j) mod p.
+    let mut tmp = ctx.buf_zeroed::<T>(p * count);
+    tmp.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+
+    let mut filled = 1usize; // blocks gathered so far
+    let mut dist = 1usize;
+    while filled < p {
+        let blocks = dist.min(p - filled);
+        let dst = (me + p - dist) % p;
+        let src = (me + dist) % p;
+        ctx.send_region(comm, dst, tags::ALLGATHER + 1, &tmp, 0, blocks * count);
+        let payload = ctx.recv(comm, src, tags::ALLGATHER + 1);
+        tmp.write_payload(filled * count, &payload);
+        filled += blocks;
+        dist <<= 1;
+    }
+
+    // Local inverse rotation: recv[(me + j) mod p] = tmp[j].
+    for j in 0..p {
+        let block = (me + j) % p;
+        recv.copy_from(block * count, &tmp, j * count, count);
+    }
+    ctx.charge_copy(p * count * T::SIZE);
+}
+
+/// Ring: p−1 neighbor-exchange steps; each step forwards the block
+/// received in the previous step. Bandwidth-optimal for long messages.
+pub fn ring<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, send: &Buf<T>, recv: &mut Buf<T>) {
+    check_args(comm, send, recv);
+    let p = comm.size();
+    let me = comm.rank();
+    let count = send.len();
+    place_own_block(ctx, comm, send, recv);
+    if p == 1 {
+        return;
+    }
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_block = (me + p - s) % p;
+        let recv_block = (me + p - s - 1) % p;
+        ctx.send_region(comm, right, tags::ALLGATHER + 2, recv, send_block * count, count);
+        let payload = ctx.recv(comm, left, tags::ALLGATHER + 2);
+        recv.write_payload(recv_block * count, &payload);
+    }
+}
+
+/// MPICH-style selection: recursive doubling for power-of-two + short
+/// totals, Bruck for short non-power-of-two totals, ring otherwise.
+/// Charges the per-call collective entry fee.
+pub fn tuned<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    tuned_uncharged(ctx, comm, send, recv, tuning);
+}
+
+/// The selection logic without the entry fee — for use as an internal
+/// stage of a larger collective (e.g. the SMP-aware hierarchy), which
+/// charges one fee for the whole call.
+pub fn tuned_uncharged<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    tuning: &Tuning,
+) {
+    let p = comm.size();
+    if p == 1 {
+        check_args(comm, send, recv);
+        place_own_block(ctx, comm, send, recv);
+        return;
+    }
+    let total_bytes = send.byte_len() * p;
+    if p.is_power_of_two() && total_bytes < tuning.allgather_rd_threshold {
+        recursive_doubling(ctx, comm, send, recv);
+    } else if !p.is_power_of_two() && total_bytes < tuning.allgather_bruck_threshold {
+        bruck(ctx, comm, send, recv);
+    } else {
+        ring(ctx, comm, send, recv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{datum, expected_allgather, run};
+
+    fn check(
+        nodes: usize,
+        ppn: usize,
+        count: usize,
+        algo: impl Fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>) + Send + Sync,
+    ) {
+        let r = run(nodes, ppn, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count * world.size());
+            algo(ctx, &world, &send, &mut recv);
+            recv.as_slice().unwrap().to_vec()
+        });
+        let expected = expected_allgather(nodes * ppn, count);
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            assert_eq!(got, &expected, "rank {rank} disagrees ({nodes}x{ppn}, count {count})");
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_power_of_two() {
+        for (nodes, ppn) in [(1, 1), (1, 2), (1, 8), (2, 4), (4, 4)] {
+            check(nodes, ppn, 3, recursive_doubling::<f64>);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recursive_doubling_rejects_odd_sizes() {
+        check(1, 3, 2, recursive_doubling::<f64>);
+    }
+
+    #[test]
+    fn bruck_any_size() {
+        for (nodes, ppn) in [(1, 1), (1, 3), (1, 5), (2, 3), (3, 3), (1, 8)] {
+            check(nodes, ppn, 2, bruck::<f64>);
+        }
+    }
+
+    #[test]
+    fn ring_any_size() {
+        for (nodes, ppn) in [(1, 1), (1, 2), (1, 5), (2, 3), (4, 2)] {
+            check(nodes, ppn, 4, ring::<f64>);
+        }
+    }
+
+    #[test]
+    fn tuned_all_regimes() {
+        let tuning = crate::Tuning::cray_mpich();
+        // Power-of-two short -> recursive doubling path.
+        check(2, 2, 2, |ctx, c, s, r| tuned(ctx, c, s, r, &tuning));
+        // Non-power-of-two short -> Bruck path.
+        check(1, 5, 2, |ctx, c, s, r| tuned(ctx, c, s, r, &tuning));
+        // Long -> ring path (count chosen to exceed both thresholds).
+        let big = crate::Tuning::cray_mpich().allgather_rd_threshold / 8 + 1024;
+        check(2, 2, big / 4, |ctx, c, s, r| tuned(ctx, c, s, r, &tuning));
+        check(1, 5, big / 5, |ctx, c, s, r| tuned(ctx, c, s, r, &tuning));
+    }
+
+    #[test]
+    fn single_rank_tuned_is_local_copy() {
+        check(1, 1, 6, |ctx, c, s, r| tuned(ctx, c, s, r, &crate::Tuning::open_mpi()));
+    }
+
+    #[test]
+    fn zero_count_allgather_is_legal() {
+        check(2, 2, 0, |ctx, c, s, r| tuned(ctx, c, s, r, &crate::Tuning::cray_mpich()));
+    }
+
+    #[test]
+    fn recursive_doubling_beats_ring_for_small_messages() {
+        let count = 4usize;
+        let time = |algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>)| {
+            run(4, 4, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+                let mut recv = ctx.buf_zeroed(count * world.size());
+                algo(ctx, &world, &send, &mut recv);
+                ctx.now()
+            })
+            .makespan()
+        };
+        let t_rd = time(recursive_doubling::<f64>);
+        let t_ring = time(ring::<f64>);
+        assert!(
+            t_rd < t_ring,
+            "recursive doubling ({t_rd}) must beat ring ({t_ring}) for small messages"
+        );
+    }
+
+    #[test]
+    fn ring_beats_recursive_doubling_for_huge_messages() {
+        // Recursive doubling sends n/2·log p per link but the last rounds
+        // move half the total buffer; ring moves (p-1)/p of the buffer in
+        // p-1 balanced steps. With per-step latency amortized away, ring's
+        // bandwidth term is no worse; recursive doubling's repeated large
+        // sends through the same rank serialize.
+        let count = 1 << 14;
+        let time = |algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>)| {
+            run(8, 2, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+                let mut recv = ctx.buf_zeroed(count * world.size());
+                algo(ctx, &world, &send, &mut recv);
+                ctx.now()
+            })
+            .makespan()
+        };
+        let t_rd = time(recursive_doubling::<f64>);
+        let t_ring = time(ring::<f64>);
+        assert!(
+            t_ring <= t_rd * 1.2,
+            "ring ({t_ring}) should be competitive with recursive doubling ({t_rd}) at scale"
+        );
+    }
+}

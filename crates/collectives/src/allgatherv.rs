@@ -1,0 +1,322 @@
+//! Irregular allgather (`MPI_Allgatherv`).
+//!
+//! Rank `r` contributes `counts[r]` elements; every rank ends up with the
+//! concatenation in rank order. Real MPI libraries implement the `v`
+//! variant with weaker schedules than the regular one — it never gets the
+//! recursive-doubling fast path, pays per-call bookkeeping for the
+//! counts/displacements vectors, and its step costs are governed by the
+//! *maximum* block size (Träff, the paper's reference [29]). That deficit
+//! is exactly what the paper's Fig. 8 measures when the hybrid approach
+//! degenerates to one process per node, so this module reproduces it
+//! faithfully: Bruck for short totals, ring for long, plus the
+//! [`crate::Tuning::v_overhead_per_rank_us`] bookkeeping charge in
+//! [`tuned`].
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::selection::Tuning;
+use crate::tags;
+use crate::util::displs_of;
+
+fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, counts: &[usize], recv: &Buf<T>) {
+    assert_eq!(counts.len(), comm.size(), "one count per rank required");
+    assert_eq!(send.len(), counts[comm.rank()], "send length must equal counts[rank]");
+    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+}
+
+/// Ring allgatherv: p−1 neighbor-exchange steps with per-block sizes.
+pub fn ring<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+) {
+    check_args(comm, send, counts, recv);
+    let displs = displs_of(counts);
+    recv.copy_from(displs[comm.rank()], send, 0, counts[comm.rank()]);
+    ctx.charge_copy(counts[comm.rank()] * T::SIZE);
+    ring_in_place(ctx, comm, counts, recv);
+}
+
+/// Ring allgatherv with `MPI_IN_PLACE` semantics: each rank's own block
+/// already sits at its displacement inside `recv` — exactly the situation
+/// of the paper's hybrid allgather, where the send "buffer" is a region of
+/// the node-shared window (Fig. 4, line 26).
+pub fn ring_in_place<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), p, "one count per rank required");
+    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    let displs = displs_of(counts);
+    if p == 1 {
+        return;
+    }
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_block = (me + p - s) % p;
+        let recv_block = (me + p - s - 1) % p;
+        ctx.send_region(
+            comm,
+            right,
+            tags::ALLGATHERV,
+            recv,
+            displs[send_block],
+            counts[send_block],
+        );
+        let payload = ctx.recv(comm, left, tags::ALLGATHERV);
+        recv.write_payload(displs[recv_block], &payload);
+    }
+}
+
+/// Bruck allgatherv: ⌈log₂ p⌉ rounds over a rotated temporary, then a
+/// local rotation into rank order.
+pub fn bruck<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+) {
+    check_args(comm, send, counts, recv);
+    bruck_impl(ctx, comm, counts, recv, Some(send));
+}
+
+/// Bruck allgatherv with `MPI_IN_PLACE` semantics (own block already at
+/// its displacement in `recv`).
+pub fn bruck_in_place<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+) {
+    assert_eq!(counts.len(), comm.size(), "one count per rank required");
+    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    bruck_impl(ctx, comm, counts, recv, None);
+}
+
+fn bruck_impl<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    send: Option<&Buf<T>>,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    let total: usize = counts.iter().sum();
+    let displs = displs_of(counts);
+
+    // Rotated layout: slot j holds block (me + j) mod p.
+    let rot_counts: Vec<usize> = (0..p).map(|j| counts[(me + j) % p]).collect();
+    let rot_displs = displs_of(&rot_counts);
+
+    let mut tmp = ctx.buf_zeroed::<T>(total);
+    match send {
+        Some(s) => tmp.copy_from(0, s, 0, counts[me]),
+        None => tmp.copy_from(0, recv, displs[me], counts[me]),
+    }
+    ctx.charge_copy(counts[me] * T::SIZE);
+
+    let mut filled = 1usize;
+    let mut dist = 1usize;
+    while filled < p {
+        let blocks = dist.min(p - filled);
+        let dst = (me + p - dist) % p;
+        let src = (me + dist) % p;
+        let send_len = rot_displs[blocks - 1] + rot_counts[blocks - 1];
+        ctx.send_region(comm, dst, tags::ALLGATHERV + 1, &tmp, 0, send_len);
+        let payload = ctx.recv(comm, src, tags::ALLGATHERV + 1);
+        tmp.write_payload(rot_displs[filled], &payload);
+        filled += blocks;
+        dist <<= 1;
+    }
+
+    // Un-rotate into rank order.
+    #[allow(clippy::needless_range_loop)] // offset arithmetic over two displacement tables
+    for j in 0..p {
+        let block = (me + j) % p;
+        recv.copy_from(displs[block], &tmp, rot_displs[j], counts[block]);
+    }
+    ctx.charge_copy(total * T::SIZE);
+}
+
+/// Runtime selection for the irregular variant: Bruck for short totals,
+/// ring for long, plus the per-member bookkeeping overhead real `v`
+/// implementations pay for processing the count/displacement vectors.
+pub fn tuned<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    tuned_uncharged(ctx, comm, send, counts, recv, tuning);
+}
+
+/// The selection logic without the entry fee (internal-stage use).
+pub fn tuned_uncharged<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    tuning: &Tuning,
+) {
+    ctx.charge_time(tuning.v_overhead_per_rank_us * comm.size() as f64);
+    let p = comm.size();
+    if p == 1 {
+        check_args(comm, send, counts, recv);
+        recv.copy_from(0, send, 0, counts[0]);
+        ctx.charge_copy(counts[0] * T::SIZE);
+        return;
+    }
+    let total_bytes: usize = counts.iter().sum::<usize>() * T::SIZE;
+    if total_bytes < tuning.allgatherv_bruck_threshold {
+        bruck(ctx, comm, send, counts, recv);
+    } else {
+        ring(ctx, comm, send, counts, recv);
+    }
+}
+
+/// In-place runtime selection (the paper's hybrid bridge exchange path).
+/// Charges the per-call collective entry fee.
+pub fn tuned_in_place<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    ctx.charge_time(tuning.v_overhead_per_rank_us * comm.size() as f64);
+    if comm.size() == 1 {
+        return;
+    }
+    let total_bytes: usize = counts.iter().sum::<usize>() * T::SIZE;
+    if total_bytes < tuning.allgatherv_bruck_threshold {
+        bruck_in_place(ctx, comm, counts, recv);
+    } else {
+        ring_in_place(ctx, comm, counts, recv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{datum, expected_allgatherv, run};
+
+    type Algo = fn(&mut Ctx, &Communicator, &Buf<f64>, &[usize], &mut Buf<f64>);
+
+    fn check(nodes: usize, ppn: usize, counts: Vec<usize>, algo: Algo) {
+        assert_eq!(counts.len(), nodes * ppn);
+        let expected = expected_allgatherv(&counts);
+        let counts2 = counts.clone();
+        let r = run(nodes, ppn, move |ctx| {
+            let world = ctx.world();
+            let my_count = counts2[ctx.rank()];
+            let send = ctx.buf_from_fn(my_count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(counts2.iter().sum());
+            algo(ctx, &world, &send, &counts2, &mut recv);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            assert_eq!(got, &expected, "rank {rank} disagrees (counts {counts:?})");
+        }
+    }
+
+    #[test]
+    fn ring_uniform_counts() {
+        check(2, 2, vec![3; 4], ring::<f64>);
+        check(1, 5, vec![2; 5], ring::<f64>);
+    }
+
+    #[test]
+    fn ring_irregular_counts() {
+        check(2, 2, vec![1, 4, 0, 2], ring::<f64>);
+        check(1, 3, vec![5, 1, 3], ring::<f64>);
+    }
+
+    #[test]
+    fn bruck_uniform_counts() {
+        check(2, 3, vec![2; 6], bruck::<f64>);
+        check(1, 8, vec![1; 8], bruck::<f64>);
+    }
+
+    #[test]
+    fn bruck_irregular_counts() {
+        check(2, 2, vec![1, 4, 0, 2], bruck::<f64>);
+        check(1, 5, vec![0, 3, 1, 2, 4], bruck::<f64>);
+        check(1, 7, vec![2, 0, 0, 5, 1, 1, 3], bruck::<f64>);
+    }
+
+    #[test]
+    fn tuned_small_and_large() {
+        let t = crate::Tuning::cray_mpich();
+        let small: Algo = {
+            fn f(ctx: &mut Ctx, c: &Communicator, s: &Buf<f64>, n: &[usize], r: &mut Buf<f64>) {
+                tuned(ctx, c, s, n, r, &crate::Tuning::cray_mpich());
+            }
+            f
+        };
+        check(2, 2, vec![1, 2, 3, 4], small);
+        // Large: exceed the bruck threshold so the ring path runs.
+        let per = t.allgatherv_bruck_threshold / 8 / 4 + 16;
+        check(2, 2, vec![per; 4], small);
+        check(1, 1, vec![4], small);
+    }
+
+    #[test]
+    fn all_empty_blocks() {
+        check(2, 2, vec![0; 4], ring::<f64>);
+        check(2, 2, vec![0; 4], bruck::<f64>);
+    }
+
+    #[test]
+    fn allgatherv_slower_than_allgather_for_small_uniform_input() {
+        // The paper's Fig. 8 effect: with one rank per node and equal
+        // counts, tuned Allgatherv must not beat tuned Allgather.
+        let count = 8usize;
+        let nodes = 8usize;
+        let tv = run(nodes, 1, move |ctx| {
+            let world = ctx.world();
+            let counts = vec![count; world.size()];
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count * world.size());
+            tuned(ctx, &world, &send, &counts, &mut recv, &crate::Tuning::cray_mpich());
+            ctx.now()
+        })
+        .makespan();
+        let tg = run(nodes, 1, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count * world.size());
+            crate::allgather::tuned(ctx, &world, &send, &mut recv, &crate::Tuning::cray_mpich());
+            ctx.now()
+        })
+        .makespan();
+        assert!(tv > tg, "allgatherv ({tv}) should trail allgather ({tg})");
+        assert!(tv < tg * 4.0, "but only slightly (paper: 'slightly inferior')");
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per rank")]
+    fn wrong_counts_length_panics() {
+        run(1, 2, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_zeroed::<f64>(1);
+            let mut recv = ctx.buf_zeroed::<f64>(1);
+            ring(ctx, &world, &send, &[1], &mut recv);
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! Allreduce (`MPI_Allreduce`).
+//!
+//! * [`recursive_doubling`] — log₂ p rounds exchanging full vectors; best
+//!   for short messages (power-of-two communicators; non-power-of-two
+//!   sizes fold the excess ranks into the nearest power of two first);
+//! * [`rabenseifner`] — reduce-scatter (recursive halving) followed by an
+//!   allgather (recursive doubling); bandwidth-optimal for long messages
+//!   (power-of-two sizes, falls back otherwise);
+//! * [`tuned`] — MPICH-style selection.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::op::ReduceOp;
+use crate::selection::Tuning;
+use crate::tags;
+use crate::util::{displs_of, segment_counts};
+
+/// Recursive-doubling allreduce for any communicator size (non-powers of
+/// two pre-fold the highest ranks into the lower half, then unfold).
+pub fn recursive_doubling<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    let count = send.len();
+    assert_eq!(recv.len(), count, "recv must match send length");
+
+    recv.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+    if p == 1 {
+        return;
+    }
+
+    // Fold down to the largest power of two ≤ p.
+    let pof2 = prev_power_of_two(p);
+    let rem = p - pof2;
+    // Ranks [pof2, p) send their vector to (me - pof2) and sit out.
+    let participating = if me >= pof2 {
+        ctx.send_region(comm, me - pof2, tags::ALLREDUCE, recv, 0, count);
+        false
+    } else {
+        if me < rem {
+            let payload = ctx.recv(comm, me + pof2, tags::ALLREDUCE);
+            recv.combine_payload(0, &payload, |a, b| op.combine(a, b));
+            ctx.compute(count as f64 * O::FLOPS_PER_ELEM);
+        }
+        true
+    };
+
+    if participating {
+        let mut mask = 1usize;
+        while mask < pof2 {
+            let partner = me ^ mask;
+            ctx.send_region(comm, partner, tags::ALLREDUCE + 1, recv, 0, count);
+            let payload = ctx.recv(comm, partner, tags::ALLREDUCE + 1);
+            recv.combine_payload(0, &payload, |a, b| op.combine(a, b));
+            ctx.compute(count as f64 * O::FLOPS_PER_ELEM);
+            mask <<= 1;
+        }
+    }
+
+    // Unfold: send the final vector back to the folded-out ranks.
+    if me < rem {
+        ctx.send_region(comm, me + pof2, tags::ALLREDUCE + 2, recv, 0, count);
+    } else if me >= pof2 {
+        let payload = ctx.recv(comm, me - pof2, tags::ALLREDUCE + 2);
+        recv.write_payload(0, &payload);
+    }
+}
+
+/// Rabenseifner's algorithm (power-of-two sizes): recursive-halving
+/// reduce-scatter, then recursive-doubling allgather of the reduced
+/// segments. Falls back to [`recursive_doubling`] for other sizes.
+pub fn rabenseifner<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    let p = comm.size();
+    if !p.is_power_of_two() || p == 1 {
+        recursive_doubling(ctx, comm, send, recv, op);
+        return;
+    }
+    let me = comm.rank();
+    let count = send.len();
+    assert_eq!(recv.len(), count, "recv must match send length");
+
+    let counts = segment_counts(count, p);
+    let displs = displs_of(&counts);
+    recv.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+
+    // Reduce-scatter by recursive halving: after round k my "owned" range
+    // of segments halves; I send the half I am giving up and combine the
+    // half I keep.
+    let (mut lo, mut hi) = (0usize, p); // owned segment range
+    let mut mask = p / 2;
+    while mask >= 1 {
+        let partner = me ^ mask;
+        let mid = lo + (hi - lo) / 2;
+        let (keep, give) = if me & mask == 0 {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        let give_off = displs[give.0];
+        let give_len = displs[give.1 - 1] + counts[give.1 - 1] - give_off;
+        let keep_off = displs[keep.0];
+        ctx.send_region(comm, partner, tags::ALLREDUCE + 3, recv, give_off, give_len);
+        let payload = ctx.recv(comm, partner, tags::ALLREDUCE + 3);
+        recv.combine_payload(keep_off, &payload, |a, b| op.combine(a, b));
+        ctx.compute((payload.len() / T::SIZE) as f64 * O::FLOPS_PER_ELEM);
+        lo = keep.0;
+        hi = keep.1;
+        if mask == 1 {
+            break;
+        }
+        mask >>= 1;
+    }
+    debug_assert_eq!(hi - lo, 1, "each rank owns exactly one segment");
+
+    // Allgather the reduced segments by recursive doubling. After k
+    // rounds each rank holds the `mask`-wide aligned block of segments
+    // containing its own (have_lo = me & !(mask-1)); the partner's block
+    // is the sibling block have_lo XOR mask.
+    let mut mask = 1usize;
+    let (mut have_lo, mut have_hi) = (lo, hi);
+    while mask < p {
+        let partner = me ^ mask;
+        let my_off = displs[have_lo];
+        let my_len = displs[have_hi - 1] + counts[have_hi - 1] - my_off;
+        ctx.send_region(comm, partner, tags::ALLREDUCE + 4, recv, my_off, my_len);
+        let payload = ctx.recv(comm, partner, tags::ALLREDUCE + 4);
+        let p_lo = have_lo ^ mask;
+        let p_hi = p_lo + mask;
+        recv.write_payload(displs[p_lo], &payload);
+        have_lo = have_lo.min(p_lo);
+        have_hi = have_hi.max(p_hi);
+        mask <<= 1;
+    }
+    debug_assert_eq!((have_lo, have_hi), (0, p));
+}
+
+/// MPICH-style selection: recursive doubling for short vectors,
+/// Rabenseifner for long ones. Charges the per-call collective entry fee.
+pub fn tuned<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    if send.byte_len() < tuning.allreduce_rabenseifner_threshold {
+        recursive_doubling(ctx, comm, send, recv, op);
+    } else {
+        rabenseifner(ctx, comm, send, recv, op);
+    }
+}
+
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Min, Sum};
+    use crate::testutil::run;
+
+    type Algo = fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>, Sum);
+
+    fn check(nodes: usize, ppn: usize, count: usize, algo: Algo) {
+        let p = nodes * ppn;
+        let r = run(nodes, ppn, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| (ctx.rank() + 1) as f64 * (i + 1) as f64);
+            let mut recv = ctx.buf_zeroed(count);
+            algo(ctx, &world, &send, &mut recv, Sum);
+            recv.as_slice().unwrap().to_vec()
+        });
+        let rank_sum: f64 = (1..=p).map(|r| r as f64).sum();
+        let expected: Vec<f64> = (0..count).map(|i| rank_sum * (i + 1) as f64).collect();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-9, "rank {rank}: {a} vs {b} (p={p})");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_powers_of_two() {
+        for (nodes, ppn) in [(1, 1), (1, 2), (2, 2), (2, 4)] {
+            check(nodes, ppn, 5, recursive_doubling::<f64, Sum>);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_odd_sizes() {
+        for (nodes, ppn) in [(1, 3), (1, 5), (1, 7), (3, 2), (3, 3)] {
+            check(nodes, ppn, 4, recursive_doubling::<f64, Sum>);
+        }
+    }
+
+    #[test]
+    fn rabenseifner_powers_of_two() {
+        for (nodes, ppn) in [(1, 2), (1, 4), (2, 4), (4, 4)] {
+            check(nodes, ppn, 16, rabenseifner::<f64, Sum>);
+            check(nodes, ppn, 13, rabenseifner::<f64, Sum>); // non-divisible
+            check(nodes, ppn, 3, rabenseifner::<f64, Sum>); // fewer elems than ranks
+        }
+    }
+
+    #[test]
+    fn rabenseifner_falls_back_for_odd_sizes() {
+        check(1, 5, 8, rabenseifner::<f64, Sum>);
+    }
+
+    #[test]
+    fn tuned_selects_both_paths() {
+        let small: Algo = |ctx, c, s, r, op| tuned(ctx, c, s, r, op, &crate::Tuning::cray_mpich());
+        check(2, 2, 4, small);
+        let big_count = crate::Tuning::cray_mpich().allreduce_rabenseifner_threshold / 8 + 64;
+        check(2, 2, big_count, small);
+    }
+
+    #[test]
+    fn min_allreduce() {
+        let r = run(1, 4, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(1, |_| 100.0 - ctx.rank() as f64);
+            let mut recv = ctx.buf_zeroed(1);
+            recursive_doubling(ctx, &world, &send, &mut recv, Min);
+            recv.get(0)
+        });
+        assert!(r.per_rank.iter().all(|&v| v == 97.0));
+    }
+
+    #[test]
+    fn rabenseifner_beats_recursive_doubling_for_long_vectors() {
+        let count = 1 << 14;
+        let time = |algo: Algo| {
+            run(4, 2, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(count, |i| i as f64);
+                let mut recv = ctx.buf_zeroed(count);
+                algo(ctx, &world, &send, &mut recv, Sum);
+                ctx.now()
+            })
+            .makespan()
+        };
+        let t_rd = time(recursive_doubling::<f64, Sum>);
+        let t_rab = time(rabenseifner::<f64, Sum>);
+        assert!(t_rab < t_rd, "rabenseifner ({t_rab}) must beat recursive doubling ({t_rd})");
+    }
+}

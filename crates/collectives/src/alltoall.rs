@@ -1,0 +1,192 @@
+//! All-to-all personalized exchange (`MPI_Alltoall`).
+//!
+//! [`pairwise`] is the long-message pairwise exchange (p−1 steps, XOR
+//! partner order on power-of-two sizes, shifted otherwise); [`bruck`] is
+//! the log-round short-message algorithm.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::selection::Tuning;
+use crate::tags;
+
+fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, recv: &Buf<T>, count: usize) {
+    let p = comm.size();
+    assert_eq!(send.len(), p * count, "send must hold p blocks");
+    assert_eq!(recv.len(), p * count, "recv must hold p blocks");
+}
+
+/// Pairwise exchange: p−1 rounds; in round k exchange directly with the
+/// XOR partner (power-of-two) or the rank k away (otherwise).
+pub fn pairwise<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    count: usize,
+) {
+    check_args(comm, send, recv, count);
+    let p = comm.size();
+    let me = comm.rank();
+    recv.copy_from(me * count, send, me * count, count);
+    ctx.charge_copy(count * T::SIZE);
+    for k in 1..p {
+        let (dst, src) = if p.is_power_of_two() {
+            let partner = me ^ k;
+            (partner, partner)
+        } else {
+            ((me + k) % p, (me + p - k) % p)
+        };
+        ctx.send_region(comm, dst, tags::ALLTOALL, send, dst * count, count);
+        let payload = ctx.recv(comm, src, tags::ALLTOALL);
+        recv.write_payload(src * count, &payload);
+    }
+}
+
+/// Bruck all-to-all: ⌈log₂ p⌉ rounds; each round ships all blocks whose
+/// destination-distance has bit k set, at the cost of local pack/unpack
+/// copies per round plus a final rotation.
+pub fn bruck<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    count: usize,
+) {
+    check_args(comm, send, recv, count);
+    let p = comm.size();
+    let me = comm.rank();
+
+    // Phase 1: local rotation — tmp[j] = block for rank (me + j) mod p.
+    let mut tmp = ctx.buf_zeroed::<T>(p * count);
+    for j in 0..p {
+        tmp.copy_from(j * count, send, ((me + j) % p) * count, count);
+    }
+    ctx.charge_copy(p * count * T::SIZE);
+
+    // Phase 2: log rounds. In round k, send every block whose index has
+    // bit k set to rank me + 2^k (they travel toward their destination).
+    let mut pack = ctx.buf_zeroed::<T>(p * count);
+    let mut k = 1usize;
+    while k < p {
+        let dst = (me + k) % p;
+        let src = (me + p - k) % p;
+        let indices: Vec<usize> = (0..p).filter(|j| j & k != 0).collect();
+        for (slot, &j) in indices.iter().enumerate() {
+            pack.copy_from(slot * count, &tmp, j * count, count);
+        }
+        ctx.charge_copy(indices.len() * count * T::SIZE);
+        ctx.send_region(comm, dst, tags::ALLTOALL + 1, &pack, 0, indices.len() * count);
+        let payload = ctx.recv(comm, src, tags::ALLTOALL + 1);
+        pack.write_payload(0, &payload);
+        for (slot, &j) in indices.iter().enumerate() {
+            tmp.copy_from(j * count, &pack, slot * count, count);
+        }
+        ctx.charge_copy(indices.len() * count * T::SIZE);
+        k <<= 1;
+    }
+
+    // Phase 3: inverse rotation. After phase 2, tmp[j] holds the block
+    // sent by rank (me - j + p) mod p.
+    for j in 0..p {
+        recv.copy_from(((me + p - j) % p) * count, &tmp, j * count, count);
+    }
+    ctx.charge_copy(p * count * T::SIZE);
+}
+
+/// MPICH-style selection: Bruck for short messages (few large rounds at
+/// the cost of pack/unpack), pairwise exchange otherwise. Charges the
+/// per-call collective entry fee.
+pub fn tuned<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    count: usize,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    // MPICH uses Bruck below ~256 bytes per block.
+    let _ = tuning;
+    if count * T::SIZE <= 256 {
+        bruck(ctx, comm, send, recv, count);
+    } else {
+        pairwise(ctx, comm, send, recv, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run;
+
+    /// send block of rank s destined to rank d carries value s*100 + d.
+    fn check(nodes: usize, ppn: usize, count: usize, algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>, usize)) {
+        let p = nodes * ppn;
+        let r = run(nodes, ppn, move |ctx| {
+            let world = ctx.world();
+            let me = ctx.rank();
+            let send = ctx.buf_from_fn(p * count, |i| (me * 100 + i / count.max(1)) as f64);
+            let mut recv = ctx.buf_zeroed(p * count);
+            algo(ctx, &world, &send, &mut recv, count);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            let expected: Vec<f64> = (0..p * count)
+                .map(|i| ((i / count) * 100 + rank) as f64)
+                .collect();
+            assert_eq!(got, &expected, "rank {rank} ({nodes}x{ppn}, count {count})");
+        }
+    }
+
+    #[test]
+    fn pairwise_power_of_two() {
+        check(2, 2, 2, pairwise::<f64>);
+        check(2, 4, 1, pairwise::<f64>);
+    }
+
+    #[test]
+    fn pairwise_odd_sizes() {
+        check(1, 3, 2, pairwise::<f64>);
+        check(1, 5, 3, pairwise::<f64>);
+        check(3, 2, 1, pairwise::<f64>);
+    }
+
+    #[test]
+    fn bruck_various_sizes() {
+        check(1, 2, 2, bruck::<f64>);
+        check(2, 2, 2, bruck::<f64>);
+        check(1, 5, 1, bruck::<f64>);
+        check(1, 7, 2, bruck::<f64>);
+        check(2, 4, 3, bruck::<f64>);
+    }
+
+    #[test]
+    fn single_rank_alltoall() {
+        check(1, 1, 3, pairwise::<f64>);
+        check(1, 1, 3, bruck::<f64>);
+    }
+
+    #[test]
+    fn bruck_fewer_messages_than_pairwise() {
+        let cfg = msim::SimConfig::new(
+            simnet::ClusterSpec::regular(4, 4),
+            simnet::CostModel::uniform_test(),
+        )
+        .traced();
+        let sends_of = |algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>, usize)| {
+            let r = msim::Universe::run(cfg.clone(), move |ctx| {
+                let world = ctx.world();
+                let p = world.size();
+                let send = ctx.buf_from_fn(p, |i| i as f64);
+                let mut recv = ctx.buf_zeroed(p);
+                algo(ctx, &world, &send, &mut recv, 1);
+            })
+            .unwrap();
+            r.tracer.intra_node_sends() + r.tracer.inter_node_sends()
+        };
+        let s_bruck = sends_of(bruck::<f64>);
+        let s_pair = sends_of(pairwise::<f64>);
+        assert!(s_bruck < s_pair, "bruck {s_bruck} vs pairwise {s_pair}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Barrier synchronization.
+//!
+//! The paper's hybrid collectives synchronize on-node processes with
+//! `MPI_Barrier` over the shared-memory communicator (its "heavy-weight"
+//! flavor, §6). The standard implementation is the dissemination barrier:
+//! ⌈log₂ p⌉ rounds of zero-byte messages.
+
+use msim::{Communicator, Ctx, Payload};
+
+use crate::tags;
+
+/// Dissemination barrier: in round `k`, rank `r` signals `r + 2^k` and
+/// waits for a signal from `r - 2^k` (mod p). After ⌈log₂ p⌉ rounds every
+/// rank transitively depends on every other.
+pub fn dissemination(ctx: &mut Ctx, comm: &Communicator) {
+    let p = comm.size();
+    if p > 1 {
+        let me = comm.rank();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist) % p;
+            ctx.send(comm, to, tags::BARRIER + round, Payload::empty());
+            ctx.recv(comm, from, tags::BARRIER + round);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+    ctx.trace_barrier();
+}
+
+/// Dissemination barrier over shared-memory flags instead of messages.
+///
+/// Real MPI libraries special-case intra-node barriers: the rounds go
+/// through flags in the shared last-level cache rather than through the
+/// messaging stack, which is why an on-node `MPI_Barrier` costs ~1 µs on
+/// the paper's systems. Only valid when every member is on one node.
+pub fn shm_dissemination(ctx: &mut Ctx, comm: &Communicator) {
+    let p = comm.size();
+    if p > 1 {
+        let me = comm.rank();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist) % p;
+            ctx.post_flag(comm, to, tags::BARRIER + 32 + round);
+            ctx.wait_flag(comm, from, tags::BARRIER + 32 + round);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+    ctx.trace_barrier();
+}
+
+/// The default barrier (what `MPI_Barrier` resolves to): flag-based on
+/// single-node communicators, message-based dissemination otherwise.
+/// Charges the per-call barrier entry fee.
+pub fn tuned(ctx: &mut Ctx, comm: &Communicator) {
+    let fee = ctx.cost().barrier_entry_us;
+    ctx.charge_time(fee);
+    let my_node = ctx.map().node_of(ctx.rank());
+    let single_node = comm
+        .members()
+        .iter()
+        .all(|&g| ctx.map().node_of(g) == my_node);
+    if single_node {
+        shm_dissemination(ctx, comm);
+    } else {
+        dissemination(ctx, comm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run;
+    use msim::Payload;
+
+    #[test]
+    fn barrier_orders_cross_rank_effects() {
+        // Rank 0 sends a message *before* the barrier; rank p-1 receives it
+        // *after*. If the barrier is correct, the receive cannot complete
+        // at a virtual time earlier than rank 0's barrier entry.
+        let r = run(2, 2, |ctx| {
+            let world = ctx.world();
+            let p = ctx.nranks();
+            if ctx.rank() == 0 {
+                ctx.send(&world, p - 1, 9, Payload::empty());
+            }
+            let before = ctx.now();
+            dissemination(ctx, &world);
+            if ctx.rank() == p - 1 {
+                ctx.recv(&world, 0, 9);
+            }
+            (before, ctx.now())
+        });
+        let entry0 = r.per_rank[0].0;
+        let exit_last = r.per_rank[3].1;
+        assert!(exit_last >= entry0);
+    }
+
+    #[test]
+    fn all_ranks_leave_after_the_latest_entry() {
+        // Rank 2 arrives late (big compute); everyone must leave the
+        // barrier no earlier than rank 2 arrived.
+        let r = run(1, 4, |ctx| {
+            if ctx.rank() == 2 {
+                ctx.compute(1000.0);
+            }
+            let world = ctx.world();
+            dissemination(ctx, &world);
+            ctx.now()
+        });
+        for (rank, &t) in r.per_rank.iter().enumerate() {
+            assert!(t >= 1000.0, "rank {rank} left the barrier at {t} < 1000");
+        }
+    }
+
+    #[test]
+    fn single_rank_barrier_is_free() {
+        let r = run(1, 1, |ctx| {
+            let world = ctx.world();
+            dissemination(ctx, &world);
+            ctx.now()
+        });
+        assert_eq!(r.per_rank[0], 0.0);
+    }
+
+    #[test]
+    fn barrier_cost_is_logarithmic() {
+        let time_for = |ppn: usize| {
+            let r = run(1, ppn, |ctx| {
+                let world = ctx.world();
+                dissemination(ctx, &world);
+                ctx.now()
+            });
+            r.makespan()
+        };
+        let t4 = time_for(4);
+        let t16 = time_for(16);
+        // 16 ranks = 4 rounds vs 2 rounds: roughly 2x, definitely not 4x.
+        assert!(t16 < t4 * 3.0, "t16={t16} t4={t4}");
+        assert!(t16 > t4, "more rounds must cost more");
+    }
+
+    #[test]
+    fn barrier_is_traced() {
+        let cfg = msim::SimConfig::new(
+            simnet::ClusterSpec::regular(1, 3),
+            simnet::CostModel::uniform_test(),
+        )
+        .traced();
+        let r = msim::Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            dissemination(ctx, &world);
+        })
+        .unwrap();
+        let barriers = r
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, simnet::EventKind::Barrier))
+            .count();
+        assert_eq!(barriers, 3);
+    }
+}

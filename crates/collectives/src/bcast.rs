@@ -1,0 +1,322 @@
+//! Broadcast algorithms (`MPI_Bcast`).
+//!
+//! * [`binomial`] — binomial tree, best for short messages;
+//! * [`scatter_allgather`] — van de Geijn: binomial scatter of segments
+//!   followed by a ring allgather, best for long messages;
+//! * [`pipelined_chain`] — segmented chain pipeline (the approach the
+//!   paper's conclusion cites from Träff et al. for very large messages);
+//! * [`tuned`] — MPICH/OpenMPI-style runtime selection.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::selection::Tuning;
+use crate::tags;
+use crate::util::{displs_of, segment_counts};
+
+/// Binomial-tree broadcast: ⌈log₂ p⌉ rounds; in round `k` every rank that
+/// already holds the data forwards it to the rank `2^k` away (in
+/// root-relative space).
+pub fn binomial<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, buf: &mut Buf<T>, root: usize) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "bcast root {root} out of range");
+    if p == 1 {
+        return;
+    }
+    let rr = (me + p - root) % p;
+    let len = buf.len();
+
+    // Receive from the parent (unless root).
+    let mut mask = 1usize;
+    while mask < p {
+        if rr & mask != 0 {
+            let parent = (rr - mask + root) % p;
+            let src = comm
+                .local_of(comm.global_of(parent))
+                .expect("parent is a member");
+            let payload = ctx.recv(comm, src, tags::BCAST);
+            buf.write_payload(0, &payload);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children, highest distance first.
+    mask >>= 1;
+    while mask > 0 {
+        if rr & mask == 0 && rr + mask < p {
+            let child = (rr + mask + root) % p;
+            ctx.send_region(comm, child, tags::BCAST, buf, 0, len);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Binomial scatter phase used by [`scatter_allgather`]: after it, the
+/// rank with root-relative id `rr` holds segment `rr` of the buffer.
+/// Returns (segment counts, segment displacements) in relative order.
+fn scatter_segments<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let p = comm.size();
+    let me = comm.rank();
+    let rr = (me + p - root) % p;
+    let counts = segment_counts(buf.len(), p);
+    let displs = displs_of(&counts);
+
+    // Recursive range splitting: the holder of relative range [lo, hi) is
+    // relative rank lo; at each split it hands the upper part to `mid`.
+    let (mut lo, mut hi) = (0usize, p);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        let upper_off = displs[mid];
+        let upper_len = displs[hi - 1] + counts[hi - 1] - upper_off;
+        if rr < mid {
+            if rr == lo {
+                let dst = (mid + root) % p;
+                ctx.send_region(comm, dst, tags::BCAST + 1, buf, upper_off, upper_len);
+            }
+            hi = mid;
+        } else {
+            if rr == mid {
+                let src = (lo + root) % p;
+                let payload = ctx.recv(comm, src, tags::BCAST + 1);
+                buf.write_payload(upper_off, &payload);
+            }
+            lo = mid;
+        }
+    }
+    (counts, displs)
+}
+
+/// van de Geijn broadcast: scatter the message as `p` segments down a
+/// binomial tree, then ring-allgather the segments. Moves ~2·n bytes per
+/// rank instead of the binomial tree's n·log p, so it wins for long
+/// messages.
+pub fn scatter_allgather<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "bcast root {root} out of range");
+    if p == 1 {
+        return;
+    }
+    let rr = (me + p - root) % p;
+    let (counts, displs) = scatter_segments(ctx, comm, buf, root);
+
+    // Ring allgather over relative ids: step s sends the segment received
+    // at step s-1 (starting with our own) to the right neighbor.
+    let right = (rr + 1 + root) % p;
+    let left = (rr + p - 1 + root) % p;
+    // A single tag suffices: matching is FIFO per (source, tag), and each
+    // step receives exactly one in-order segment from the left neighbor.
+    for s in 0..p - 1 {
+        let send_seg = (rr + p - s) % p;
+        let recv_seg = (rr + p - s - 1) % p;
+        ctx.send_region(
+            comm,
+            right,
+            tags::BCAST + 2,
+            buf,
+            displs[send_seg],
+            counts[send_seg],
+        );
+        let payload = ctx.recv(comm, left, tags::BCAST + 2);
+        buf.write_payload(displs[recv_seg], &payload);
+    }
+}
+
+/// Segmented chain pipeline: the message travels root → root+1 → … in
+/// segments of `segment_elems`, so all links stream concurrently. The
+/// approach of Träff et al. (paper reference [30]) for very large
+/// messages.
+pub fn pipelined_chain<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+    segment_elems: usize,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "bcast root {root} out of range");
+    assert!(segment_elems > 0, "segment size must be positive");
+    if p == 1 {
+        return;
+    }
+    let rr = (me + p - root) % p;
+    let len = buf.len();
+    let nseg = len.div_ceil(segment_elems).max(1);
+    let next = (me + 1) % p;
+    let prev = (me + p - 1) % p;
+    // One tag for the whole stream: segments from the predecessor arrive
+    // in order (FIFO per (source, tag)).
+    for s in 0..nseg {
+        let off = s * segment_elems;
+        let seg_len = segment_elems.min(len - off);
+        if rr > 0 {
+            let payload = ctx.recv(comm, prev, tags::BCAST + 8);
+            buf.write_payload(off, &payload);
+        }
+        if rr + 1 < p {
+            ctx.send_region(comm, next, tags::BCAST + 8, buf, off, seg_len);
+        }
+    }
+}
+
+/// Runtime algorithm selection, MPICH-style: binomial for short messages
+/// or small communicators, scatter+allgather for long messages. Charges
+/// the per-call collective entry fee.
+pub fn tuned<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    tuned_uncharged(ctx, comm, buf, root, tuning);
+}
+
+/// The selection logic without the entry fee (internal-stage use).
+pub fn tuned_uncharged<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+    tuning: &Tuning,
+) {
+    let bytes = buf.byte_len();
+    if bytes < tuning.bcast_long_threshold || comm.size() < tuning.bcast_min_ranks_for_long {
+        binomial(ctx, comm, buf, root);
+    } else {
+        scatter_allgather(ctx, comm, buf, root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{datum, run};
+
+    fn check_bcast(
+        nodes: usize,
+        ppn: usize,
+        count: usize,
+        root: usize,
+        algo: impl Fn(&mut Ctx, &Communicator, &mut Buf<f64>, usize) + Send + Sync,
+    ) {
+        let r = run(nodes, ppn, |ctx| {
+            let world = ctx.world();
+            let mut buf = if ctx.rank() == root {
+                ctx.buf_from_fn(count, |i| datum(root, i))
+            } else {
+                ctx.buf_zeroed(count)
+            };
+            algo(ctx, &world, &mut buf, root);
+            buf.as_slice().unwrap().to_vec()
+        });
+        let expected: Vec<f64> = (0..count).map(|i| datum(root, i)).collect();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            assert_eq!(got, &expected, "rank {rank} disagrees");
+        }
+    }
+
+    #[test]
+    fn binomial_correct_various_sizes_and_roots() {
+        for (nodes, ppn) in [(1, 1), (1, 5), (2, 3), (4, 2)] {
+            for root in [0, (nodes * ppn - 1) / 2, nodes * ppn - 1] {
+                check_bcast(nodes, ppn, 7, root, binomial::<f64>);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_correct_various_sizes_and_roots() {
+        for (nodes, ppn) in [(1, 2), (1, 5), (2, 3), (4, 2), (2, 4)] {
+            for root in [0, nodes * ppn - 1] {
+                // len both divisible and not divisible by p
+                check_bcast(nodes, ppn, 16, root, scatter_allgather::<f64>);
+                check_bcast(nodes, ppn, 13, root, scatter_allgather::<f64>);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_len_smaller_than_comm() {
+        check_bcast(2, 3, 3, 1, scatter_allgather::<f64>);
+    }
+
+    #[test]
+    fn pipelined_chain_correct() {
+        for seg in [1, 3, 8, 100] {
+            check_bcast(2, 3, 17, 0, move |ctx, comm, buf, root| {
+                pipelined_chain(ctx, comm, buf, root, seg)
+            });
+            check_bcast(2, 2, 8, 2, move |ctx, comm, buf, root| {
+                pipelined_chain(ctx, comm, buf, root, seg)
+            });
+        }
+    }
+
+    #[test]
+    fn tuned_picks_binomial_then_scatter_allgather() {
+        let tuning = Tuning::cray_mpich();
+        // Small message → binomial; verify both correctness paths.
+        check_bcast(2, 4, 4, 0, |ctx, comm, buf, root| {
+            tuned(ctx, comm, buf, root, &tuning)
+        });
+        // Large message (greater than the long threshold in elements).
+        let big = tuning.bcast_long_threshold / 8 + 64;
+        check_bcast(2, 4, big, 0, |ctx, comm, buf, root| {
+            tuned(ctx, comm, buf, root, &tuning)
+        });
+    }
+
+    #[test]
+    fn large_bcast_scatter_allgather_beats_binomial() {
+        let count = 1 << 15;
+        let time = |algo: fn(&mut Ctx, &Communicator, &mut Buf<f64>, usize)| {
+            let r = run(4, 4, move |ctx| {
+                let world = ctx.world();
+                let mut buf = ctx.buf_zeroed::<f64>(count);
+                algo(ctx, &world, &mut buf, 0);
+                ctx.now()
+            });
+            r.makespan()
+        };
+        let t_binom = time(binomial::<f64>);
+        let t_vdg = time(scatter_allgather::<f64>);
+        assert!(
+            t_vdg < t_binom,
+            "van de Geijn ({t_vdg}) should beat binomial ({t_binom}) for long messages"
+        );
+    }
+
+    #[test]
+    fn segment_counts_cover_everything() {
+        for len in [0usize, 1, 7, 16, 17] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let counts = segment_counts(len, p);
+                assert_eq!(counts.iter().sum::<usize>(), len);
+                assert_eq!(counts.len(), p);
+                let max = counts.iter().max().unwrap();
+                let min = counts.iter().min().unwrap();
+                assert!(max - min <= 1, "balanced split");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_root_panics() {
+        check_bcast(1, 2, 4, 5, binomial::<f64>);
+    }
+}

@@ -1,0 +1,201 @@
+//! Two-level communicator splitting (paper §3, Figs. 1–2).
+//!
+//! [`Hierarchy::build`] splits any communicator into per-node
+//! *shared-memory* sub-communicators plus the *bridge* communicator of
+//! node leaders, and precomputes the node-group layout that both the
+//! SMP-aware baseline and the hybrid collectives need — including the
+//! "node-sorted global rank array" of the paper's §6, which makes the
+//! algorithms correct for arbitrary (non-SMP) rank placements.
+
+use msim::{Communicator, Ctx};
+
+/// The result of hierarchical splitting on a communicator.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// This rank's on-node sub-communicator (ordered by parent rank, so
+    /// local rank 0 is the node leader).
+    pub shm: Communicator,
+    /// The leaders' communicator; `None` on non-leader ranks.
+    pub bridge: Option<Communicator>,
+    /// Index of this rank's node group (in bridge rank order).
+    pub node_index: usize,
+    /// Parent-communicator ranks of each node group, ascending, indexed by
+    /// node group (bridge rank order).
+    pub group_members: Vec<Vec<usize>>,
+    /// Parent ranks sorted by (node group, parent rank): the node-sorted
+    /// global rank array of §6. Equals `0..size` iff the placement is
+    /// rank-contiguous ("SMP-style").
+    pub node_sorted: Vec<usize>,
+    /// For each parent rank, its position in `node_sorted`.
+    pub sorted_pos: Vec<usize>,
+}
+
+impl Hierarchy {
+    /// Collectively build the hierarchy over `comm`.
+    ///
+    /// Node membership is derived from the physical rank→node map; group
+    /// order is the bridge communicator's rank order (groups sorted by
+    /// their leader's — i.e. their minimum — parent rank, which is how
+    /// `MPI_Comm_split` orders the leaders).
+    pub fn build(ctx: &mut Ctx, comm: &Communicator) -> Self {
+        // Group parent ranks by physical node (pure local computation:
+        // every rank knows the member list and the rank→node map).
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (parent_rank, &global) in comm.members().iter().enumerate() {
+            let node = ctx.map().node_of(global);
+            match groups.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, members)) => members.push(parent_rank),
+                None => groups.push((node, vec![parent_rank])),
+            }
+        }
+        // Bridge order: by leader parent rank (= min member, since members
+        // were pushed in ascending parent-rank order).
+        groups.sort_by_key(|(_, members)| members[0]);
+
+        let my_node = ctx.map().node_of(comm.global_of(comm.rank()));
+        let node_index = groups
+            .iter()
+            .position(|(n, _)| *n == my_node)
+            .expect("own node must be present");
+
+        let shm = comm
+            .split(ctx, Some(my_node as i64), 0)
+            .expect("node split never returns UNDEFINED");
+        let bridge = comm.split_bridge(ctx, &shm);
+
+        let group_members: Vec<Vec<usize>> = groups.into_iter().map(|(_, m)| m).collect();
+        let node_sorted: Vec<usize> = group_members.iter().flatten().copied().collect();
+        let mut sorted_pos = vec![0usize; comm.size()];
+        for (pos, &parent_rank) in node_sorted.iter().enumerate() {
+            sorted_pos[parent_rank] = pos;
+        }
+
+        Self {
+            shm,
+            bridge,
+            node_index,
+            group_members,
+            node_sorted,
+            sorted_pos,
+        }
+    }
+
+    /// Whether this rank is its node group's leader.
+    pub fn is_leader(&self) -> bool {
+        self.shm.rank() == 0
+    }
+
+    /// Number of node groups (= bridge communicator size).
+    pub fn num_groups(&self) -> usize {
+        self.group_members.len()
+    }
+
+    /// Number of parent ranks in node group `g`.
+    pub fn group_size(&self, g: usize) -> usize {
+        self.group_members[g].len()
+    }
+
+    /// True when parent ranks are contiguous per node in rank order
+    /// (SMP-style placement): the node-sorted array is the identity and no
+    /// data reordering is ever needed.
+    pub fn is_rank_contiguous(&self) -> bool {
+        self.node_sorted.iter().enumerate().all(|(i, &r)| i == r)
+    }
+
+    /// Element offset (in units of per-rank blocks) of node group `g`
+    /// within the node-sorted order.
+    pub fn group_block_offset(&self, g: usize) -> usize {
+        self.group_members[..g].iter().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel, Placement};
+
+    #[test]
+    fn smp_placement_is_contiguous() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let h = Hierarchy::build(ctx, &world);
+            (
+                h.is_rank_contiguous(),
+                h.node_index,
+                h.is_leader(),
+                h.node_sorted.clone(),
+            )
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], (true, 0, true, (0..6).collect()));
+        assert_eq!(r.per_rank[4], (true, 1, false, (0..6).collect()));
+    }
+
+    #[test]
+    fn round_robin_placement_is_not_contiguous() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test())
+            .with_placement(Placement::RoundRobin);
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let h = Hierarchy::build(ctx, &world);
+            (h.is_rank_contiguous(), h.node_sorted.clone(), h.sorted_pos.clone())
+        })
+        .unwrap();
+        // node0 = {0,2}, node1 = {1,3} -> node_sorted = [0,2,1,3]
+        let (contig, sorted, pos) = &r.per_rank[0];
+        assert!(!contig);
+        assert_eq!(sorted, &vec![0, 2, 1, 3]);
+        assert_eq!(pos, &vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn hierarchy_on_a_subcommunicator() {
+        // Build the hierarchy on a row communicator that spans nodes
+        // unevenly: ranks {0,1,2} of a 2x2-node cluster (nodes sized 2+1).
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let color = if ctx.rank() <= 2 { Some(0) } else { Some(1) };
+            let sub = world.split(ctx, color, 0).unwrap();
+            if ctx.rank() <= 2 {
+                let h = Hierarchy::build(ctx, &sub);
+                Some((h.num_groups(), h.group_size(0), h.group_size(1), h.is_leader()))
+            } else {
+                None
+            }
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], Some((2, 2, 1, true)));
+        assert_eq!(r.per_rank[1], Some((2, 2, 1, false)));
+        assert_eq!(r.per_rank[2], Some((2, 2, 1, true)));
+    }
+
+    #[test]
+    fn group_block_offsets_are_prefix_sums() {
+        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 2, 4]), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let h = Hierarchy::build(ctx, &world);
+            (0..h.num_groups()).map(|g| h.group_block_offset(g)).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn bridge_exists_only_on_leaders() {
+        let cfg = SimConfig::new(ClusterSpec::regular(3, 2), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let h = Hierarchy::build(ctx, &world);
+            h.bridge.as_ref().map(|b| (b.rank(), b.size()))
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], Some((0, 3)));
+        assert_eq!(r.per_rank[1], None);
+        assert_eq!(r.per_rank[2], Some((1, 3)));
+        assert_eq!(r.per_rank[4], Some((2, 3)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # collectives — the pure-MPI collective algorithm stack
+//!
+//! This crate is the stand-in for the collective layer of an MPI library
+//! (MPICH / Cray MPI / OpenMPI): the *baseline* that the paper's hybrid
+//! MPI+MPI collectives are compared against. It provides
+//!
+//! * the classic algorithms from Thakur, Rabenseifner & Gropp
+//!   ("Optimization of collective communication operations in MPICH",
+//!   the paper's reference [28]): recursive doubling, Bruck, ring,
+//!   binomial trees, scatter+allgather broadcast, dissemination barrier,
+//!   Rabenseifner allreduce, pairwise all-to-all;
+//! * irregular (`v`) variants, deliberately implemented with the weaker
+//!   schedules real libraries use — the effect the paper's reference [29]
+//!   describes and that drives Fig. 8;
+//! * runtime algorithm selection modeled after MPICH and OpenMPI
+//!   ([`MpiFlavor`], [`Tuning`]);
+//! * SMP-aware hierarchical baselines (gather at a node leader → exchange
+//!   over the bridge communicator → intra-node broadcast), the "naive pure
+//!   MPI" approach of the paper's Fig. 3a, including a multi-leader
+//!   variant (the paper's reference [14]);
+//! * [`Hierarchy`] — the two-level communicator splitting of the paper's
+//!   §3 (shared-memory communicator + bridge communicator), reused by the
+//!   hybrid collectives in the `hmpi` crate.
+//!
+//! Every algorithm operates on [`msim::Buf`] so it runs identically over
+//! real data (correctness tests) and phantom buffers (paper-scale cost
+//! modeling).
+
+pub mod allgather;
+pub mod allgatherv;
+pub mod allreduce;
+pub mod alltoall;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod hierarchy;
+pub mod op;
+pub mod reduce;
+pub mod reduce_scatter;
+pub mod scan;
+pub mod scatter;
+pub mod selection;
+pub mod smp_aware;
+pub mod tags;
+pub mod util;
+
+pub use hierarchy::Hierarchy;
+pub use op::ReduceOp;
+pub use selection::{MpiFlavor, Tuning};
+
+#[cfg(test)]
+pub(crate) mod testutil;

@@ -1,0 +1,62 @@
+//! Reduction operators.
+
+use msim::ShmElem;
+
+/// A binary, associative, commutative reduction operator over `T`.
+///
+/// `FLOPS_PER_ELEM` is charged to the virtual clock per combined element,
+/// so reductions cost compute time in addition to communication.
+pub trait ReduceOp<T: ShmElem>: Copy + Send + Sync + 'static {
+    /// Cost of combining one element pair, in flops.
+    const FLOPS_PER_ELEM: f64 = 1.0;
+
+    /// Combine two values.
+    fn combine(self, a: T, b: T) -> T;
+}
+
+/// Element-wise sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sum;
+
+/// Element-wise maximum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Max;
+
+/// Element-wise minimum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Min;
+
+macro_rules! impl_arith_ops {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for Sum {
+            fn combine(self, a: $t, b: $t) -> $t { a + b }
+        }
+        impl ReduceOp<$t> for Max {
+            fn combine(self, a: $t, b: $t) -> $t { if a >= b { a } else { b } }
+        }
+        impl ReduceOp<$t> for Min {
+            fn combine(self, a: $t, b: $t) -> $t { if a <= b { a } else { b } }
+        }
+    )*};
+}
+
+impl_arith_ops!(f64, f32, u8, u16, u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_combines() {
+        assert_eq!(Sum.combine(1.5f64, 2.5), 4.0);
+        assert_eq!(Sum.combine(3u32, 4), 7);
+    }
+
+    #[test]
+    fn max_min_combine() {
+        assert_eq!(Max.combine(1.0f64, 2.0), 2.0);
+        assert_eq!(Min.combine(1.0f64, 2.0), 1.0);
+        assert_eq!(Max.combine(-3i64, 3), 3);
+        assert_eq!(Min.combine(-3i64, 3), -3);
+    }
+}

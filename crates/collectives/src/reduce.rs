@@ -1,0 +1,117 @@
+//! Reduce (`MPI_Reduce`): binomial tree with per-element combine cost.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::op::ReduceOp;
+use crate::tags;
+
+/// Binomial-tree reduce to `root`: leaves send, inner nodes combine as
+/// partial results flow up. `recv` holds the result at the root only.
+///
+/// The combine order is fixed by the tree, so floating-point results are
+/// deterministic (identical across runs, not necessarily identical to a
+/// sequential left fold).
+pub fn binomial<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    root: usize,
+    op: O,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "reduce root {root} out of range");
+    let count = send.len();
+    if me == root {
+        assert_eq!(recv.len(), count, "root recv must match send length");
+    }
+    let rr = (me + p - root) % p;
+
+    // Accumulate into a local temporary.
+    let mut acc = ctx.buf_zeroed::<T>(count);
+    acc.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+
+    let mut mask = 1usize;
+    while mask < p {
+        if rr & mask != 0 {
+            let parent = (rr - mask + root) % p;
+            ctx.send_region(comm, parent, tags::REDUCE, &acc, 0, count);
+            break;
+        }
+        let child_rr = rr + mask;
+        if child_rr < p {
+            let child = (child_rr + root) % p;
+            let payload = ctx.recv(comm, child, tags::REDUCE);
+            acc.combine_payload(0, &payload, |a, b| op.combine(a, b));
+            ctx.compute(count as f64 * O::FLOPS_PER_ELEM);
+        }
+        mask <<= 1;
+    }
+
+    if me == root {
+        recv.copy_from(0, &acc, 0, count);
+        ctx.charge_copy(count * T::SIZE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Max, Sum};
+    use crate::testutil::run;
+
+    #[test]
+    fn sum_reduces_to_root() {
+        for (nodes, ppn) in [(1, 1), (1, 4), (1, 5), (2, 3)] {
+            let p = nodes * ppn;
+            for root in [0, p - 1] {
+                let r = run(nodes, ppn, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(3, |i| (ctx.rank() * 10 + i) as f64);
+                    let mut recv = ctx.buf_zeroed(if ctx.rank() == root { 3 } else { 0 });
+                    if ctx.rank() == root {
+                        binomial(ctx, &world, &send, &mut recv, root, Sum);
+                        recv.as_slice().unwrap().to_vec()
+                    } else {
+                        let mut empty = ctx.buf_zeroed(0);
+                        binomial(ctx, &world, &send, &mut empty, root, Sum);
+                        vec![]
+                    }
+                });
+                let expected: Vec<f64> = (0..3)
+                    .map(|i| (0..p).map(|rk| (rk * 10 + i) as f64).sum())
+                    .collect();
+                assert_eq!(r.per_rank[root], expected, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_reduce() {
+        let r = run(2, 2, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(2, |i| ((ctx.rank() as i64 - 2) * (i as i64 + 1)) as f64);
+            let mut recv = ctx.buf_zeroed(if ctx.rank() == 0 { 2 } else { 0 });
+            binomial(ctx, &world, &send, &mut recv, 0, Max);
+            recv.as_slice().map(<[f64]>::to_vec)
+        });
+        // values: rank0: [-2,-4] rank1: [-1,-2] rank2: [0,0] rank3: [1,2]
+        assert_eq!(r.per_rank[0], Some(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn reduce_charges_compute() {
+        let r = run(1, 2, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(100, |i| i as f64);
+            let mut recv = ctx.buf_zeroed(if ctx.rank() == 0 { 100 } else { 0 });
+            binomial(ctx, &world, &send, &mut recv, 0, Sum);
+            ctx.now()
+        });
+        // Root combined one payload of 100 elements: at least 100 µs of
+        // compute under the uniform test model (1 flop/µs).
+        assert!(r.per_rank[0] >= 100.0, "root time {}", r.per_rank[0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Reduce-scatter (`MPI_Reduce_scatter`): element-wise reduction of
+//! p per-rank vectors, with rank `r` receiving segment `r` of the result.
+//!
+//! * [`recursive_halving`] — log₂ p rounds halving the active range,
+//!   bandwidth-optimal for long vectors (power-of-two sizes);
+//! * [`pairwise`] — p−1 rounds, any communicator size, good for long
+//!   vectors on non-powers of two;
+//! * [`tuned`] — selection with the per-call entry fee.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::op::ReduceOp;
+use crate::selection::Tuning;
+use crate::tags;
+use crate::util::displs_of;
+
+fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, counts: &[usize], recv: &Buf<T>) {
+    assert_eq!(counts.len(), comm.size(), "one count per rank required");
+    assert_eq!(
+        send.len(),
+        counts.iter().sum::<usize>(),
+        "send must hold the full vector"
+    );
+    assert_eq!(recv.len(), counts[comm.rank()], "recv must hold this rank's segment");
+}
+
+/// Recursive halving (power-of-two sizes only): each round exchanges and
+/// combines half of the remaining range with the XOR partner.
+///
+/// # Panics
+/// Panics unless the communicator size is a power of two.
+pub fn recursive_halving<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    let p = comm.size();
+    assert!(p.is_power_of_two(), "recursive halving requires a power-of-two communicator");
+    check_args(comm, send, counts, recv);
+    let me = comm.rank();
+    let displs = displs_of(counts);
+    let total: usize = counts.iter().sum();
+
+    // Work in a scratch accumulator initialized with our full vector.
+    let mut acc = ctx.buf_zeroed::<T>(total);
+    acc.copy_from(0, send, 0, total);
+    ctx.charge_copy(total * T::SIZE);
+
+    let (mut lo, mut hi) = (0usize, p);
+    let mut mask = p / 2;
+    while mask >= 1 {
+        let partner = me ^ mask;
+        let mid = lo + (hi - lo) / 2;
+        let (keep, give) = if me & mask == 0 {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        let give_off = displs[give.0];
+        let give_len = if give.1 == 0 { 0 } else { displs[give.1 - 1] + counts[give.1 - 1] - give_off };
+        let keep_off = displs[keep.0];
+        ctx.send_region(comm, partner, tags::REDUCE + 16, &acc, give_off, give_len);
+        let payload = ctx.recv(comm, partner, tags::REDUCE + 16);
+        acc.combine_payload(keep_off, &payload, |a, b| op.combine(a, b));
+        ctx.compute((payload.len() / T::SIZE) as f64 * O::FLOPS_PER_ELEM);
+        lo = keep.0;
+        hi = keep.1;
+        if mask == 1 {
+            break;
+        }
+        mask >>= 1;
+    }
+    debug_assert_eq!((lo + 1, hi), (me + 1, me + 1));
+    recv.copy_from(0, &acc, displs[me], counts[me]);
+    ctx.charge_copy(counts[me] * T::SIZE);
+}
+
+/// Pairwise exchange: in round k, send the segment owned by `me + k` to
+/// that rank and combine the incoming segment from `me − k`. Works for
+/// any communicator size.
+pub fn pairwise<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    check_args(comm, send, counts, recv);
+    let p = comm.size();
+    let me = comm.rank();
+    let displs = displs_of(counts);
+
+    recv.copy_from(0, send, displs[me], counts[me]);
+    ctx.charge_copy(counts[me] * T::SIZE);
+    for k in 1..p {
+        let dst = (me + k) % p;
+        let src = (me + p - k) % p;
+        ctx.send_region(comm, dst, tags::REDUCE + 17, send, displs[dst], counts[dst]);
+        let payload = ctx.recv(comm, src, tags::REDUCE + 17);
+        recv.combine_payload(0, &payload, |a, b| op.combine(a, b));
+        ctx.compute((payload.len() / T::SIZE) as f64 * O::FLOPS_PER_ELEM);
+    }
+}
+
+/// Selection: recursive halving on powers of two, pairwise otherwise.
+/// Charges the per-call collective entry fee.
+pub fn tuned<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    op: O,
+    tuning: &Tuning,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    let _ = tuning;
+    if comm.size() == 1 {
+        check_args(comm, send, counts, recv);
+        recv.copy_from(0, send, 0, counts[0]);
+        ctx.charge_copy(counts[0] * T::SIZE);
+        return;
+    }
+    if comm.size().is_power_of_two() {
+        recursive_halving(ctx, comm, send, counts, recv, op);
+    } else {
+        pairwise(ctx, comm, send, counts, recv, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+    use crate::testutil::run;
+
+    type Algo = fn(&mut Ctx, &Communicator, &Buf<f64>, &[usize], &mut Buf<f64>, Sum);
+
+    fn check(nodes: usize, ppn: usize, counts: Vec<usize>, algo: Algo) {
+        let p = nodes * ppn;
+        assert_eq!(counts.len(), p);
+        let displs = displs_of(&counts);
+        let counts2 = counts.clone();
+        let r = run(nodes, ppn, move |ctx| {
+            let world = ctx.world();
+            let total: usize = counts2.iter().sum();
+            // Rank r contributes vector v_r[i] = (r+1)*(i+1).
+            let send = ctx.buf_from_fn(total, |i| (ctx.rank() + 1) as f64 * (i + 1) as f64);
+            let mut recv = ctx.buf_zeroed(counts2[ctx.rank()]);
+            algo(ctx, &world, &send, &counts2, &mut recv, Sum);
+            recv.as_slice().unwrap().to_vec()
+        });
+        let rank_sum: f64 = (1..=p).map(|x| x as f64).sum();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            let expected: Vec<f64> = (0..counts[rank])
+                .map(|i| rank_sum * (displs[rank] + i + 1) as f64)
+                .collect();
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-9, "rank {rank}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_halving_uniform() {
+        for (nodes, ppn) in [(1, 2), (1, 4), (2, 4), (4, 4)] {
+            check(nodes, ppn, vec![3; nodes * ppn], recursive_halving::<f64, Sum>);
+        }
+    }
+
+    #[test]
+    fn recursive_halving_irregular_counts() {
+        check(2, 2, vec![1, 4, 0, 2], recursive_halving::<f64, Sum>);
+        check(1, 8, vec![2, 0, 1, 3, 2, 2, 0, 1], recursive_halving::<f64, Sum>);
+    }
+
+    #[test]
+    fn pairwise_any_size() {
+        check(1, 3, vec![2, 1, 3], pairwise::<f64, Sum>);
+        check(1, 5, vec![1; 5], pairwise::<f64, Sum>);
+        check(3, 2, vec![2, 0, 1, 3, 2, 2], pairwise::<f64, Sum>);
+    }
+
+    #[test]
+    fn tuned_both_paths() {
+        let t: Algo = |ctx, c, s, n, r, op| tuned(ctx, c, s, n, r, op, &crate::Tuning::cray_mpich());
+        check(2, 2, vec![2; 4], t);
+        check(1, 5, vec![1, 2, 0, 3, 1], t);
+        check(1, 1, vec![4], t);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recursive_halving_rejects_odd_sizes() {
+        check(1, 3, vec![1; 3], recursive_halving::<f64, Sum>);
+    }
+}

@@ -1,0 +1,164 @@
+//! Inclusive and exclusive prefix reductions (`MPI_Scan` / `MPI_Exscan`).
+//!
+//! Implemented with the classic log₂ p doubling schedule: in round k,
+//! rank `r` sends its running partial to `r + 2^k` and combines the
+//! partial received from `r − 2^k`. Deterministic combine order (ranks
+//! ascending), as MPI requires for reproducible floating-point scans.
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::op::ReduceOp;
+use crate::tags;
+
+/// Inclusive scan: rank r receives `op(v_0, …, v_r)`.
+pub fn inclusive<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    let count = send.len();
+    assert_eq!(recv.len(), count, "recv must match send length");
+
+    recv.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+
+    // `partial` carries op(v_{me-2^k+1..me}) — the running suffix this
+    // rank forwards; `recv` accumulates the full prefix.
+    let mut partial = ctx.buf_zeroed::<T>(count);
+    partial.copy_from(0, send, 0, count);
+
+    let mut dist = 1usize;
+    while dist < p {
+        if me + dist < p {
+            ctx.send_region(comm, me + dist, tags::REDUCE + 24, &partial, 0, count);
+        }
+        if me >= dist {
+            let payload = ctx.recv(comm, me - dist, tags::REDUCE + 24);
+            // Incoming covers ranks [me-2*dist+1 .. me-dist]; it precedes
+            // everything we hold, so combine as (incoming ⊕ ours).
+            recv.combine_payload(0, &payload, |ours, incoming| op.combine(incoming, ours));
+            partial.combine_payload(0, &payload, |ours, incoming| op.combine(incoming, ours));
+            ctx.compute(2.0 * count as f64 * O::FLOPS_PER_ELEM);
+        }
+        dist <<= 1;
+    }
+}
+
+/// Exclusive scan: rank r receives `op(v_0, …, v_{r−1})`; rank 0's
+/// output is left untouched (as in MPI, where it is undefined).
+pub fn exclusive<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    let count = send.len();
+    assert_eq!(recv.len(), count, "recv must match send length");
+
+    // Run an inclusive scan of the *previous* rank by shifting: every
+    // rank forwards its inclusive partial one rank further.
+    let mut partial = ctx.buf_zeroed::<T>(count);
+    partial.copy_from(0, send, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+
+    let mut have_prefix = false;
+    let mut dist = 1usize;
+    while dist < p {
+        if me + dist < p {
+            ctx.send_region(comm, me + dist, tags::REDUCE + 25, &partial, 0, count);
+        }
+        if me >= dist {
+            let payload = ctx.recv(comm, me - dist, tags::REDUCE + 25);
+            if have_prefix {
+                recv.combine_payload(0, &payload, |ours, incoming| op.combine(incoming, ours));
+            } else {
+                recv.write_payload(0, &payload);
+                have_prefix = true;
+            }
+            partial.combine_payload(0, &payload, |ours, incoming| op.combine(incoming, ours));
+            ctx.compute(2.0 * count as f64 * O::FLOPS_PER_ELEM);
+        }
+        dist <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Max, Sum};
+    use crate::testutil::run;
+
+    #[test]
+    fn inclusive_sum_is_prefix_sum() {
+        for (nodes, ppn) in [(1, 1), (1, 4), (1, 5), (2, 3), (2, 4)] {
+            let p = nodes * ppn;
+            let r = run(nodes, ppn, |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(2, |i| (ctx.rank() + 1) as f64 * (i + 1) as f64);
+                let mut recv = ctx.buf_zeroed(2);
+                inclusive(ctx, &world, &send, &mut recv, Sum);
+                recv.as_slice().unwrap().to_vec()
+            });
+            for (rank, got) in r.per_rank.iter().enumerate() {
+                let pref: f64 = (0..=rank).map(|x| (x + 1) as f64).sum();
+                assert_eq!(got, &vec![pref, 2.0 * pref], "rank {rank} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_sum_is_shifted_prefix() {
+        let r = run(2, 3, |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(1, |_| (ctx.rank() + 1) as f64);
+            let mut recv = ctx.buf_zeroed(1);
+            exclusive(ctx, &world, &send, &mut recv, Sum);
+            recv.get(0)
+        });
+        assert_eq!(r.per_rank[0], 0.0, "rank 0 output untouched (zero-initialized)");
+        for rank in 1..6 {
+            let pref: f64 = (0..rank).map(|x| (x + 1) as f64).sum();
+            assert_eq!(r.per_rank[rank], pref, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn inclusive_max_scan() {
+        // Values dip and rise: the running max must be monotone.
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 2.0];
+        let r = run(1, 6, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(1, |_| vals[ctx.rank()]);
+            let mut recv = ctx.buf_zeroed(1);
+            inclusive(ctx, &world, &send, &mut recv, Max);
+            recv.get(0)
+        });
+        assert_eq!(
+            r.per_rank,
+            vec![3.0, 3.0, 4.0, 4.0, 5.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn scan_cost_is_logarithmic() {
+        let time = |p: usize| {
+            run(1, p, |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(1, |_| 1.0);
+                let mut recv = ctx.buf_zeroed(1);
+                inclusive(ctx, &world, &send, &mut recv, Sum);
+                ctx.now()
+            })
+            .makespan()
+        };
+        let (t4, t16) = (time(4), time(16));
+        assert!(t16 < t4 * 3.0, "doubling scan should scale ~log p: {t4} -> {t16}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Scatter algorithms (`MPI_Scatter` / `MPI_Scatterv`).
+
+use msim::{Buf, Communicator, Ctx, ShmElem};
+
+use crate::tags;
+use crate::util::displs_of;
+
+/// Binomial-tree scatter: the root hands each subtree its slice, halving
+/// the forwarded range at each level. `send` is significant at the root
+/// only (p·count elements, blocks in rank order); every rank receives its
+/// `count`-element block in `recv`.
+pub fn binomial<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    root: usize,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "scatter root {root} out of range");
+    let count = recv.len();
+    if me == root {
+        assert_eq!(send.len(), p * count, "root send must hold p blocks");
+    }
+    if p == 1 {
+        recv.copy_from(0, send, 0, count);
+        ctx.charge_copy(count * T::SIZE);
+        return;
+    }
+    let rr = (me + p - root) % p;
+
+    // tmp holds the blocks of relative ranks [rr, rr + subtree) that this
+    // rank is responsible for distributing. `span` is the binomial-tree
+    // span of this position (lowest set bit of rr, or the power of two
+    // covering p at the root); the actual subtree is clipped by p.
+    let span = {
+        let mut mask = 1usize;
+        while mask < p && rr & mask == 0 {
+            mask <<= 1;
+        }
+        mask
+    };
+    let subtree = span.min(p - rr);
+    let mut tmp = ctx.buf_zeroed::<T>(subtree * count);
+
+    if me == root {
+        // Rotate the send buffer into relative order (identity when
+        // root == 0, and MPICH skips the copy then; we charge it only
+        // when a real rotation happens).
+        for j in 0..p {
+            let abs = (j + root) % p;
+            tmp.copy_from(j * count, send, abs * count, count);
+        }
+        if root != 0 {
+            ctx.charge_copy(p * count * T::SIZE);
+        }
+    } else {
+        // Receive my subtree's blocks from the parent.
+        let mut mask = 1usize;
+        while mask < p {
+            if rr & mask != 0 {
+                let parent = (rr - mask + root) % p;
+                let payload = ctx.recv(comm, parent, tags::SCATTER);
+                tmp.write_payload(0, &payload);
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    // Forward sub-subtrees to children (relative ranks rr + span/2,
+    // rr + span/4, …, rr + 1 that exist), largest distance first. The
+    // child at distance m is responsible for blocks [m, m + its subtree)
+    // of our tmp range.
+    let mut m = span / 2;
+    while m >= 1 {
+        let child_rr = rr + m;
+        if child_rr < p {
+            let child_blocks = m.min(p - child_rr);
+            let child = (child_rr + root) % p;
+            ctx.send_region(comm, child, tags::SCATTER, &tmp, m * count, child_blocks * count);
+        }
+        if m == 1 {
+            break;
+        }
+        m >>= 1;
+    }
+
+    // My own block is tmp[0].
+    recv.copy_from(0, &tmp, 0, count);
+    ctx.charge_copy(count * T::SIZE);
+}
+
+/// Linear irregular scatter: the root sends each rank its slice directly.
+pub fn linear_v<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    root: usize,
+) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(root < p, "scatter root {root} out of range");
+    assert_eq!(counts.len(), p, "one count per rank required");
+    assert_eq!(recv.len(), counts[me], "recv length must equal counts[rank]");
+    let displs = displs_of(counts);
+    if me == root {
+        assert_eq!(send.len(), counts.iter().sum::<usize>(), "root send must hold the total");
+        for dst in 0..p {
+            if dst != root {
+                ctx.send_region(comm, dst, tags::SCATTER + 1, send, displs[dst], counts[dst]);
+            }
+        }
+        recv.copy_from(0, send, displs[me], counts[me]);
+        ctx.charge_copy(counts[me] * T::SIZE);
+    } else {
+        let payload = ctx.recv(comm, root, tags::SCATTER + 1);
+        recv.write_payload(0, &payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{datum, run};
+
+    fn check_binomial(nodes: usize, ppn: usize, count: usize, root: usize) {
+        let r = run(nodes, ppn, move |ctx| {
+            let world = ctx.world();
+            let p = world.size();
+            let send = if ctx.rank() == root {
+                // Block b carries datum(b, i).
+                ctx.buf_from_fn(p * count, |i| datum(i / count.max(1), i % count.max(1)))
+            } else {
+                ctx.buf_zeroed(0)
+            };
+            let mut recv = ctx.buf_zeroed(count);
+            binomial(ctx, &world, &send, &mut recv, root);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            let expected: Vec<f64> = (0..count).map(|i| datum(rank, i)).collect();
+            assert_eq!(got, &expected, "rank {rank} (root {root})");
+        }
+    }
+
+    #[test]
+    fn binomial_various_shapes_and_roots() {
+        for (nodes, ppn) in [(1, 2), (1, 4), (1, 5), (2, 3), (2, 4), (1, 7)] {
+            let p = nodes * ppn;
+            for root in [0, p / 2, p - 1] {
+                check_binomial(nodes, ppn, 2, root);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_v_irregular() {
+        let counts = vec![2usize, 0, 3, 1];
+        for root in 0..4 {
+            let outer_counts = counts.clone();
+            let counts = counts.clone();
+            let r = run(2, 2, move |ctx| {
+                let world = ctx.world();
+                let displs = displs_of(&counts);
+                let total: usize = counts.iter().sum();
+                let send = if ctx.rank() == root {
+                    // Element at displs[b] + i carries datum(b, i).
+                    let displs = displs.clone();
+                    let counts = counts.clone();
+                    ctx.buf_from_fn(total, move |idx| {
+                        let b = (0..counts.len())
+                            .rfind(|&b| displs[b] <= idx && idx < displs[b] + counts[b])
+                            .unwrap();
+                        datum(b, idx - displs[b])
+                    })
+                } else {
+                    ctx.buf_zeroed(0)
+                };
+                let mut recv = ctx.buf_zeroed(counts[ctx.rank()]);
+                linear_v(ctx, &world, &send, &counts, &mut recv, root);
+                recv.as_slice().unwrap().to_vec()
+            });
+            for (rank, got) in r.per_rank.iter().enumerate() {
+                let expected: Vec<f64> = (0..outer_counts[rank]).map(|i| datum(rank, i)).collect();
+                assert_eq!(got, &expected, "rank {rank} root {root}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Tag namespaces for the collective algorithms.
+//!
+//! Collectives communicate on the user's communicator; distinct tag bases
+//! per operation keep concurrent algorithm steps self-documenting (the
+//! deterministic SPMD call order already prevents actual mismatches).
+
+/// Dissemination barrier rounds.
+pub const BARRIER: u32 = 0x0100;
+/// Broadcast (binomial and scatter+allgather phases).
+pub const BCAST: u32 = 0x0200;
+/// Gather trees.
+pub const GATHER: u32 = 0x0300;
+/// Scatter trees.
+pub const SCATTER: u32 = 0x0400;
+/// Regular allgather algorithms.
+pub const ALLGATHER: u32 = 0x0500;
+/// Irregular allgatherv algorithms.
+pub const ALLGATHERV: u32 = 0x0600;
+/// Reduce trees.
+pub const REDUCE: u32 = 0x0700;
+/// Allreduce (recursive doubling / Rabenseifner phases).
+pub const ALLREDUCE: u32 = 0x0800;
+/// All-to-all pairwise exchange.
+pub const ALLTOALL: u32 = 0x0900;
+/// Point-to-point flag synchronization (hybrid light-weight sync).
+pub const FLAG: u32 = 0x0a00;

@@ -1,0 +1,47 @@
+//! Shared helpers for the collective algorithm tests.
+
+use msim::{Ctx, SimConfig, SimResult, Universe};
+use simnet::{ClusterSpec, CostModel};
+
+/// Run `f` on a regular `nodes x ppn` cluster with the hand-checkable
+/// uniform cost model, real data.
+pub(crate) fn run<T, F>(nodes: usize, ppn: usize, f: F) -> SimResult<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Send + Sync,
+{
+    let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+    Universe::run(cfg, f).expect("test universe must not fail")
+}
+
+/// Run `f` on an irregular cluster.
+pub(crate) fn run_irregular<T, F>(cores: Vec<usize>, f: F) -> SimResult<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Send + Sync,
+{
+    let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
+    Universe::run(cfg, f).expect("test universe must not fail")
+}
+
+/// The canonical test datum: element `i` of rank `r`'s block.
+pub(crate) fn datum(rank: usize, i: usize) -> f64 {
+    (rank * 1000 + i) as f64 + 0.25
+}
+
+/// The expected full allgather result for `count` elements per rank on a
+/// communicator of `size` ranks.
+pub(crate) fn expected_allgather(size: usize, count: usize) -> Vec<f64> {
+    (0..size)
+        .flat_map(|r| (0..count).map(move |i| datum(r, i)))
+        .collect()
+}
+
+/// Expected allgatherv result given per-rank counts.
+pub(crate) fn expected_allgatherv(counts: &[usize]) -> Vec<f64> {
+    counts
+        .iter()
+        .enumerate()
+        .flat_map(|(r, &c)| (0..c).map(move |i| datum(r, i)))
+        .collect()
+}

@@ -1,0 +1,219 @@
+//! Property-based tests: every collective algorithm must agree with its
+//! analytic oracle for arbitrary cluster shapes, counts and roots.
+
+use collectives::{allgather, allgatherv, allreduce, bcast, op::Sum, smp_aware::SmpAware, Tuning};
+use msim::{Buf, Ctx, SimConfig, Universe};
+use proptest::prelude::*;
+use simnet::{ClusterSpec, CostModel};
+
+fn datum(rank: usize, i: usize) -> f64 {
+    (rank * 1000 + i) as f64 + 0.25
+}
+
+fn run_cluster<T: Send>(
+    cores: Vec<usize>,
+    f: impl Fn(&mut Ctx) -> T + Send + Sync,
+) -> Vec<T> {
+    let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
+    Universe::run(cfg, f).expect("universe must not fail").per_rank
+}
+
+/// Arbitrary small cluster: 1–3 nodes of 1–4 cores.
+fn cluster_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=4, 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tuned_allgather_matches_oracle(cores in cluster_strategy(), count in 0usize..24) {
+        let p: usize = cores.iter().sum();
+        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count * world.size());
+            allgather::tuned(ctx, &world, &send, &mut recv, &Tuning::cray_mpich());
+            recv.as_slice().unwrap().to_vec()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn tuned_allgatherv_matches_oracle(
+        cores in cluster_strategy(),
+        counts_seed in proptest::collection::vec(0usize..9, 12),
+    ) {
+        let p: usize = cores.iter().sum();
+        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
+        let expected: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(r, &c)| (0..c).map(move |i| datum(r, i)))
+            .collect();
+        let counts2 = counts.clone();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(counts2[ctx.rank()], |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(counts2.iter().sum());
+            allgatherv::tuned(ctx, &world, &send, &counts2, &mut recv, &Tuning::open_mpi());
+            recv.as_slice().unwrap().to_vec()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn tuned_bcast_matches_oracle(
+        cores in cluster_strategy(),
+        count in 1usize..40,
+        root_seed in 0usize..64,
+    ) {
+        let p: usize = cores.iter().sum();
+        let root = root_seed % p;
+        let expected: Vec<f64> = (0..count).map(|i| datum(root, i)).collect();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let mut buf = if ctx.rank() == root {
+                ctx.buf_from_fn(count, |i| datum(root, i))
+            } else {
+                ctx.buf_zeroed(count)
+            };
+            bcast::tuned(ctx, &world, &mut buf, root, &Tuning::cray_mpich());
+            buf.as_slice().unwrap().to_vec()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn tuned_allreduce_sums_correctly(cores in cluster_strategy(), count in 1usize..24) {
+        let p: usize = cores.iter().sum();
+        let rank_sum: f64 = (0..p).map(|r| r as f64 + 1.0).sum();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| (ctx.rank() as f64 + 1.0) * (i as f64 + 1.0));
+            let mut recv = ctx.buf_zeroed(count);
+            allreduce::tuned(ctx, &world, &send, &mut recv, Sum, &Tuning::cray_mpich());
+            recv.as_slice().unwrap().to_vec()
+        });
+        for got in out {
+            for (i, v) in got.iter().enumerate() {
+                let want = rank_sum * (i as f64 + 1.0);
+                prop_assert!((v - want).abs() < 1e-9, "{v} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn smp_aware_allgather_matches_oracle(cores in cluster_strategy(), count in 0usize..16) {
+        let p: usize = cores.iter().sum();
+        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count * world.size());
+            sa.allgather(ctx, &send, &mut recv);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_identical_between_real_and_phantom(
+        cores in cluster_strategy(),
+        count in 0usize..32,
+    ) {
+        let run_mode = |phantom: bool, cores: Vec<usize>| {
+            let mut cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::cray_aries());
+            if phantom {
+                cfg = cfg.phantom();
+            }
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+                let mut recv = ctx.buf_zeroed(count * world.size());
+                allgather::tuned(ctx, &world, &send, &mut recv, &Tuning::open_mpi());
+                ctx.now()
+            })
+            .unwrap()
+            .clocks
+        };
+        prop_assert_eq!(run_mode(false, cores.clone()), run_mode(true, cores));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduce_scatter_matches_oracle(
+        cores in cluster_strategy(),
+        counts_seed in proptest::collection::vec(0usize..6, 8),
+    ) {
+        let p: usize = cores.iter().sum();
+        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
+        let displs = collectives::util::displs_of(&counts);
+        let rank_sum: f64 = (1..=p).map(|x| x as f64).sum();
+        let counts2 = counts.clone();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let total: usize = counts2.iter().sum();
+            let send = ctx.buf_from_fn(total, |i| (ctx.rank() + 1) as f64 * (i + 1) as f64);
+            let mut recv = ctx.buf_zeroed(counts2[ctx.rank()]);
+            collectives::reduce_scatter::tuned(
+                ctx, &world, &send, &counts2, &mut recv, Sum, &Tuning::cray_mpich(),
+            );
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            for (i, v) in got.iter().enumerate() {
+                let want = rank_sum * (displs[rank] + i + 1) as f64;
+                prop_assert!((v - want).abs() < 1e-9, "rank {rank}: {v} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_scan_matches_prefix_sums(cores in cluster_strategy(), count in 1usize..16) {
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| (ctx.rank() + 1) as f64 + i as f64);
+            let mut recv = ctx.buf_zeroed(count);
+            collectives::scan::inclusive(ctx, &world, &send, &mut recv, Sum);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            for (i, v) in got.iter().enumerate() {
+                let want: f64 = (0..=rank).map(|r| (r + 1) as f64 + i as f64).sum();
+                prop_assert!((v - want).abs() < 1e-9, "rank {rank} elem {i}: {v} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_tuned_matches_oracle(cores in cluster_strategy(), count in 1usize..8) {
+        let p: usize = cores.iter().sum();
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let me = ctx.rank();
+            let send = ctx.buf_from_fn(p * count, |i| (me * 100 + i / count) as f64);
+            let mut recv = ctx.buf_zeroed(p * count);
+            collectives::alltoall::tuned(ctx, &world, &send, &mut recv, count, &Tuning::open_mpi());
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            for (i, v) in got.iter().enumerate() {
+                prop_assert_eq!(*v, ((i / count) * 100 + rank) as f64);
+            }
+        }
+    }
+}

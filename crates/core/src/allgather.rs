@@ -1,0 +1,366 @@
+//! The hybrid allgather (paper §4.1, Figs. 3b and 4).
+//!
+//! One shared window per node holds the **entire** result buffer; each
+//! rank's "send buffer" is simply its partition of that window (no private
+//! copies, no intra-node data movement). The collective itself is:
+//!
+//! ```text
+//! Barrier(shm)                         // children's partitions are ready
+//! if leader: Allgatherv(bridge)        // node aggregates, in place
+//! Barrier(shm)                         // exchanged data is ready
+//! ```
+//!
+//! with the single-node case degenerating to one barrier (the paper's
+//! lines 29–38 of Fig. 4).
+//!
+//! The window is laid out in *node-sorted* parent-rank order (paper §6's
+//! "node-sorted global rank array"), so each node's contribution is
+//! contiguous and the bridge exchange needs no packing for any placement;
+//! [`HyAllgatherv::block_offset`] translates a parent rank to its block
+//! for readers.
+
+use collectives::allgatherv;
+use collectives::util::displs_of;
+use msim::{Buf, Ctx, ShmElem, SharedWindow};
+
+use crate::hybrid::HybridComm;
+
+/// Irregular hybrid allgather: rank `r` contributes `counts[r]` elements.
+#[derive(Debug, Clone)]
+pub struct HyAllgatherv<T> {
+    hc: HybridComm,
+    win: SharedWindow<T>,
+    /// Elements contributed per parent rank.
+    counts: Vec<usize>,
+    /// Element offset of each parent rank's block inside the window.
+    offsets: Vec<usize>,
+    /// Aggregate element count per node group (bridge exchange counts).
+    bridge_counts: Vec<usize>,
+}
+
+impl<T: ShmElem> HyAllgatherv<T> {
+    /// One-off setup: the node leader allocates a window for the whole
+    /// result; children allocate zero and address it through the shared
+    /// handle (`MPI_Win_shared_query`).
+    pub fn new(ctx: &mut Ctx, hc: &HybridComm, counts: &[usize]) -> Self {
+        let p = hc.comm().size();
+        assert_eq!(counts.len(), p, "one count per rank required");
+        let h = hc.hierarchy();
+        let total: usize = counts.iter().sum();
+
+        let my_len = if hc.is_leader() { total } else { 0 };
+        let win = SharedWindow::allocate(ctx, &h.shm, my_len);
+
+        // Window layout: blocks in node-sorted parent-rank order.
+        let sorted_counts: Vec<usize> = h.node_sorted.iter().map(|&r| counts[r]).collect();
+        let sorted_displs = displs_of(&sorted_counts);
+        let mut offsets = vec![0usize; p];
+        for (pos, &parent_rank) in h.node_sorted.iter().enumerate() {
+            offsets[parent_rank] = sorted_displs[pos];
+        }
+        let bridge_counts: Vec<usize> = h
+            .group_members
+            .iter()
+            .map(|members| members.iter().map(|&r| counts[r]).sum())
+            .collect();
+
+        Self {
+            hc: hc.clone(),
+            win,
+            counts: counts.to_vec(),
+            offsets,
+            bridge_counts,
+        }
+    }
+
+    /// Element offset of parent rank `r`'s block inside the shared window
+    /// (the paper's "deduce the corresponding place of its block … in
+    /// terms of any given global rank").
+    pub fn block_offset(&self, r: usize) -> usize {
+        self.offsets[r]
+    }
+
+    /// Element count of parent rank `r`'s block.
+    pub fn block_len(&self, r: usize) -> usize {
+        self.counts[r]
+    }
+
+    /// The shared window holding the result.
+    pub fn window(&self) -> &SharedWindow<T> {
+        &self.win
+    }
+
+    /// Initialize this rank's partition in place (the paper's lines 21–22:
+    /// the local data lives directly inside the shared buffer, so this is
+    /// the *original* write, not an extra copy — nothing is charged).
+    pub fn write_my_block(&self, ctx: &Ctx, data: &[T]) {
+        let me = self.hc.comm().rank();
+        assert_eq!(data.len(), self.counts[me], "data must match counts[rank]");
+        self.win.write_from(self.offsets[me], data);
+        let _ = ctx; // ctx witnesses that we are inside a running universe
+    }
+
+    /// Read parent rank `r`'s block out of the shared window (a direct
+    /// load in the paper's model; free of charge, like any computation
+    /// input read).
+    pub fn read_block(&self, r: usize) -> Vec<T> {
+        let mut out = vec![T::default(); self.counts[r]];
+        self.win.read_into(self.offsets[r], &mut out);
+        out
+    }
+
+    /// The collective operation (paper Fig. 4, lines 23–39): synchronize,
+    /// exchange node aggregates over the bridge (in place, straight from
+    /// and into the shared window), synchronize again. Single-node
+    /// communicators need only the one barrier.
+    pub fn execute(&self, ctx: &mut Ctx) {
+        let h = self.hc.hierarchy();
+        let sync = self.hc.sync();
+        if self.hc.single_node() {
+            sync.full(ctx, &h.shm);
+            return;
+        }
+        sync.arrive(ctx, &h.shm);
+        if let Some(bridge) = &h.bridge {
+            let mut view = Buf::Shared(self.win.clone());
+            allgatherv::tuned_in_place(ctx, bridge, &self.bridge_counts, &mut view, self.hc.tuning());
+        }
+        sync.release(ctx, &h.shm);
+    }
+}
+
+/// Regular hybrid allgather: every rank contributes `count` elements
+/// (paper Fig. 4 verbatim).
+#[derive(Debug, Clone)]
+pub struct HyAllgather<T> {
+    inner: HyAllgatherv<T>,
+    count: usize,
+}
+
+impl<T: ShmElem> HyAllgather<T> {
+    /// One-off setup for `count` elements per rank.
+    pub fn new(ctx: &mut Ctx, hc: &HybridComm, count: usize) -> Self {
+        let counts = vec![count; hc.comm().size()];
+        Self {
+            inner: HyAllgatherv::new(ctx, hc, &counts),
+            count,
+        }
+    }
+
+    /// Elements per rank.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Element offset of parent rank `r`'s block inside the window.
+    pub fn block_offset(&self, r: usize) -> usize {
+        self.inner.block_offset(r)
+    }
+
+    /// The shared window holding the result.
+    pub fn window(&self) -> &SharedWindow<T> {
+        self.inner.window()
+    }
+
+    /// Initialize this rank's partition in place.
+    pub fn write_my_block(&self, ctx: &Ctx, data: &[T]) {
+        self.inner.write_my_block(ctx, data);
+    }
+
+    /// Read parent rank `r`'s block.
+    pub fn read_block(&self, r: usize) -> Vec<T> {
+        self.inner.read_block(r)
+    }
+
+    /// The collective operation.
+    pub fn execute(&self, ctx: &mut Ctx) {
+        self.inner.execute(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::Tuning;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel, Placement};
+
+    fn datum(rank: usize, i: usize) -> f64 {
+        (rank * 1000 + i) as f64 + 0.5
+    }
+
+    fn check_allgather(cfg: SimConfig, count: usize) {
+        let p = cfg.spec.total_cores();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ag = HyAllgather::<f64>::new(ctx, &hc, count);
+            let mine: Vec<f64> = (0..count).map(|i| datum(ctx.rank(), i)).collect();
+            ag.write_my_block(ctx, &mine);
+            ag.execute(ctx);
+            // Read back every block through the shared window.
+            (0..ctx.nranks())
+                .flat_map(|rk| ag.read_block(rk))
+                .collect::<Vec<f64>>()
+        })
+        .unwrap();
+        let expected: Vec<f64> = (0..p).flat_map(|rk| (0..count).map(move |i| datum(rk, i))).collect();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            assert_eq!(got, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn correct_on_regular_clusters() {
+        for (nodes, ppn) in [(1, 1), (1, 6), (2, 3), (4, 2), (3, 4)] {
+            let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+            check_allgather(cfg, 4);
+        }
+    }
+
+    #[test]
+    fn correct_on_irregular_cluster() {
+        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 1, 4]), CostModel::uniform_test());
+        check_allgather(cfg, 3);
+    }
+
+    #[test]
+    fn correct_under_round_robin_placement() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test())
+            .with_placement(Placement::RoundRobin);
+        check_allgather(cfg, 2);
+    }
+
+    #[test]
+    fn irregular_counts_variant() {
+        let counts = vec![2usize, 0, 3, 1, 4, 2];
+        let counts2 = counts.clone();
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test());
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
+            let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts2);
+            let mine: Vec<f64> = (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+            ag.write_my_block(ctx, &mine);
+            ag.execute(ctx);
+            (0..ctx.nranks()).flat_map(|rk| ag.read_block(rk)).collect::<Vec<f64>>()
+        })
+        .unwrap();
+        let expected: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(rk, &c)| (0..c).map(move |i| datum(rk, i)))
+            .collect();
+        for got in &r.per_rank {
+            assert_eq!(got, &expected);
+        }
+    }
+
+    #[test]
+    fn zero_intra_node_data_traffic() {
+        // THE paper property: the hybrid allgather must move no payload
+        // bytes inside a node — no aggregation, no broadcast, no copies.
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries()).traced();
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ag = HyAllgather::<f64>::new(ctx, &hc, 64);
+            let mine = vec![1.0; 64];
+            ag.write_my_block(ctx, &mine);
+            ag.execute(ctx);
+        })
+        .unwrap();
+        let events = r.tracer.events();
+        let intra_payload_bytes: usize = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(intra_payload_bytes, 0, "hybrid allgather must not move data intra-node");
+        // The only permitted copies are the bridge library's internal ones
+        // (Bruck rotation at the leaders); children — the 6 non-leader
+        // ranks — must perform none. The aggregation/broadcast copies of
+        // the SMP-aware baseline would show up on every rank.
+        let leader_ranks = [0usize, 4];
+        for e in &events {
+            if matches!(e.kind, simnet::EventKind::Copy { .. }) {
+                assert!(
+                    leader_ranks.contains(&e.rank),
+                    "non-leader rank {} performed a data copy",
+                    e.rank
+                );
+            }
+        }
+        assert!(r.tracer.inter_node_sends() > 0, "bridge traffic must exist");
+    }
+
+    #[test]
+    fn window_memory_is_one_copy_per_node() {
+        // Per-node window bytes = p * count * 8, independent of ppn.
+        let window_bytes = |ppn: usize| {
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(2, ppn), CostModel::cray_aries()).traced();
+            let r = Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                let _ag = HyAllgather::<f64>::new(ctx, &hc, 16);
+            })
+            .unwrap();
+            // Total across the 2 nodes; normalize per node per rank block.
+            r.tracer.total_window_bytes()
+        };
+        let b2 = window_bytes(2); // p=4:  2 nodes * 4*16*8
+        let b4 = window_bytes(4); // p=8:  2 nodes * 8*16*8
+        assert_eq!(b2, 2 * 4 * 16 * 8);
+        assert_eq!(b4, 2 * 8 * 16 * 8);
+        // Memory grows with p (total data) but NOT with copies per rank:
+        // the pure-MPI version would hold p*count*8 on EVERY rank, i.e.
+        // ppn times more per node.
+    }
+
+    #[test]
+    fn single_node_execute_is_one_barrier() {
+        let cfg = SimConfig::new(ClusterSpec::single_node(8), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ag = HyAllgather::<f64>::new(ctx, &hc, 1 << 12);
+            ag.write_my_block(ctx, &vec![1.0; 1 << 12]);
+            let t0 = ctx.now();
+            ag.execute(ctx);
+            ctx.now() - t0
+        })
+        .unwrap();
+        // Dissemination barrier on 8 ranks with the uniform model:
+        // 3 rounds * (o_send + o_recv + alpha) = 3 * 3 = 9 µs; allow wait
+        // skew, but nothing near a data-size-dependent cost (4096 elems).
+        for (rank, &dt) in r.per_rank.iter().enumerate() {
+            assert!(dt <= 9.0 + 1e-9, "rank {rank}: {dt} µs — too slow for one barrier");
+        }
+    }
+
+    #[test]
+    fn phantom_and_real_modes_agree_on_time() {
+        let run_mode = |phantom: bool| {
+            let mut cfg = SimConfig::new(ClusterSpec::regular(3, 4), CostModel::cray_aries());
+            if phantom {
+                cfg = cfg.phantom();
+            }
+            Universe::run(cfg, |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                let ag = HyAllgather::<f64>::new(ctx, &hc, 512);
+                if !ctx.mode_is_phantom() {
+                    ag.write_my_block(ctx, &vec![1.0; 512]);
+                }
+                ag.execute(ctx);
+                ctx.now()
+            })
+            .unwrap()
+            .clocks
+        };
+        assert_eq!(run_mode(false), run_mode(true), "virtual time must be mode-invariant");
+    }
+}

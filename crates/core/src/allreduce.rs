@@ -1,0 +1,153 @@
+//! Hybrid allreduce — an extension of the paper's recipe to a reduction
+//! collective (the paper's conclusion calls for "more experiences" beyond
+//! allgather/bcast; allreduce is the natural next one, since `MPI_Allreduce`
+//! is the most-used collective in the NAS-type workloads the paper cites).
+//!
+//! The shape follows §4: the node's *result* is stored once per node in a
+//! shared window. Unlike allgather, a reduction must actually combine
+//! on-node contributions, so intra-node traffic cannot be eliminated —
+//! but the result replication can: children read the result straight from
+//! the window instead of each holding a private copy.
+
+use collectives::op::ReduceOp;
+use collectives::{allreduce as coll_allreduce, reduce as coll_reduce};
+use msim::{Buf, Ctx, ShmElem, SharedWindow};
+
+use crate::hybrid::HybridComm;
+
+/// A hybrid allreduce handle for vectors of a fixed length.
+#[derive(Debug, Clone)]
+pub struct HyAllreduce<T> {
+    hc: HybridComm,
+    win: SharedWindow<T>,
+    count: usize,
+}
+
+impl<T: ShmElem> HyAllreduce<T> {
+    /// One-off setup: the node leader allocates a `count`-element result
+    /// window.
+    pub fn new(ctx: &mut Ctx, hc: &HybridComm, count: usize) -> Self {
+        let h = hc.hierarchy();
+        let my_len = if hc.is_leader() { count } else { 0 };
+        let win = SharedWindow::allocate(ctx, &h.shm, my_len);
+        Self {
+            hc: hc.clone(),
+            win,
+            count,
+        }
+    }
+
+    /// Vector length.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The node-shared window holding the reduced result.
+    pub fn window(&self) -> &SharedWindow<T> {
+        &self.win
+    }
+
+    /// Read the reduced result (direct load from the shared window).
+    pub fn read_result(&self) -> Vec<T> {
+        let mut out = vec![T::default(); self.count];
+        self.win.read_into(0, &mut out);
+        out
+    }
+
+    /// Perform the reduction over every rank's `contribution`:
+    /// intra-node reduce to the leader, leader allreduce over the bridge
+    /// straight into the shared window, one barrier to release readers.
+    pub fn execute<O: ReduceOp<T>>(&self, ctx: &mut Ctx, contribution: &Buf<T>, op: O) {
+        assert_eq!(contribution.len(), self.count, "contribution length mismatch");
+        let h = self.hc.hierarchy();
+        let sync = self.hc.sync();
+
+        // Phase 1: on-node reduction to the leader (message-based binomial
+        // tree; a reduction inherently needs to touch each contribution).
+        let mut node_acc = if h.shm.rank() == 0 {
+            ctx.buf_zeroed::<T>(self.count)
+        } else {
+            ctx.buf_zeroed::<T>(0)
+        };
+        coll_reduce::binomial(ctx, &h.shm, contribution, &mut node_acc, 0, op);
+
+        // Phase 2: leaders allreduce across nodes, result into the window.
+        if let Some(bridge) = &h.bridge {
+            let mut view = Buf::Shared(self.win.clone());
+            coll_allreduce::tuned(ctx, bridge, &node_acc, &mut view, op, self.hc.tuning());
+        } else if h.shm.rank() == 0 {
+            // Single node: the node accumulation IS the result.
+            let mut view = Buf::Shared(self.win.clone());
+            view.copy_from(0, &node_acc, 0, self.count);
+        }
+
+        // Phase 3: release on-node readers.
+        sync.release(ctx, &h.shm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::op::{Max, Sum};
+    use collectives::Tuning;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    fn check_sum(cfg: SimConfig, count: usize) {
+        let p = cfg.spec.total_cores();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ar = HyAllreduce::<f64>::new(ctx, &hc, count);
+            let mine = ctx.buf_from_fn(count, |i| ((ctx.rank() + 1) * (i + 1)) as f64);
+            ar.execute(ctx, &mine, Sum);
+            ar.read_result()
+        })
+        .unwrap();
+        let rank_sum: f64 = (1..=p).map(|x| x as f64).sum();
+        let expected: Vec<f64> = (0..count).map(|i| rank_sum * (i + 1) as f64).collect();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-9, "rank {rank}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_on_various_clusters() {
+        for (nodes, ppn) in [(1, 1), (1, 4), (2, 3), (4, 2), (3, 3)] {
+            let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+            check_sum(cfg, 5);
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
+            let ar = HyAllreduce::<f64>::new(ctx, &hc, 2);
+            let mine = ctx.buf_from_fn(2, |i| (ctx.rank() as f64) - i as f64 * 10.0);
+            ar.execute(ctx, &mine, Max);
+            ar.read_result()
+        })
+        .unwrap();
+        for got in &r.per_rank {
+            assert_eq!(got, &vec![3.0, -7.0]);
+        }
+    }
+
+    #[test]
+    fn result_memory_is_per_node_not_per_rank() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 6), CostModel::cray_aries()).traced();
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let _ar = HyAllreduce::<f64>::new(ctx, &hc, 50);
+        })
+        .unwrap();
+        assert_eq!(r.tracer.total_window_bytes(), 2 * 50 * 8);
+    }
+}

@@ -1,0 +1,312 @@
+//! Hybrid all-to-all — an extension in the spirit of the paper's
+//! conclusion ("more experiences … are expected to popularize the
+//! implementation of the hybrid MPI+MPI application codes") and of its
+//! reference [31] (Träff & Rougier, hierarchical all-to-all).
+//!
+//! Every rank writes its outgoing blocks straight into a node-shared
+//! *send window*; blocks destined to on-node peers are never transmitted
+//! at all (the peer reads them directly); blocks for remote nodes travel
+//! as **one aggregated message per node pair**, sent by the leaders, into
+//! a node-shared *receive window*. Compared to a pure-MPI all-to-all
+//! (p² messages), the hybrid needs only `nodes²` network messages and no
+//! intra-node traffic — at the price of the usual barrier pair. The send
+//! window is laid out destination-node-major, so every slab is one
+//! contiguous region and the leaders never pack.
+
+use collectives::tags;
+use msim::{Ctx, Payload, ShmElem, SharedWindow};
+
+use crate::hybrid::HybridComm;
+
+/// A hybrid all-to-all handle for `count` elements per (source,
+/// destination) pair.
+#[derive(Debug, Clone)]
+pub struct HyAlltoall<T> {
+    hc: HybridComm,
+    /// Outgoing blocks of this node, grouped by destination node so each
+    /// leader-to-leader slab is one contiguous window region (no packing):
+    /// `[dest group g][s_local][d_in_g]`.
+    send_win: SharedWindow<T>,
+    /// Element offset of each destination group's slab in `send_win`.
+    send_group_offs: Vec<usize>,
+    /// Incoming blocks from remote groups, ordered by group:
+    /// `[group g][s_in_g][d_local]` (own group omitted).
+    recv_win: SharedWindow<T>,
+    count: usize,
+    /// Element offset of each remote group's slab in `recv_win`
+    /// (entry for the own group unused).
+    recv_group_offs: Vec<usize>,
+}
+
+impl<T: ShmElem> HyAlltoall<T> {
+    /// One-off setup over the hybrid communicator.
+    pub fn new(ctx: &mut Ctx, hc: &HybridComm, count: usize) -> Self {
+        let h = hc.hierarchy();
+        let p = hc.comm().size();
+        let my_size = h.shm.size();
+
+        // Leaders allocate; everyone addresses through the handle.
+        let mut send_group_offs = vec![0usize; h.num_groups()];
+        let mut acc = 0usize;
+        #[allow(clippy::needless_range_loop)] // running prefix over group sizes
+        for g in 0..h.num_groups() {
+            send_group_offs[g] = acc;
+            acc += my_size * h.group_size(g) * count;
+        }
+        debug_assert_eq!(acc, my_size * p * count);
+        let send_len = if hc.is_leader() { acc } else { 0 };
+        let send_win = SharedWindow::allocate(ctx, &h.shm, send_len);
+
+        let mut recv_group_offs = vec![0usize; h.num_groups()];
+        let mut acc = 0usize;
+        #[allow(clippy::needless_range_loop)] // running prefix over group sizes
+        for g in 0..h.num_groups() {
+            recv_group_offs[g] = acc;
+            if g != h.node_index {
+                acc += h.group_size(g) * my_size * count;
+            }
+        }
+        let recv_len = if hc.is_leader() { acc } else { 0 };
+        let recv_win = SharedWindow::allocate(ctx, &h.shm, recv_len);
+
+        Self {
+            hc: hc.clone(),
+            send_win,
+            send_group_offs,
+            recv_win,
+            count,
+            recv_group_offs,
+        }
+    }
+
+    /// Elements per (source, destination) block.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Element offset of block (s_local, dest) inside the send window.
+    fn send_offset(&self, s_local: usize, dest: usize) -> usize {
+        let h = self.hc.hierarchy();
+        let g = h
+            .group_members
+            .iter()
+            .position(|m| m.contains(&dest))
+            .expect("destination must be a member");
+        let d_in_g = h.group_members[g]
+            .iter()
+            .position(|&r| r == dest)
+            .expect("dest in its group");
+        self.send_group_offs[g] + (s_local * h.group_size(g) + d_in_g) * self.count
+    }
+
+    /// Write this rank's outgoing block for destination parent rank
+    /// `dest` (an in-place write into the node-shared send window).
+    pub fn write_block(&self, ctx: &Ctx, dest: usize, data: &[T]) {
+        assert_eq!(data.len(), self.count, "block must hold `count` elements");
+        let s_local = self.hc.hierarchy().shm.rank();
+        self.send_win.write_from(self.send_offset(s_local, dest), data);
+        let _ = ctx;
+    }
+
+    /// Read the block this rank received from source parent rank `src`.
+    /// On-node sources are read straight from the send window (they were
+    /// never transmitted); remote sources come from the receive window.
+    pub fn read_block(&self, src: usize) -> Vec<T> {
+        let h = self.hc.hierarchy();
+        let me = self.hc.comm().rank();
+        let my_group = h.node_index;
+        let src_group = h
+            .group_members
+            .iter()
+            .position(|m| m.contains(&src))
+            .expect("source must be a member");
+        let mut out = vec![T::default(); self.count];
+        if src_group == my_group {
+            let s_local = h.group_members[my_group]
+                .iter()
+                .position(|&r| r == src)
+                .expect("src in own group");
+            self.send_win
+                .read_into(self.send_offset(s_local, me), &mut out);
+        } else {
+            let s_in_g = h.group_members[src_group]
+                .iter()
+                .position(|&r| r == src)
+                .expect("src in its group");
+            let d_local = h.shm.rank();
+            let my_size = h.shm.size();
+            let off = self.recv_group_offs[src_group]
+                + (s_in_g * my_size + d_local) * self.count;
+            self.recv_win.read_into(off, &mut out);
+        }
+        out
+    }
+
+    /// The collective: arrive barrier → leaders exchange one contiguous
+    /// slab per remote node (the group-major send-window layout makes
+    /// each slab a single region — no packing) → release barrier.
+    pub fn execute(&self, ctx: &mut Ctx) {
+        let h = self.hc.hierarchy().clone();
+        let sync = self.hc.sync();
+        if self.hc.single_node() {
+            // Everything is already in the node's send window.
+            sync.full(ctx, &h.shm);
+            return;
+        }
+        sync.arrive(ctx, &h.shm);
+        if let Some(bridge) = &h.bridge {
+            let my_size = h.shm.size();
+            let my_group = h.node_index;
+            // Post all sends first (eager), then drain receives.
+            for g in 0..h.num_groups() {
+                if g == my_group {
+                    continue;
+                }
+                let slab_elems = my_size * h.group_size(g) * self.count;
+                let payload: Payload = self.send_win.payload(self.send_group_offs[g], slab_elems);
+                ctx.send(bridge, g, tags::ALLTOALL + 8, payload);
+            }
+            for g in 0..h.num_groups() {
+                if g == my_group {
+                    continue;
+                }
+                let payload = ctx.recv(bridge, g, tags::ALLTOALL + 8);
+                self.recv_win
+                    .write_payload(self.recv_group_offs[g], &payload);
+            }
+        }
+        sync.release(ctx, &h.shm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::Tuning;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel, Placement};
+
+    /// Block from source s to destination d carries s*100 + d + k/1000.
+    fn blockval(s: usize, d: usize, k: usize) -> f64 {
+        (s * 100 + d) as f64 + k as f64 / 1000.0
+    }
+
+    fn check(cfg: SimConfig, count: usize) {
+        let p = cfg.spec.total_cores();
+        let out = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let a2a = HyAlltoall::<f64>::new(ctx, &hc, count);
+            let me = ctx.rank();
+            for dest in 0..world.size() {
+                let data: Vec<f64> = (0..count).map(|k| blockval(me, dest, k)).collect();
+                a2a.write_block(ctx, dest, &data);
+            }
+            a2a.execute(ctx);
+            (0..world.size())
+                .flat_map(|src| a2a.read_block(src))
+                .collect::<Vec<f64>>()
+        })
+        .unwrap();
+        for (rank, got) in out.per_rank.iter().enumerate() {
+            let expected: Vec<f64> = (0..p)
+                .flat_map(|src| (0..count).map(move |k| blockval(src, rank, k)))
+                .collect();
+            assert_eq!(got, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn correct_on_regular_clusters() {
+        for (nodes, ppn) in [(1, 4), (2, 3), (3, 2), (2, 4)] {
+            let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+            check(cfg, 3);
+        }
+    }
+
+    #[test]
+    fn correct_on_irregular_cluster_and_round_robin() {
+        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 1, 4]), CostModel::uniform_test());
+        check(cfg, 2);
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test())
+            .with_placement(Placement::RoundRobin);
+        check(cfg, 2);
+    }
+
+    #[test]
+    fn one_message_per_node_pair() {
+        let cfg = SimConfig::new(ClusterSpec::regular(3, 4), CostModel::cray_aries())
+            .phantom()
+            .traced();
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let a2a = HyAlltoall::<f64>::new(ctx, &hc, 16);
+            a2a.execute(ctx);
+        })
+        .unwrap();
+        // Inter-node data messages: exactly nodes*(nodes-1) = 6.
+        let inter_payload_msgs = r
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, simnet::EventKind::Send { bytes, intra: false, .. } if bytes > 0)
+            })
+            .count();
+        assert_eq!(inter_payload_msgs, 6);
+        // And zero intra-node payload traffic.
+        let intra_payload: usize = r
+            .tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(intra_payload, 0);
+    }
+
+    #[test]
+    fn beats_flat_alltoall_on_multi_core_nodes() {
+        let count = 256usize;
+        let hy = {
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                let a2a = HyAlltoall::<f64>::new(ctx, &hc, count);
+                collectives::barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                a2a.execute(ctx);
+                ctx.now() - t0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        let flat = {
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
+            Universe::run(cfg, move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_zeroed::<f64>(count * world.size());
+                let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                collectives::barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                collectives::alltoall::tuned(
+                    ctx, &world, &send, &mut recv, count, &Tuning::cray_mpich(),
+                );
+                ctx.now() - t0
+            })
+            .unwrap()
+            .per_rank
+            .into_iter()
+            .fold(0.0f64, f64::max)
+        };
+        assert!(hy < flat, "hybrid all-to-all ({hy}) must beat flat ({flat})");
+    }
+}

@@ -1,0 +1,228 @@
+//! The hybrid broadcast (paper §4.2, Figs. 5 and 6).
+//!
+//! One shared window per node holds the broadcast message; only the node
+//! leaders run the across-node `MPI_Bcast` on the bridge communicator; a
+//! single barrier after the exchange guarantees that the data is ready for
+//! every on-node reader. In the pure-MPI version each rank owns a private
+//! copy of the message — here the node owns one.
+
+use collectives::bcast as coll_bcast;
+use msim::{Buf, Ctx, ShmElem, SharedWindow};
+
+use crate::hybrid::HybridComm;
+
+/// A hybrid broadcast handle for messages of a fixed length.
+#[derive(Debug, Clone)]
+pub struct HyBcast<T> {
+    hc: HybridComm,
+    win: SharedWindow<T>,
+    len: usize,
+}
+
+impl<T: ShmElem> HyBcast<T> {
+    /// One-off setup: the node leader allocates a `len`-element window,
+    /// children allocate zero and use the shared handle.
+    pub fn new(ctx: &mut Ctx, hc: &HybridComm, len: usize) -> Self {
+        let h = hc.hierarchy();
+        let my_len = if hc.is_leader() { len } else { 0 };
+        let win = SharedWindow::allocate(ctx, &h.shm, my_len);
+        Self {
+            hc: hc.clone(),
+            win,
+            len,
+        }
+    }
+
+    /// Message length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The node-shared window holding the message.
+    pub fn window(&self) -> &SharedWindow<T> {
+        &self.win
+    }
+
+    /// The root writes the message into its node's shared window (the
+    /// paper's lines 1–2 of Fig. 6 — the original write, not a copy).
+    pub fn write_message(&self, ctx: &Ctx, data: &[T]) {
+        assert_eq!(data.len(), self.len, "message must match the window length");
+        self.win.write_from(0, data);
+        let _ = ctx;
+    }
+
+    /// Read the broadcast message (direct load from the shared window).
+    pub fn read_message(&self) -> Vec<T> {
+        let mut out = vec![T::default(); self.len];
+        self.win.read_into(0, &mut out);
+        out
+    }
+
+    /// The collective operation (paper Fig. 6): the leaders broadcast
+    /// across nodes from window to window; one barrier releases the
+    /// on-node readers. `root` is a parent-communicator rank and must have
+    /// called [`HyBcast::write_message`] beforehand.
+    pub fn execute(&self, ctx: &mut Ctx, root: usize) {
+        let h = self.hc.hierarchy();
+        let sync = self.hc.sync();
+        let p = self.hc.comm().size();
+        assert!(root < p, "bcast root {root} out of range");
+
+        if self.hc.single_node() {
+            // The message is already in the node's window; one barrier
+            // makes it visible (paper lines 9–10 / 13).
+            sync.full(ctx, &h.shm);
+            return;
+        }
+
+        let root_group = h
+            .group_members
+            .iter()
+            .position(|m| m.contains(&root))
+            .expect("root must belong to a group");
+        let root_is_leader = h.group_members[root_group][0] == root;
+
+        // If the root is not its node's leader, the leader must wait for
+        // the root's window write before sending it across nodes. One
+        // zero-byte point-to-point pair — the paper's §6 "light-weight
+        // means" — is all the ordering required (a full barrier here
+        // would cost a node-wide round for a one-to-one dependency).
+        if !root_is_leader && h.node_index == root_group {
+            let root_local = h.group_members[root_group]
+                .iter()
+                .position(|&r| r == root)
+                .expect("root is in its own group");
+            if self.hc.comm().rank() == root {
+                ctx.send(&h.shm, 0, collectives::tags::FLAG + 8, msim::Payload::empty());
+            } else if h.shm.rank() == 0 {
+                ctx.recv(&h.shm, root_local, collectives::tags::FLAG + 8);
+            }
+        }
+
+        if let Some(bridge) = &h.bridge {
+            let mut view = Buf::Shared(self.win.clone());
+            coll_bcast::tuned(ctx, bridge, &mut view, root_group, self.hc.tuning());
+        }
+
+        // One barrier so every on-node process sees the fresh window
+        // (paper line 7 / 13).
+        sync.release(ctx, &h.shm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::Tuning;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel, Placement};
+
+    fn check_bcast(cfg: SimConfig, len: usize, root: usize) {
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let bc = HyBcast::<f64>::new(ctx, &hc, len);
+            if ctx.rank() == root {
+                let msg: Vec<f64> = (0..len).map(|i| (root * 100 + i) as f64).collect();
+                bc.write_message(ctx, &msg);
+            }
+            bc.execute(ctx, root);
+            bc.read_message()
+        })
+        .unwrap();
+        let expected: Vec<f64> = (0..len).map(|i| (root * 100 + i) as f64).collect();
+        for (rank, got) in r.per_rank.iter().enumerate() {
+            assert_eq!(got, &expected, "rank {rank} root {root}");
+        }
+    }
+
+    #[test]
+    fn correct_all_roots_multi_node() {
+        for root in 0..6 {
+            let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test());
+            check_bcast(cfg, 5, root);
+        }
+    }
+
+    #[test]
+    fn correct_single_node() {
+        for root in [0, 3] {
+            let cfg = SimConfig::new(ClusterSpec::single_node(4), CostModel::uniform_test());
+            check_bcast(cfg, 7, root);
+        }
+    }
+
+    #[test]
+    fn correct_irregular_and_round_robin() {
+        let cfg = SimConfig::new(ClusterSpec::irregular(vec![1, 3, 2]), CostModel::uniform_test());
+        check_bcast(cfg, 4, 2);
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test())
+            .with_placement(Placement::RoundRobin);
+        check_bcast(cfg, 4, 3);
+    }
+
+    #[test]
+    fn zero_intra_node_data_traffic() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries()).traced();
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let bc = HyBcast::<f64>::new(ctx, &hc, 128);
+            if ctx.rank() == 0 {
+                bc.write_message(ctx, &vec![2.5; 128]);
+            }
+            bc.execute(ctx, 0);
+        })
+        .unwrap();
+        let intra_payload: usize = r
+            .tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(intra_payload, 0, "hybrid bcast must not move data intra-node");
+    }
+
+    #[test]
+    fn window_is_one_message_per_node() {
+        let cfg = SimConfig::new(ClusterSpec::regular(3, 8), CostModel::cray_aries()).traced();
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let _bc = HyBcast::<f64>::new(ctx, &hc, 100);
+        })
+        .unwrap();
+        assert_eq!(r.tracer.total_window_bytes(), 3 * 100 * 8, "one window per node");
+    }
+
+    #[test]
+    fn phantom_and_real_modes_agree_on_time() {
+        let run_mode = |phantom: bool| {
+            let mut cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::nec_infiniband());
+            if phantom {
+                cfg = cfg.phantom();
+            }
+            Universe::run(cfg, |ctx| {
+                let world = ctx.world();
+                let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
+                let bc = HyBcast::<f64>::new(ctx, &hc, 2048);
+                if ctx.rank() == 0 && !ctx.mode_is_phantom() {
+                    bc.write_message(ctx, &vec![1.0; 2048]);
+                }
+                bc.execute(ctx, 0);
+                ctx.now()
+            })
+            .unwrap()
+            .clocks
+        };
+        assert_eq!(run_mode(false), run_mode(true));
+    }
+}

@@ -1,0 +1,229 @@
+//! On-node synchronization flavors (paper §6, "Explicit synchronization").
+//!
+//! The hybrid collectives decouple synchronization from communication:
+//! before a leader may read its children's partitions out of the shared
+//! window, the children must have arrived ("arrive"); before the children
+//! may read the leader's freshly exchanged data, the leader must have
+//! finished ("release"). The paper uses a full `MPI_Barrier` for both; it
+//! also discusses light-weight alternatives, which we provide for the
+//! ablation benches:
+//!
+//! * [`SyncMethod::Barrier`] — dissemination barrier over the shared
+//!   communicator (the paper's heavy-weight default);
+//! * [`SyncMethod::SharedFlags`] — shared-cache flags (Graham & Shipman):
+//!   children post a flag each, the leader waits for all of them; releases
+//!   go the other way;
+//! * [`SyncMethod::P2p`] — zero-byte point-to-point message pairs through
+//!   the MPI stack (heavier than flags, lighter than a full barrier when
+//!   only one direction is needed).
+
+use collectives::{barrier, tags};
+use msim::{Communicator, Ctx, Payload};
+
+/// How on-node processes synchronize around the bridge exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMethod {
+    /// Full `MPI_Barrier` on the shared-memory communicator (paper
+    /// default).
+    #[default]
+    Barrier,
+    /// Shared-cache flag writes/polls (light-weight, directional).
+    SharedFlags,
+    /// Zero-byte point-to-point pairs (directional).
+    P2p,
+}
+
+impl SyncMethod {
+    /// Fan-in: every non-leader signals arrival; the leader returns once
+    /// all children have arrived. With [`SyncMethod::Barrier`] this is a
+    /// full barrier, as in the paper's Fig. 4.
+    pub fn arrive(self, ctx: &mut Ctx, shm: &Communicator) {
+        match self {
+            SyncMethod::Barrier => barrier::tuned(ctx, shm),
+            SyncMethod::SharedFlags => {
+                if shm.size() == 1 {
+                    return;
+                }
+                if shm.rank() == 0 {
+                    for child in 1..shm.size() {
+                        ctx.wait_flag(shm, child, tags::FLAG);
+                    }
+                } else {
+                    ctx.post_flag(shm, 0, tags::FLAG);
+                }
+            }
+            SyncMethod::P2p => {
+                if shm.size() == 1 {
+                    return;
+                }
+                if shm.rank() == 0 {
+                    for child in 1..shm.size() {
+                        ctx.recv(shm, child, tags::FLAG + 1);
+                    }
+                } else {
+                    ctx.send(shm, 0, tags::FLAG + 1, Payload::empty());
+                }
+            }
+        }
+    }
+
+    /// Fan-out: the leader signals completion; children return once
+    /// released. With [`SyncMethod::Barrier`] this is a full barrier.
+    pub fn release(self, ctx: &mut Ctx, shm: &Communicator) {
+        match self {
+            SyncMethod::Barrier => barrier::tuned(ctx, shm),
+            SyncMethod::SharedFlags => {
+                if shm.size() == 1 {
+                    return;
+                }
+                if shm.rank() == 0 {
+                    // One release-flag write, polled by every child.
+                    ctx.post_flag_multicast(shm, tags::FLAG + 2);
+                } else {
+                    ctx.wait_flag(shm, 0, tags::FLAG + 2);
+                }
+            }
+            SyncMethod::P2p => {
+                if shm.size() == 1 {
+                    return;
+                }
+                if shm.rank() == 0 {
+                    for child in 1..shm.size() {
+                        ctx.send(shm, child, tags::FLAG + 3, Payload::empty());
+                    }
+                } else {
+                    ctx.recv(shm, 0, tags::FLAG + 3);
+                }
+            }
+        }
+    }
+
+    /// A full two-sided synchronization (arrive + release). For
+    /// [`SyncMethod::Barrier`] this is a *single* barrier (a barrier is
+    /// already two-sided), matching the paper's single-node fast path.
+    pub fn full(self, ctx: &mut Ctx, shm: &Communicator) {
+        match self {
+            SyncMethod::Barrier => barrier::tuned(ctx, shm),
+            other => {
+                other.arrive(ctx, shm);
+                other.release(ctx, shm);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    fn run_sync<T: Send>(
+        ppn: usize,
+        f: impl Fn(&mut Ctx, &Communicator) -> T + Send + Sync,
+    ) -> Vec<T> {
+        let cfg = SimConfig::new(ClusterSpec::single_node(ppn), CostModel::uniform_test());
+        Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let shm = world.split_shared(ctx);
+            f(ctx, &shm)
+        })
+        .unwrap()
+        .per_rank
+    }
+
+    /// The leader must not pass `arrive` before the slowest child arrived.
+    fn check_arrive_orders(method: SyncMethod) {
+        let out = run_sync(4, move |ctx, shm| {
+            if shm.rank() == 3 {
+                ctx.compute(500.0); // slow child
+            }
+            method.arrive(ctx, shm);
+            (shm.rank(), ctx.now())
+        });
+        let leader_exit = out.iter().find(|(r, _)| *r == 0).unwrap().1;
+        assert!(leader_exit >= 500.0, "{method:?}: leader left at {leader_exit}");
+    }
+
+    /// Children must not pass `release` before the leader released.
+    fn check_release_orders(method: SyncMethod) {
+        let out = run_sync(4, move |ctx, shm| {
+            if shm.rank() == 0 {
+                ctx.compute(500.0); // slow leader
+            }
+            method.release(ctx, shm);
+            (shm.rank(), ctx.now())
+        });
+        for (r, t) in out {
+            assert!(t >= 500.0, "{method:?}: rank {r} left at {t}");
+        }
+    }
+
+    #[test]
+    fn all_methods_order_arrive() {
+        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+            check_arrive_orders(m);
+        }
+    }
+
+    #[test]
+    fn all_methods_order_release() {
+        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+            check_release_orders(m);
+        }
+    }
+
+    #[test]
+    fn flags_are_cheaper_than_barrier() {
+        let time = |method: SyncMethod| {
+            let out = run_sync(16, move |ctx, shm| {
+                method.arrive(ctx, shm);
+                method.release(ctx, shm);
+                ctx.now()
+            });
+            out.into_iter().fold(0.0f64, f64::max)
+        };
+        let t_flag = time(SyncMethod::SharedFlags);
+        let t_barrier = time(SyncMethod::Barrier);
+        assert!(
+            t_flag < t_barrier,
+            "flags ({t_flag}) should undercut two barriers ({t_barrier})"
+        );
+    }
+
+    #[test]
+    fn single_rank_sync_costs_at_most_the_entry_fees() {
+        // Light-weight flavors skip everything on a singleton; the
+        // barrier flavor still pays MPI_Barrier's per-call entry fee
+        // (three calls here), but never a message.
+        let entry = simnet::CostModel::uniform_test().barrier_entry_us;
+        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+            let out = run_sync(1, move |ctx, shm| {
+                m.arrive(ctx, shm);
+                m.release(ctx, shm);
+                m.full(ctx, shm);
+                ctx.now()
+            });
+            let expected = if m == SyncMethod::Barrier { 3.0 * entry } else { 0.0 };
+            assert_eq!(out[0], expected, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn full_barrier_is_one_barrier_not_two() {
+        let t_full = run_sync(8, |ctx, shm| {
+            SyncMethod::Barrier.full(ctx, shm);
+            ctx.now()
+        })
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        let t_two = run_sync(8, |ctx, shm| {
+            SyncMethod::Barrier.arrive(ctx, shm);
+            SyncMethod::Barrier.release(ctx, shm);
+            ctx.now()
+        })
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        assert!(t_full < t_two, "full ({t_full}) vs arrive+release ({t_two})");
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests for the hybrid collectives: correctness for
+//! arbitrary cluster shapes, counts, placements and sync flavors, plus
+//! the invariants the paper's design rests on.
+
+use collectives::Tuning;
+use hmpi::{HyAllgather, HyAllgatherv, HyBcast, HybridComm, SyncMethod};
+use msim::{Ctx, SimConfig, Universe};
+use proptest::prelude::*;
+use simnet::{ClusterSpec, CostModel, Placement};
+
+fn datum(rank: usize, i: usize) -> f64 {
+    (rank * 777 + i) as f64 + 0.125
+}
+
+fn cluster_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=4, 1..=3)
+}
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    prop_oneof![Just(Placement::SmpBlock), Just(Placement::RoundRobin)]
+}
+
+fn sync_strategy() -> impl Strategy<Value = SyncMethod> {
+    prop_oneof![
+        Just(SyncMethod::Barrier),
+        Just(SyncMethod::SharedFlags),
+        Just(SyncMethod::P2p)
+    ]
+}
+
+fn run_cfg<T: Send>(cfg: SimConfig, f: impl Fn(&mut Ctx) -> T + Send + Sync) -> Vec<T> {
+    Universe::run(cfg, f).expect("universe must not fail").per_rank
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hybrid_allgather_correct_everywhere(
+        cores in cluster_strategy(),
+        count in 0usize..24,
+        placement in placement_strategy(),
+        sync in sync_strategy(),
+    ) {
+        let p: usize = cores.iter().sum();
+        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
+            .with_placement(placement);
+        let out = run_cfg(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+            let ag = HyAllgather::<f64>::new(ctx, &hc, count);
+            let mine: Vec<f64> = (0..count).map(|i| datum(ctx.rank(), i)).collect();
+            ag.write_my_block(ctx, &mine);
+            ag.execute(ctx);
+            (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn hybrid_allgatherv_correct_for_arbitrary_counts(
+        cores in cluster_strategy(),
+        counts_seed in proptest::collection::vec(0usize..7, 12),
+    ) {
+        let p: usize = cores.iter().sum();
+        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
+        let expected: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(r, &c)| (0..c).map(move |i| datum(r, i)))
+            .collect();
+        let counts2 = counts.clone();
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
+        let out = run_cfg(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
+            let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts2);
+            let mine: Vec<f64> = (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+            ag.write_my_block(ctx, &mine);
+            ag.execute(ctx);
+            (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn hybrid_bcast_correct_everywhere(
+        cores in cluster_strategy(),
+        len in 1usize..32,
+        root_seed in 0usize..64,
+        placement in placement_strategy(),
+    ) {
+        let p: usize = cores.iter().sum();
+        let root = root_seed % p;
+        let expected: Vec<f64> = (0..len).map(|i| datum(root, i)).collect();
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
+            .with_placement(placement);
+        let out = run_cfg(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let bc = HyBcast::<f64>::new(ctx, &hc, len);
+            if ctx.rank() == root {
+                let msg: Vec<f64> = (0..len).map(|i| datum(root, i)).collect();
+                bc.write_message(ctx, &msg);
+            }
+            bc.execute(ctx, root);
+            bc.read_message()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn hybrid_never_moves_payload_bytes_intra_node(
+        cores in proptest::collection::vec(2usize..=4, 2..=3),
+        count in 1usize..64,
+    ) {
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::cray_aries())
+            .phantom()
+            .traced();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ag = HyAllgather::<f64>::new(ctx, &hc, count);
+            ag.execute(ctx);
+        })
+        .unwrap();
+        let intra_bytes: usize = r
+            .tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(intra_bytes, 0);
+    }
+
+    #[test]
+    fn window_memory_is_independent_of_sync_and_placement(
+        count in 1usize..64,
+        sync in sync_strategy(),
+        placement in placement_strategy(),
+    ) {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::cray_aries())
+            .phantom()
+            .traced()
+            .with_placement(placement);
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+            let _ag = HyAllgather::<f64>::new(ctx, &hc, count);
+        })
+        .unwrap();
+        // Two nodes, each holding one full copy: 2 * 6 * count * 8 bytes.
+        prop_assert_eq!(r.tracer.total_window_bytes(), 2 * 6 * count * 8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hybrid_alltoall_correct_everywhere(
+        cores in proptest::collection::vec(1usize..=4, 1..=3),
+        count in 1usize..6,
+        placement in placement_strategy(),
+    ) {
+        let p: usize = cores.iter().sum();
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
+            .with_placement(placement);
+        let out = run_cfg(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let a2a = hmpi::HyAlltoall::<f64>::new(ctx, &hc, count);
+            let me = ctx.rank();
+            for dest in 0..world.size() {
+                let data: Vec<f64> = (0..count).map(|k| (me * 100 + dest) as f64 + k as f64 / 8.0).collect();
+                a2a.write_block(ctx, dest, &data);
+            }
+            a2a.execute(ctx);
+            (0..world.size()).flat_map(|src| a2a.read_block(src)).collect::<Vec<f64>>()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let expected: Vec<f64> = (0..p)
+                .flat_map(|src| (0..count).map(move |k| (src * 100 + rank) as f64 + k as f64 / 8.0))
+                .collect();
+            prop_assert_eq!(got, &expected, "rank {}", rank);
+        }
+    }
+
+    #[test]
+    fn hybrid_gather_scatter_roundtrip(
+        cores in proptest::collection::vec(1usize..=4, 1..=3),
+        count in 1usize..6,
+        root_seed in 0usize..64,
+    ) {
+        let p: usize = cores.iter().sum();
+        let root = root_seed % p;
+        let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
+        let out = run_cfg(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            // Gather everyone's block to root …
+            let g = hmpi::HyGather::<f64>::new(ctx, &hc, count, root);
+            let mine: Vec<f64> = (0..count).map(|i| (ctx.rank() * 10 + i) as f64).collect();
+            g.write_my_block(ctx, &mine);
+            g.execute(ctx);
+            // … then scatter the gathered blocks back out.
+            let s = hmpi::HyScatter::<f64>::new(ctx, &hc, count, root);
+            if ctx.rank() == root {
+                for dest in 0..world.size() {
+                    s.write_block(ctx, dest, &g.read_block(dest));
+                }
+            }
+            ctx.oob_fence(&world);
+            s.execute(ctx);
+            s.read_my_block()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let expected: Vec<f64> = (0..count).map(|i| (rank * 10 + i) as f64).collect();
+            prop_assert_eq!(got, &expected, "rank {}", rank);
+        }
+    }
+}

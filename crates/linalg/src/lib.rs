@@ -1,0 +1,25 @@
+//! # linalg — dense linear algebra and samplers substrate
+//!
+//! The paper's applications depend on a linear algebra library (BPMF uses
+//! Eigen); per the reproduction rules this substrate is built from
+//! scratch. It provides exactly what SUMMA and the BPMF Gibbs sampler
+//! need:
+//!
+//! * [`Mat`] — a column-major dense matrix with views and the usual ops,
+//! * [`gemm`] — blocked matrix multiplication (C ← α·A·B + β·C),
+//! * [`Cholesky`] — LLᵀ factorization with forward/backward solves,
+//! * [`sample`] — multivariate normal, Wishart (Bartlett) and Gamma
+//!   (Marsaglia–Tsang) samplers for the Normal–Wishart Gibbs updates,
+//! * [`sparse::Csr`] — a compressed sparse row matrix for the ratings
+//!   data.
+
+pub mod cholesky;
+pub mod gemm;
+pub mod mat;
+pub mod sample;
+pub mod sparse;
+
+pub use cholesky::Cholesky;
+pub use gemm::{gemm, matmul};
+pub use mat::Mat;
+pub use sparse::Csr;

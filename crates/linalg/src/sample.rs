@@ -1,0 +1,216 @@
+//! Samplers for the Normal–Wishart Gibbs updates of BPMF.
+//!
+//! Everything is built over `rand`'s uniform/normal primitives:
+//!
+//! * standard normal via Box–Muller-free `rand_distr`-less polar method,
+//! * Gamma via Marsaglia–Tsang (with the α<1 boost),
+//! * chi-squared as Gamma(k/2, 2),
+//! * multivariate normal via Cholesky of the covariance,
+//! * Wishart via the Bartlett decomposition.
+
+use rand::Rng;
+
+use crate::cholesky::Cholesky;
+use crate::mat::Mat;
+
+/// A standard normal variate (polar/Marsaglia method — no trig, no
+/// external distribution crate).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Gamma(shape α, scale θ) via Marsaglia–Tsang.
+///
+/// # Panics
+/// Panics if `alpha <= 0` or `theta <= 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64, theta: f64) -> f64 {
+    assert!(alpha > 0.0 && theta > 0.0, "gamma parameters must be positive");
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^(1/α).
+        let u: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);
+        return gamma(rng, alpha + 1.0, theta) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * theta;
+        }
+    }
+}
+
+/// Chi-squared with `k` degrees of freedom.
+pub fn chi_squared<R: Rng + ?Sized>(rng: &mut R, k: f64) -> f64 {
+    gamma(rng, k / 2.0, 2.0)
+}
+
+/// Multivariate normal N(mean, cov) given the covariance's Cholesky
+/// factor: `x = mean + L·z`.
+pub fn mvn_with_chol<R: Rng + ?Sized>(rng: &mut R, mean: &[f64], chol: &Cholesky) -> Vec<f64> {
+    let n = chol.n();
+    assert_eq!(mean.len(), n, "dimension mismatch");
+    let z: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+    let mut x = mean.to_vec();
+    let l = chol.l();
+    for c in 0..n {
+        let zc = z[c];
+        for r in c..n {
+            x[r] += l[(r, c)] * zc;
+        }
+    }
+    x
+}
+
+/// Multivariate normal N(mean, cov).
+///
+/// # Panics
+/// Panics if `cov` is not positive definite.
+pub fn mvn<R: Rng + ?Sized>(rng: &mut R, mean: &[f64], cov: &Mat) -> Vec<f64> {
+    let chol = Cholesky::new(cov).expect("covariance must be positive definite");
+    mvn_with_chol(rng, mean, &chol)
+}
+
+/// Wishart(ν, V) via the Bartlett decomposition: with `V = L·Lᵀ`,
+/// `W = L·A·Aᵀ·Lᵀ` where `A` is lower-triangular with
+/// `A[i,i] ~ sqrt(χ²(ν−i))` and `A[i,j] ~ N(0,1)` below the diagonal.
+///
+/// # Panics
+/// Panics if `nu < dimension` or `v_scale` is not positive definite.
+pub fn wishart<R: Rng + ?Sized>(rng: &mut R, nu: f64, v_scale: &Mat) -> Mat {
+    let p = v_scale.rows();
+    assert!(nu >= p as f64, "degrees of freedom must be >= dimension");
+    let lv = Cholesky::new(v_scale).expect("scale matrix must be positive definite");
+    let mut a = Mat::zeros(p, p);
+    for i in 0..p {
+        a[(i, i)] = chi_squared(rng, nu - i as f64).sqrt();
+        for j in 0..i {
+            a[(i, j)] = standard_normal(rng);
+        }
+    }
+    let la = crate::gemm::matmul(lv.l(), &a);
+    crate::gemm::matmul(&la, &la.t())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        for (alpha, theta) in [(0.5, 1.0), (2.0, 3.0), (7.5, 0.5)] {
+            let n = 100_000;
+            let xs: Vec<f64> = (0..n).map(|_| gamma(&mut r, alpha, theta)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let expected = alpha * theta;
+            assert!(
+                (mean - expected).abs() / expected < 0.05,
+                "gamma({alpha},{theta}) mean {mean} vs {expected}"
+            );
+            assert!(xs.iter().all(|&x| x > 0.0), "gamma must be positive");
+        }
+    }
+
+    #[test]
+    fn chi_squared_mean_is_k() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| chi_squared(&mut r, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn mvn_respects_mean_and_covariance() {
+        let mut r = rng();
+        let cov = Mat::from_col_major(2, 2, vec![2.0, 0.6, 0.6, 1.0]);
+        let mean = [1.0, -2.0];
+        let n = 100_000;
+        let (mut m0, mut m1, mut c01) = (0.0, 0.0, 0.0);
+        let samples: Vec<Vec<f64>> = (0..n).map(|_| mvn(&mut r, &mean, &cov)).collect();
+        for s in &samples {
+            m0 += s[0];
+            m1 += s[1];
+        }
+        m0 /= n as f64;
+        m1 /= n as f64;
+        for s in &samples {
+            c01 += (s[0] - m0) * (s[1] - m1);
+        }
+        c01 /= n as f64;
+        assert!((m0 - 1.0).abs() < 0.03, "m0 {m0}");
+        assert!((m1 + 2.0).abs() < 0.03, "m1 {m1}");
+        assert!((c01 - 0.6).abs() < 0.05, "cov01 {c01}");
+    }
+
+    #[test]
+    fn wishart_mean_is_nu_v() {
+        let mut r = rng();
+        let v = Mat::from_col_major(2, 2, vec![1.0, 0.3, 0.3, 0.5]);
+        let nu = 6.0;
+        let n = 20_000;
+        let mut acc = Mat::zeros(2, 2);
+        for _ in 0..n {
+            let w = wishart(&mut r, nu, &v);
+            acc = &acc + &w;
+        }
+        let mean = acc.scale(1.0 / n as f64);
+        let expected = v.scale(nu);
+        assert!(
+            mean.distance(&expected) < 0.25,
+            "wishart mean {mean:?} vs {expected:?}"
+        );
+    }
+
+    #[test]
+    fn wishart_samples_are_spd() {
+        let mut r = rng();
+        let v = Mat::eye(3);
+        for _ in 0..50 {
+            let w = wishart(&mut r, 5.0, &v);
+            assert!(Cholesky::new(&w).is_some(), "Wishart sample must be SPD");
+        }
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| standard_normal(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| standard_normal(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! Compressed sparse row matrices for the ratings data.
+
+/// A CSR matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row pointers: entries of row `r` live at `indptr[r]..indptr[r+1]`.
+    indptr: Vec<usize>,
+    /// Column index of each stored entry.
+    indices: Vec<usize>,
+    /// Value of each stored entry.
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from unsorted (row, col, value) triplets. Duplicate
+    /// coordinates keep the *last* value.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, f64)>) -> Self {
+        for &(r, c, _) in &triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range ({rows}x{cols})");
+        }
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
+        triplets.dedup_by(|later, earlier| {
+            // `dedup_by` keeps `earlier`; overwrite it with the later value
+            // so "last wins".
+            if later.0 == earlier.0 && later.1 == earlier.1 {
+                earlier.2 = later.2;
+                true
+            } else {
+                false
+            }
+        });
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &triplets {
+            indptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        let indices = triplets.iter().map(|&(_, c, _)| c).collect();
+        let values = triplets.iter().map(|&(_, _, v)| v).collect();
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The (column, value) pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Value at (r, c), if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .binary_search(&c)
+            .ok()
+            .map(|i| self.values[lo + i])
+    }
+
+    /// The transpose (CSR of the transposed matrix — i.e. a CSC view of
+    /// this one). BPMF needs both orientations: by-user and by-item.
+    pub fn transpose(&self) -> Csr {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Csr::from_triplets(self.cols, self.rows, triplets)
+    }
+
+    /// Mean of stored values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_triplets(
+            3,
+            4,
+            vec![(2, 1, 5.0), (0, 0, 1.0), (0, 3, 2.0), (1, 2, 3.0)],
+        )
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(0, 3), Some(2.0));
+        assert_eq!(m.get(1, 2), Some(3.0));
+        assert_eq!(m.get(2, 1), Some(5.0));
+        assert_eq!(m.get(2, 2), None);
+    }
+
+    #[test]
+    fn row_iteration_is_sorted() {
+        let m = sample();
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (3, 2.0)]);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row_nnz(2), 1);
+    }
+
+    #[test]
+    fn duplicates_keep_last() {
+        let m = Csr::from_triplets(1, 2, vec![(0, 1, 1.0), (0, 1, 9.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(9.0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.get(1, 2), Some(5.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(sample().mean(), 2.75);
+        assert_eq!(Csr::from_triplets(2, 2, vec![]).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triplet_panics() {
+        Csr::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+}

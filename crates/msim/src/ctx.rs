@@ -1,0 +1,502 @@
+//! The per-rank execution context.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simnet::{Clock, CostModel, EventKind, LinkClass, RankMap};
+
+use crate::buffer::Buf;
+use crate::comm::Communicator;
+use crate::elem::ShmElem;
+use crate::error::SimError;
+use crate::msg::{Packet, Payload};
+use crate::universe::{DataMode, Shared};
+
+/// Handle through which a rank's program interacts with the simulated
+/// machine: messaging, clock, cost charging, buffer construction.
+pub struct Ctx {
+    global_rank: usize,
+    clock: Clock,
+    shared: Arc<Shared>,
+    oob_seqs: HashMap<u32, u32>,
+}
+
+impl Ctx {
+    pub(crate) fn new(global_rank: usize, shared: Arc<Shared>) -> Self {
+        Self {
+            global_rank,
+            clock: Clock::new(),
+            shared,
+            oob_seqs: HashMap::new(),
+        }
+    }
+
+    /// Global rank (position in `MPI_COMM_WORLD`).
+    pub fn rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// Total number of ranks in the universe.
+    pub fn nranks(&self) -> usize {
+        self.shared.map.nranks()
+    }
+
+    /// The node this rank lives on.
+    pub fn node(&self) -> usize {
+        self.shared.map.node_of(self.global_rank)
+    }
+
+    /// The rank→node map.
+    pub fn map(&self) -> &RankMap {
+        &self.shared.map
+    }
+
+    /// The cluster cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Whether buffers/payloads carry real data or sizes only.
+    pub fn mode(&self) -> DataMode {
+        self.shared.mode
+    }
+
+    /// Convenience: true in phantom (size-only) universes.
+    pub fn mode_is_phantom(&self) -> bool {
+        self.shared.mode == DataMode::Phantom
+    }
+
+    /// Current virtual time (µs).
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Reset this rank's virtual clock to zero (benchmark harness use;
+    /// always pair with a barrier so all ranks reset together).
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+    }
+
+    /// `MPI_COMM_WORLD`.
+    pub fn world(&self) -> Communicator {
+        Communicator {
+            inner: self.shared.world.clone(),
+            local_rank: self.global_rank,
+        }
+    }
+
+    /// Charge `flops` of modeled computation to this rank's clock.
+    pub fn compute(&mut self, flops: f64) {
+        let dt = self.shared.cost.compute(flops);
+        self.clock.advance(dt);
+        self.shared
+            .tracer
+            .record(self.global_rank, self.clock.now(), EventKind::Compute { flops });
+    }
+
+    /// Charge a raw amount of CPU time (µs) — for software overheads that
+    /// are neither messages, copies nor flops (e.g. argument vector
+    /// processing in irregular collectives).
+    pub fn charge_time(&mut self, us: f64) {
+        self.clock.advance(us);
+    }
+
+    /// Charge an explicit memcpy of `bytes` through shared memory.
+    pub fn charge_copy(&mut self, bytes: usize) {
+        let dt = self.shared.cost.copy(bytes);
+        self.clock.advance(dt);
+        self.shared
+            .tracer
+            .record(self.global_rank, self.clock.now(), EventKind::Copy { bytes });
+    }
+
+    /// A zero-initialized buffer respecting the universe's data mode.
+    pub fn buf_zeroed<T: ShmElem>(&self, len: usize) -> Buf<T> {
+        match self.shared.mode {
+            DataMode::Real => Buf::Real(vec![T::default(); len]),
+            DataMode::Phantom => Buf::Phantom(len),
+        }
+    }
+
+    /// A buffer initialized by `f(i)` (real mode) or size-only (phantom).
+    pub fn buf_from_fn<T: ShmElem>(&self, len: usize, f: impl FnMut(usize) -> T) -> Buf<T> {
+        match self.shared.mode {
+            DataMode::Real => Buf::Real((0..len).map(f).collect()),
+            DataMode::Phantom => Buf::Phantom(len),
+        }
+    }
+
+    /// Post a message to communicator-local rank `dst`. Eager/buffered:
+    /// never blocks. Charges the sender's software overhead and computes
+    /// the packet's arrival time from the link's α/β.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the payload's data mode
+    /// contradicts the universe's.
+    pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u32, payload: Payload) {
+        assert!(
+            dst < comm.size(),
+            "send destination {dst} out of range (comm size {})",
+            comm.size()
+        );
+        match (self.shared.mode, &payload) {
+            (DataMode::Real, Payload::Phantom(n)) if *n > 0 => {
+                panic!("phantom payload sent in a real-mode universe")
+            }
+            (DataMode::Phantom, Payload::Real(b)) if !b.is_empty() => {
+                panic!("real payload sent in a phantom-mode universe")
+            }
+            _ => {}
+        }
+        let global_dst = comm.global_of(dst);
+        let link = self.shared.map.link(self.global_rank, global_dst);
+        let bytes = payload.len();
+        self.clock.advance(self.shared.cost.o_send);
+        // Inter-node messages may pay a topology surcharge (dragonfly
+        // group crossing).
+        let topo_extra = if link == LinkClass::Network {
+            self.shared.cost.topology.group_extra(
+                self.shared.map.node_of(self.global_rank),
+                self.shared.map.node_of(global_dst),
+            )
+        } else {
+            0.0
+        };
+        let arrival = self.clock.now() + self.shared.cost.transit(link, bytes) + topo_extra;
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Send {
+                to: global_dst,
+                bytes,
+                intra: link == LinkClass::SharedMem,
+            },
+        );
+        self.shared.mailboxes[global_dst].push(
+            (comm.id(), comm.rank(), tag),
+            Packet {
+                src: comm.rank(),
+                tag,
+                payload,
+                arrival,
+            },
+        );
+    }
+
+    /// Blocking receive of the message from communicator-local rank `src`
+    /// with tag `tag`. Advances the clock to
+    /// `max(now + o_recv, arrival)`.
+    ///
+    /// # Panics
+    /// Panics (with a [`SimError::DeadlockSuspected`] payload the universe
+    /// converts into an error) if no matching message shows up within the
+    /// configured timeout.
+    pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u32) -> Payload {
+        assert!(
+            src < comm.size(),
+            "recv source {src} out of range (comm size {})",
+            comm.size()
+        );
+        let key = (comm.id(), src, tag);
+        let packet = match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout)
+        {
+            Some(p) => p,
+            None => std::panic::panic_any(SimError::DeadlockSuspected {
+                rank: self.global_rank,
+                comm: comm.id(),
+                src,
+                tag,
+            }),
+        };
+        self.clock.advance(self.shared.cost.o_recv);
+        self.clock.advance_to(packet.arrival);
+        let global_src = comm.global_of(src);
+        let link = self.shared.map.link(self.global_rank, global_src);
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Recv {
+                from: global_src,
+                bytes: packet.payload.len(),
+                intra: link == LinkClass::SharedMem,
+            },
+        );
+        packet.payload
+    }
+
+    /// A **zero-virtual-cost** rendezvous over `comm`: all members block
+    /// (in wall-clock time) until everyone has arrived, but no virtual
+    /// time is charged.
+    ///
+    /// This exists because the simulator executes ranks as real threads:
+    /// virtual-time synchronization (barriers) orders the *model*, but a
+    /// thread that lags in wall-clock time could observe a shared window
+    /// being rewritten by the next iteration. Placing an `oob_fence`
+    /// before window-reuse writes makes real-data runs deterministic
+    /// without perturbing the modeled timings. (On a real MPI system this
+    /// role is played by the collective's own synchronization semantics.)
+    pub fn oob_fence(&mut self, comm: &Communicator) {
+        let seq = self.next_oob_seq(comm.id());
+        let shared = Arc::clone(&self.shared);
+        shared.board.rendezvous(
+            (comm.id(), seq, crate::oob::KIND_FENCE),
+            comm.rank(),
+            comm.size(),
+            (),
+            shared.recv_timeout,
+            |_| (),
+        );
+    }
+
+    /// Post a shared synchronization flag for communicator-local rank
+    /// `dst`, which must be on the same node. Flags model a write to the
+    /// shared last-level cache: they bypass the MPI messaging stack, so
+    /// they only cost [`simnet::CostModel::flag_post_us`] plus a cache
+    /// propagation latency — the "light-weight" synchronization of the
+    /// paper's §6.
+    ///
+    /// # Panics
+    /// Panics if `dst` lives on a different node.
+    pub fn post_flag(&mut self, comm: &Communicator, dst: usize, tag: u32) {
+        let global_dst = comm.global_of(dst);
+        assert_eq!(
+            self.shared.map.node_of(global_dst),
+            self.node(),
+            "shared flags only work between on-node ranks"
+        );
+        self.clock.advance(self.shared.cost.flag_post_us);
+        let arrival = self.clock.now() + self.shared.cost.flag_latency_us;
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Send { to: global_dst, bytes: 0, intra: true },
+        );
+        self.shared.mailboxes[global_dst].push(
+            (comm.id(), comm.rank(), tag),
+            Packet {
+                src: comm.rank(),
+                tag,
+                payload: Payload::Phantom(0),
+                arrival,
+            },
+        );
+    }
+
+    /// Post a single shared flag observed by **every** other member of
+    /// `comm` (all of whom must be on this node): one cache-line write
+    /// that any number of pollers can see, so the CPU cost is charged
+    /// once regardless of the member count.
+    ///
+    /// # Panics
+    /// Panics if any member lives on a different node.
+    pub fn post_flag_multicast(&mut self, comm: &Communicator, tag: u32) {
+        for &g in comm.members() {
+            assert_eq!(
+                self.shared.map.node_of(g),
+                self.node(),
+                "shared flags only work between on-node ranks"
+            );
+        }
+        self.clock.advance(self.shared.cost.flag_post_us);
+        let arrival = self.clock.now() + self.shared.cost.flag_latency_us;
+        for dst in 0..comm.size() {
+            if dst == comm.rank() {
+                continue;
+            }
+            let global_dst = comm.global_of(dst);
+            self.shared.tracer.record(
+                self.global_rank,
+                self.clock.now(),
+                EventKind::Send { to: global_dst, bytes: 0, intra: true },
+            );
+            self.shared.mailboxes[global_dst].push(
+                (comm.id(), comm.rank(), tag),
+                Packet {
+                    src: comm.rank(),
+                    tag,
+                    payload: Payload::Phantom(0),
+                    arrival,
+                },
+            );
+        }
+    }
+
+    /// Wait for a flag posted by communicator-local rank `src` (same-node).
+    pub fn wait_flag(&mut self, comm: &Communicator, src: usize, tag: u32) {
+        let key = (comm.id(), src, tag);
+        let packet = match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout)
+        {
+            Some(p) => p,
+            None => std::panic::panic_any(SimError::DeadlockSuspected {
+                rank: self.global_rank,
+                comm: comm.id(),
+                src,
+                tag,
+            }),
+        };
+        self.clock.advance(self.shared.cost.flag_poll_us);
+        self.clock.advance_to(packet.arrival);
+        let global_src = comm.global_of(src);
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Recv { from: global_src, bytes: 0, intra: true },
+        );
+    }
+
+    /// Send region `[off, off+len)` of `buf` to `dst`.
+    pub fn send_region<T: ShmElem>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: u32,
+        buf: &Buf<T>,
+        off: usize,
+        len: usize,
+    ) {
+        let payload = buf.payload(off, len);
+        self.send(comm, dst, tag, payload);
+    }
+
+    /// Receive into `buf` at `off`; returns the number of elements
+    /// received.
+    pub fn recv_region<T: ShmElem>(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+        buf: &mut Buf<T>,
+        off: usize,
+    ) -> usize {
+        let payload = self.recv(comm, src, tag);
+        let elems = payload.len() / T::SIZE;
+        buf.write_payload(off, &payload);
+        elems
+    }
+
+    /// Post a nonblocking receive. Matching and completion are deferred
+    /// to [`RecvRequest::wait`]; because the clock only advances at the
+    /// wait, a receive posted early and waited late models genuine
+    /// communication/computation overlap.
+    pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u32) -> RecvRequest {
+        assert!(
+            src < comm.size(),
+            "irecv source {src} out of range (comm size {})",
+            comm.size()
+        );
+        RecvRequest {
+            comm: comm.clone(),
+            src,
+            tag,
+            done: false,
+        }
+    }
+
+    /// Nonblocking send. Sends in this runtime are always eager, so this
+    /// is the plain send returning a (trivially complete) request — the
+    /// MPI shape, for programs written in Isend/Irecv/Wait style.
+    pub fn isend(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: u32,
+        payload: Payload,
+    ) -> SendRequest {
+        self.send(comm, dst, tag, payload);
+        SendRequest { _done: true }
+    }
+
+    /// Combined send-then-receive (safe because sends are eager).
+    pub fn sendrecv(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        send_tag: u32,
+        payload: Payload,
+        src: usize,
+        recv_tag: u32,
+    ) -> Payload {
+        self.send(comm, dst, send_tag, payload);
+        self.recv(comm, src, recv_tag)
+    }
+
+    /// Record a barrier completion in the trace (called by barrier
+    /// implementations after their last message).
+    pub fn trace_barrier(&self) {
+        self.shared
+            .tracer
+            .record(self.global_rank, self.clock.now(), EventKind::Barrier);
+    }
+
+    /// Record a shared-window allocation of `bytes` by this rank.
+    pub(crate) fn trace_win_alloc(&self, bytes: usize) {
+        self.shared
+            .tracer
+            .record(self.global_rank, self.clock.now(), EventKind::WinAlloc { bytes });
+    }
+
+    /// Next out-of-band sequence number for setup collectives on the given
+    /// communicator id (SPMD programs call setup ops in the same order on
+    /// every rank, so per-rank counters agree).
+    pub(crate) fn next_oob_seq(&mut self, comm_id: u32) -> u32 {
+        let seq = self.oob_seqs.entry(comm_id).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+/// A pending nonblocking receive (see [`Ctx::irecv`]).
+#[derive(Debug)]
+pub struct RecvRequest {
+    comm: Communicator,
+    src: usize,
+    tag: u32,
+    done: bool,
+}
+
+impl RecvRequest {
+    /// Block until the matching message arrives and return its payload.
+    ///
+    /// # Panics
+    /// Panics if the request was already waited on.
+    pub fn wait(mut self, ctx: &mut Ctx) -> Payload {
+        assert!(!self.done, "request already completed");
+        self.done = true;
+        ctx.recv(&self.comm, self.src, self.tag)
+    }
+
+    /// Wait and write the payload into `buf` at `off`; returns the
+    /// element count received.
+    pub fn wait_into<T: crate::ShmElem>(
+        self,
+        ctx: &mut Ctx,
+        buf: &mut crate::Buf<T>,
+        off: usize,
+    ) -> usize {
+        let payload = self.wait(ctx);
+        let elems = payload.len() / T::SIZE;
+        buf.write_payload(off, &payload);
+        elems
+    }
+}
+
+/// A completed nonblocking send (sends are eager; see [`Ctx::isend`]).
+#[derive(Debug)]
+pub struct SendRequest {
+    _done: bool,
+}
+
+impl SendRequest {
+    /// No-op: the send already completed locally.
+    pub fn wait(self, _ctx: &mut Ctx) {}
+}
+
+/// Wait on a batch of receives in posting order, returning the payloads.
+pub fn wait_all(ctx: &mut Ctx, requests: Vec<RecvRequest>) -> Vec<Payload> {
+    requests.into_iter().map(|r| r.wait(ctx)).collect()
+}

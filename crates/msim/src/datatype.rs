@@ -1,0 +1,285 @@
+//! Derived datatypes: non-contiguous layouts with pack/unpack.
+//!
+//! The paper's §6 notes that non-SMP rank placements can be handled with
+//! MPI derived datatypes at a packing cost. This module provides that
+//! machinery: a [`Layout`] describes which elements of a buffer belong
+//! to a message; packing a non-contiguous layout charges the memcpy the
+//! real MPI implementation would pay, while contiguous layouts are free
+//! of extra copies.
+
+use crate::buffer::Buf;
+use crate::ctx::Ctx;
+use crate::elem::ShmElem;
+use crate::msg::Payload;
+use crate::universe::DataMode;
+use crate::window::SharedWindow;
+
+/// An element-selection pattern relative to a base offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// `count` consecutive elements (MPI_Type_contiguous).
+    Contiguous {
+        /// Number of elements.
+        count: usize,
+    },
+    /// `count` blocks of `block_len` elements, the starts `stride`
+    /// elements apart (MPI_Type_vector). A matrix column is
+    /// `Vector { count: rows, block_len: 1, stride: cols }`.
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        block_len: usize,
+        /// Distance between block starts, in elements (≥ block_len).
+        stride: usize,
+    },
+    /// Explicit blocks at explicit displacements (MPI_Type_indexed).
+    Indexed {
+        /// Element displacement of each block.
+        displs: Vec<usize>,
+        /// Length of each block.
+        block_lens: Vec<usize>,
+    },
+}
+
+impl Layout {
+    /// Total selected elements.
+    pub fn total_elems(&self) -> usize {
+        match self {
+            Layout::Contiguous { count } => *count,
+            Layout::Vector { count, block_len, .. } => count * block_len,
+            Layout::Indexed { block_lens, .. } => block_lens.iter().sum(),
+        }
+    }
+
+    /// The span touched, in elements (distance from the base offset to
+    /// one past the last selected element).
+    pub fn extent(&self) -> usize {
+        match self {
+            Layout::Contiguous { count } => *count,
+            Layout::Vector { count, block_len, stride } => {
+                if *count == 0 {
+                    0
+                } else {
+                    (count - 1) * stride + block_len
+                }
+            }
+            Layout::Indexed { displs, block_lens } => displs
+                .iter()
+                .zip(block_lens)
+                .map(|(d, l)| d + l)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Whether the selection is one contiguous run (no pack needed).
+    pub fn is_contiguous(&self) -> bool {
+        match self {
+            Layout::Contiguous { .. } => true,
+            Layout::Vector { count, block_len, stride } => {
+                *count <= 1 || block_len == stride
+            }
+            Layout::Indexed { displs, block_lens } => {
+                let mut expect = match displs.first() {
+                    Some(&d) => d,
+                    None => return true,
+                };
+                for (d, l) in displs.iter().zip(block_lens) {
+                    if *d != expect {
+                        return false;
+                    }
+                    expect = d + l;
+                }
+                true
+            }
+        }
+    }
+
+    /// Visit each selected element index (relative to the base offset),
+    /// in layout order.
+    fn for_each_index(&self, mut f: impl FnMut(usize)) {
+        match self {
+            Layout::Contiguous { count } => (0..*count).for_each(f),
+            Layout::Vector { count, block_len, stride } => {
+                for b in 0..*count {
+                    for i in 0..*block_len {
+                        f(b * stride + i);
+                    }
+                }
+            }
+            Layout::Indexed { displs, block_lens } => {
+                for (d, l) in displs.iter().zip(block_lens) {
+                    for i in 0..*l {
+                        f(d + i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pack the selected elements of `src` (starting at `base`) into a
+    /// message payload. Non-contiguous layouts charge the packing memcpy.
+    pub fn pack<T: ShmElem>(&self, ctx: &mut Ctx, src: &Buf<T>, base: usize) -> Payload {
+        assert!(base + self.extent() <= src.len(), "layout exceeds the source buffer");
+        let elems = self.total_elems();
+        if !self.is_contiguous() {
+            ctx.charge_copy(elems * T::SIZE);
+        }
+        match ctx.mode() {
+            DataMode::Phantom => Payload::Phantom(elems * T::SIZE),
+            DataMode::Real => {
+                let mut vals = Vec::with_capacity(elems);
+                self.for_each_index(|i| vals.push(src.get(base + i)));
+                Buf::Real(vals).payload_all()
+            }
+        }
+    }
+
+    /// Pack straight out of a shared window.
+    pub fn pack_window<T: ShmElem>(
+        &self,
+        ctx: &mut Ctx,
+        win: &SharedWindow<T>,
+        base: usize,
+    ) -> Payload {
+        assert!(base + self.extent() <= win.total_len(), "layout exceeds the window");
+        let elems = self.total_elems();
+        if !self.is_contiguous() {
+            ctx.charge_copy(elems * T::SIZE);
+        }
+        match ctx.mode() {
+            DataMode::Phantom => Payload::Phantom(elems * T::SIZE),
+            DataMode::Real => {
+                let mut vals = Vec::with_capacity(elems);
+                self.for_each_index(|i| vals.push(win.read(base + i)));
+                Buf::Real(vals).payload_all()
+            }
+        }
+    }
+
+    /// Unpack a received payload into the selected elements of `dst`
+    /// (starting at `base`). Non-contiguous layouts charge the unpack.
+    ///
+    /// # Panics
+    /// Panics if the payload does not hold exactly
+    /// [`Layout::total_elems`] elements.
+    pub fn unpack<T: ShmElem>(&self, ctx: &mut Ctx, payload: &Payload, dst: &mut Buf<T>, base: usize) {
+        let elems = self.total_elems();
+        assert_eq!(payload.len(), elems * T::SIZE, "payload does not match the layout");
+        assert!(base + self.extent() <= dst.len(), "layout exceeds the destination");
+        if !self.is_contiguous() {
+            ctx.charge_copy(elems * T::SIZE);
+        }
+        if let (DataMode::Real, Payload::Real(bytes)) = (ctx.mode(), payload) {
+            let mut vals = vec![T::default(); elems];
+            crate::elem::bytes_to_slice(bytes, &mut vals);
+            let mut it = vals.into_iter();
+            if let Some(slice) = dst.as_mut_slice() {
+                self.for_each_index(|i| slice[base + i] = it.next().expect("length checked"));
+            } else {
+                // Window-backed destination.
+                let mut writes = Vec::with_capacity(elems);
+                self.for_each_index(|i| writes.push(base + i));
+                if let Buf::Shared(w) = dst {
+                    for (idx, v) in writes.into_iter().zip(it) {
+                        w.write(idx, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    fn run1<T: Send>(f: impl Fn(&mut Ctx) -> T + Send + Sync) -> T {
+        let cfg = SimConfig::new(ClusterSpec::single_node(1), CostModel::uniform_test());
+        Universe::run(cfg, f).unwrap().per_rank.pop().unwrap()
+    }
+
+    #[test]
+    fn extents_and_counts() {
+        assert_eq!(Layout::Contiguous { count: 5 }.total_elems(), 5);
+        assert_eq!(Layout::Contiguous { count: 5 }.extent(), 5);
+        let col = Layout::Vector { count: 4, block_len: 1, stride: 10 };
+        assert_eq!(col.total_elems(), 4);
+        assert_eq!(col.extent(), 31);
+        let idx = Layout::Indexed { displs: vec![0, 8, 3], block_lens: vec![2, 2, 1] };
+        assert_eq!(idx.total_elems(), 5);
+        assert_eq!(idx.extent(), 10);
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        assert!(Layout::Contiguous { count: 9 }.is_contiguous());
+        assert!(Layout::Vector { count: 3, block_len: 4, stride: 4 }.is_contiguous());
+        assert!(!Layout::Vector { count: 3, block_len: 1, stride: 4 }.is_contiguous());
+        assert!(Layout::Vector { count: 1, block_len: 1, stride: 99 }.is_contiguous());
+        assert!(Layout::Indexed { displs: vec![2, 5], block_lens: vec![3, 1] }.is_contiguous());
+        assert!(!Layout::Indexed { displs: vec![2, 6], block_lens: vec![3, 1] }.is_contiguous());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_column() {
+        // A 4x5 row-major matrix; pack column 2.
+        let col = Layout::Vector { count: 4, block_len: 1, stride: 5 };
+        let got = run1(move |ctx| {
+            let src = Buf::Real((0..20).map(|i| i as f64).collect());
+            let payload = col.pack(ctx, &src, 2);
+            let mut dst = Buf::Real(vec![0.0f64; 20]);
+            col.unpack(ctx, &payload, &mut dst, 2);
+            dst.as_slice().unwrap().to_vec()
+        });
+        for (i, v) in got.iter().enumerate() {
+            let expected = if i % 5 == 2 { i as f64 } else { 0.0 };
+            assert_eq!(*v, expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn noncontiguous_pack_charges_a_copy() {
+        let (t_contig, t_strided) = run1(|ctx| {
+            let src = Buf::Real(vec![1.0f64; 64]);
+            let t0 = ctx.now();
+            let _ = Layout::Contiguous { count: 32 }.pack(ctx, &src, 0);
+            let t1 = ctx.now();
+            let _ = Layout::Vector { count: 32, block_len: 1, stride: 2 }.pack(ctx, &src, 0);
+            let t2 = ctx.now();
+            (t1 - t0, t2 - t1)
+        });
+        assert_eq!(t_contig, 0.0, "contiguous pack must be free");
+        assert!(t_strided > 0.0, "strided pack must charge the memcpy");
+    }
+
+    #[test]
+    fn indexed_roundtrip() {
+        let layout = Layout::Indexed { displs: vec![1, 6, 4], block_lens: vec![2, 1, 1] };
+        let got = run1(move |ctx| {
+            let src = Buf::Real((0..10).map(|i| i as f64 * 10.0).collect());
+            let payload = layout.pack(ctx, &src, 0);
+            assert_eq!(payload.len(), 4 * 8);
+            let mut dst = Buf::Real(vec![-1.0f64; 10]);
+            layout.unpack(ctx, &payload, &mut dst, 0);
+            dst.as_slice().unwrap().to_vec()
+        });
+        assert_eq!(got[1], 10.0);
+        assert_eq!(got[2], 20.0);
+        assert_eq!(got[6], 60.0);
+        assert_eq!(got[4], 40.0);
+        assert_eq!(got[0], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the source")]
+    fn pack_bounds_checked() {
+        run1(|ctx| {
+            let src = Buf::Real(vec![0.0f64; 8]);
+            Layout::Vector { count: 3, block_len: 1, stride: 4 }.pack(ctx, &src, 1);
+        });
+    }
+}

@@ -1,0 +1,196 @@
+//! Element types transportable through messages and shared windows.
+//!
+//! This is the (tiny) datatype layer of the runtime: the stand-in for MPI's
+//! basic datatypes. An element knows how to serialize itself into message
+//! bytes (little-endian) and how to round-trip through a 64-bit atomic cell
+//! (the storage unit of [`crate::SharedWindow`] in real mode).
+
+/// A plain-old-data element usable in buffers, messages and shared windows.
+///
+/// Implementations are provided for the types the paper's workloads use
+/// (`f64` everywhere, plus the usual integer types).
+pub trait ShmElem:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
+    /// Size of one element in message bytes.
+    const SIZE: usize;
+
+    /// Pack into a 64-bit cell (window storage).
+    fn to_bits64(self) -> u64;
+    /// Unpack from a 64-bit cell.
+    fn from_bits64(bits: u64) -> Self;
+
+    /// Serialize into exactly `Self::SIZE` bytes.
+    fn write_le(self, out: &mut [u8]);
+    /// Deserialize from exactly `Self::SIZE` bytes.
+    fn read_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_int_elem {
+    ($t:ty, $size:expr) => {
+        impl ShmElem for $t {
+            const SIZE: usize = $size;
+            #[inline]
+            fn to_bits64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits64(bits: u64) -> Self {
+                bits as $t
+            }
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out[..$size].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(inp: &[u8]) -> Self {
+                let mut b = [0u8; $size];
+                b.copy_from_slice(&inp[..$size]);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    };
+}
+
+impl_int_elem!(u8, 1);
+impl_int_elem!(u16, 2);
+impl_int_elem!(u32, 4);
+impl_int_elem!(u64, 8);
+impl_int_elem!(i32, 4);
+impl_int_elem!(i64, 8);
+
+impl ShmElem for f64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline]
+    fn write_le(self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(inp: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&inp[..8]);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl ShmElem for f32 {
+    const SIZE: usize = 4;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline]
+    fn write_le(self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(inp: &[u8]) -> Self {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&inp[..4]);
+        f32::from_le_bytes(b)
+    }
+}
+
+/// Serialize a slice of elements into a fresh byte vector.
+pub fn slice_to_bytes<T: ShmElem>(data: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; data.len() * T::SIZE];
+    for (i, &v) in data.iter().enumerate() {
+        v.write_le(&mut out[i * T::SIZE..]);
+    }
+    out
+}
+
+/// Deserialize bytes into `out`.
+///
+/// # Panics
+/// Panics if `bytes.len() != out.len() * T::SIZE`.
+pub fn bytes_to_slice<T: ShmElem>(bytes: &[u8], out: &mut [T]) {
+    assert_eq!(
+        bytes.len(),
+        out.len() * T::SIZE,
+        "byte length does not match element count"
+    );
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = T::read_le(&bytes[i * T::SIZE..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bits<T: ShmElem>(v: T) {
+        assert_eq!(T::from_bits64(v.to_bits64()), v);
+    }
+
+    fn roundtrip_bytes<T: ShmElem>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_le(&mut buf);
+        assert_eq!(T::read_le(&buf), v);
+    }
+
+    #[test]
+    fn f64_roundtrips() {
+        for v in [0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+            roundtrip_bits(v);
+            roundtrip_bytes(v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrips() {
+        for v in [0.0f32, -2.25, f32::MAX] {
+            roundtrip_bits(v);
+            roundtrip_bytes(v);
+        }
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip_bits(255u8);
+        roundtrip_bits(u16::MAX);
+        roundtrip_bits(u32::MAX);
+        roundtrip_bits(u64::MAX);
+        roundtrip_bits(-7i32);
+        roundtrip_bits(i64::MIN);
+        roundtrip_bytes(-7i32);
+        roundtrip_bytes(i64::MIN);
+    }
+
+    #[test]
+    fn negative_i32_bits_roundtrip_through_u64() {
+        // i32 -> u64 widening must come back intact.
+        let v: i32 = -123456;
+        assert_eq!(i32::from_bits64(v.to_bits64()), v);
+    }
+
+    #[test]
+    fn slice_serialization_roundtrip() {
+        let data = [1.0f64, -2.0, 3.5, 0.0];
+        let bytes = slice_to_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let mut out = [0.0f64; 4];
+        bytes_to_slice(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_lengths_panic() {
+        let bytes = [0u8; 9];
+        let mut out = [0.0f64; 1];
+        bytes_to_slice(&bytes, &mut out);
+    }
+}

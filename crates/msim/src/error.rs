@@ -1,0 +1,65 @@
+//! Error types surfaced by the runtime.
+
+use std::fmt;
+
+/// A fatal simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A rank blocked in `recv` longer than the configured deadlock
+    /// timeout. Carries (global rank, communicator id, source local rank,
+    /// tag) of the receive that never matched.
+    DeadlockSuspected {
+        /// Global rank that was blocked.
+        rank: usize,
+        /// Communicator context id of the pending receive.
+        comm: u32,
+        /// Expected source (communicator-local rank).
+        src: usize,
+        /// Expected tag.
+        tag: u32,
+    },
+    /// A rank thread panicked; carries the global rank and the panic
+    /// message when it was a string.
+    RankPanicked {
+        /// Global rank whose thread panicked.
+        rank: usize,
+        /// Panic payload rendered to a string when possible.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeadlockSuspected { rank, comm, src, tag } => write!(
+                f,
+                "rank {rank} blocked in recv(comm={comm}, src={src}, tag={tag}) \
+                 past the deadlock timeout — likely a communication deadlock"
+            ),
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_rank() {
+        let e = SimError::DeadlockSuspected { rank: 3, comm: 1, src: 0, tag: 9 };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("tag=9"));
+    }
+
+    #[test]
+    fn panic_display() {
+        let e = SimError::RankPanicked { rank: 1, message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+    }
+}

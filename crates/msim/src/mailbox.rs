@@ -1,0 +1,115 @@
+//! Per-rank incoming message queues with `(comm, src, tag)` matching.
+
+use crate::msg::Packet;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Matching key: (communicator context id, source rank in that
+/// communicator, user tag).
+pub(crate) type MatchKey = (u32, usize, u32);
+
+/// One rank's incoming mailbox.
+///
+/// Senders push eagerly (never block); receivers block until a matching
+/// packet exists or the deadlock timeout fires. Matching is exact — there
+/// is no `ANY_SOURCE`/`ANY_TAG` — which is what makes the whole simulation
+/// deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    queues: Mutex<HashMap<MatchKey, VecDeque<Packet>>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a packet (called from the sender's thread).
+    pub(crate) fn push(&self, key: MatchKey, packet: Packet) {
+        let mut q = self.queues.lock();
+        q.entry(key).or_default().push_back(packet);
+        self.arrived.notify_all();
+    }
+
+    /// Block until a packet matching `key` is available, or `timeout`
+    /// elapses (returns `None` — the caller reports a deadlock).
+    pub(crate) fn pop(&self, key: MatchKey, timeout: Duration) -> Option<Packet> {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&key) {
+                if let Some(packet) = queue.pop_front() {
+                    if queue.is_empty() {
+                        q.remove(&key);
+                    }
+                    return Some(packet);
+                }
+            }
+            if self.arrived.wait_for(&mut q, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of queued packets (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn queued(&self) -> usize {
+        self.queues.lock().values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+    use std::sync::Arc;
+
+    fn pkt(src: usize, tag: u32) -> Packet {
+        Packet {
+            src,
+            tag,
+            payload: Payload::empty(),
+            arrival: 0.0,
+        }
+    }
+
+    #[test]
+    fn push_pop_matches_by_key() {
+        let mb = Mailbox::new();
+        mb.push((0, 1, 7), pkt(1, 7));
+        mb.push((0, 2, 7), pkt(2, 7));
+        let got = mb.pop((0, 2, 7), Duration::from_secs(1)).unwrap();
+        assert_eq!(got.src, 2);
+        assert_eq!(mb.queued(), 1);
+    }
+
+    #[test]
+    fn fifo_within_a_key() {
+        let mb = Mailbox::new();
+        let mut a = pkt(0, 0);
+        a.arrival = 1.0;
+        let mut b = pkt(0, 0);
+        b.arrival = 2.0;
+        mb.push((0, 0, 0), a);
+        mb.push((0, 0, 0), b);
+        assert_eq!(mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival, 1.0);
+        assert_eq!(mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival, 2.0);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let mb = Mailbox::new();
+        assert!(mb.pop((0, 0, 0), Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.pop((1, 0, 3), Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push((1, 0, 3), pkt(0, 3));
+        assert!(h.join().unwrap().is_some());
+    }
+}

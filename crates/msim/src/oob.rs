@@ -1,0 +1,217 @@
+//! Out-of-band rendezvous for *setup* collectives.
+//!
+//! `MPI_Comm_split`, `MPI_Comm_split_type` and `MPI_Win_allocate_shared`
+//! are one-off setup operations whose cost the paper explicitly excludes
+//! from measurements ("the extra one-off activities are not evaluated").
+//! They still need real coordination between rank threads, which this
+//! module provides: every member deposits a value under a shared key; the
+//! last member to arrive runs a finisher over all deposits; everyone
+//! receives the shared result. No virtual time is charged.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// (communicator context id, per-handle op sequence, op kind)
+pub(crate) type BoardKey = (u32, u32, u8);
+
+pub(crate) const KIND_SPLIT: u8 = 0;
+pub(crate) const KIND_WIN_ALLOC: u8 = 1;
+pub(crate) const KIND_FENCE: u8 = 2;
+
+struct Entry {
+    expected: usize,
+    deposits: Vec<(usize, Box<dyn Any + Send>)>,
+    result: Option<Arc<dyn Any + Send + Sync>>,
+    taken: usize,
+}
+
+/// The global rendezvous board shared by all ranks of a universe.
+#[derive(Default)]
+pub(crate) struct OobBoard {
+    entries: Mutex<HashMap<BoardKey, Entry>>,
+    done: Condvar,
+}
+
+impl OobBoard {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit `value` for `member` under `key`; block until all `expected`
+    /// members have deposited; return the shared result computed by
+    /// `finish` (run once, by the last depositor, over deposits sorted by
+    /// member id).
+    ///
+    /// # Panics
+    /// Panics on timeout (a setup-collective deadlock: not all members of
+    /// the communicator made the same call) or on type confusion.
+    pub(crate) fn rendezvous<V, R>(
+        &self,
+        key: BoardKey,
+        member: usize,
+        expected: usize,
+        value: V,
+        timeout: Duration,
+        finish: impl FnOnce(Vec<(usize, V)>) -> R,
+    ) -> Arc<R>
+    where
+        V: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            expected,
+            deposits: Vec::with_capacity(expected),
+            result: None,
+            taken: 0,
+        });
+        assert_eq!(
+            entry.expected, expected,
+            "rendezvous members disagree on the group size (SPMD bug)"
+        );
+        assert!(
+            !entry.deposits.iter().any(|(m, _)| *m == member),
+            "member {member} deposited twice under the same key (SPMD bug)"
+        );
+        entry.deposits.push((member, Box::new(value)));
+
+        if entry.deposits.len() == expected {
+            // Last one in computes the result.
+            let mut deposits = std::mem::take(&mut entry.deposits);
+            deposits.sort_by_key(|(m, _)| *m);
+            let typed: Vec<(usize, V)> = deposits
+                .into_iter()
+                .map(|(m, b)| {
+                    (
+                        m,
+                        *b.downcast::<V>()
+                            .expect("rendezvous deposit type mismatch (SPMD bug)"),
+                    )
+                })
+                .collect();
+            let result: Arc<R> = Arc::new(finish(typed));
+            entry.result = Some(result.clone());
+            self.done.notify_all();
+            Self::take(&mut entries, key);
+            return result;
+        }
+
+        // Wait for the result.
+        loop {
+            if let Some(entry) = entries.get(&key) {
+                if let Some(result) = &entry.result {
+                    let result = result
+                        .clone()
+                        .downcast::<R>()
+                        .expect("rendezvous result type mismatch (SPMD bug)");
+                    Self::take(&mut entries, key);
+                    return result;
+                }
+            } else {
+                // Entry vanished: everyone else already took the result
+                // after we deposited — cannot happen because we only remove
+                // once all `expected` takers are counted.
+                unreachable!("rendezvous entry removed before all members took the result");
+            }
+            assert!(
+                !self.done.wait_for(&mut entries, timeout).timed_out(),
+                "setup-collective rendezvous timed out \
+                 (did every member of the communicator make the same call?)"
+            );
+        }
+    }
+
+    fn take(entries: &mut HashMap<BoardKey, Entry>, key: BoardKey) {
+        let entry = entries.get_mut(&key).expect("entry must exist while taking");
+        entry.taken += 1;
+        if entry.taken == entry.expected {
+            entries.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_members_get_the_same_result() {
+        let board = Arc::new(OobBoard::new());
+        let n = 8;
+        let handles: Vec<_> = (0..n)
+            .map(|m| {
+                let b = Arc::clone(&board);
+                std::thread::spawn(move || {
+                    b.rendezvous(
+                        (0, 0, KIND_SPLIT),
+                        m,
+                        n,
+                        m * 10,
+                        Duration::from_secs(5),
+                        |vals| vals.iter().map(|(_, v)| *v).sum::<usize>(),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(*r, (0..8).map(|m| m * 10).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn deposits_are_sorted_by_member() {
+        let board = Arc::new(OobBoard::new());
+        let n = 4;
+        let handles: Vec<_> = (0..n)
+            .rev() // arrive out of order
+            .map(|m| {
+                let b = Arc::clone(&board);
+                std::thread::spawn(move || {
+                    b.rendezvous(
+                        (1, 0, KIND_SPLIT),
+                        m,
+                        n,
+                        m,
+                        Duration::from_secs(5),
+                        |vals| vals.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn board_is_reusable_across_keys() {
+        let board = Arc::new(OobBoard::new());
+        for seq in 0..3u32 {
+            let handles: Vec<_> = (0..2)
+                .map(|m| {
+                    let b = Arc::clone(&board);
+                    std::thread::spawn(move || {
+                        *b.rendezvous((0, seq, KIND_WIN_ALLOC), m, 2, m, Duration::from_secs(5), |v| {
+                            v.len()
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 2);
+            }
+        }
+        assert!(board.entries.lock().is_empty(), "entries must be cleaned up");
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn missing_member_times_out() {
+        let board = OobBoard::new();
+        board.rendezvous((9, 9, KIND_SPLIT), 0, 2, (), Duration::from_millis(20), |_| ());
+    }
+}

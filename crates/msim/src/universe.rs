@@ -1,0 +1,544 @@
+//! Launching SPMD programs over the virtual cluster.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::time::Duration;
+
+use simnet::{ClusterSpec, CostModel, Placement, RankMap, Tracer};
+
+use crate::comm::CommInner;
+use crate::ctx::Ctx;
+use crate::error::SimError;
+use crate::mailbox::Mailbox;
+use crate::oob::OobBoard;
+
+/// Whether buffers and messages carry real data or only sizes.
+///
+/// Virtual time is identical in both modes (the cost model only sees
+/// lengths); `Phantom` exists so paper-scale experiments — 1536 ranks with
+/// hundreds of megabytes of buffer *each* — fit in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Materialize and transport all data (correctness runs, tests).
+    Real,
+    /// Transport sizes only (figure harnesses at paper scale).
+    Phantom,
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cluster: nodes and cores per node. One rank runs per core.
+    pub spec: ClusterSpec,
+    /// Communication/computation cost model.
+    pub cost: CostModel,
+    /// Rank→node placement policy (SMP-style block by default).
+    pub placement: Placement,
+    /// Real or phantom data.
+    pub mode: DataMode,
+    /// Record schedule events (off by default; used by structural tests).
+    pub trace: bool,
+    /// How long a blocked receive waits before the run is declared
+    /// deadlocked.
+    pub recv_timeout: Duration,
+    /// Stack size per rank thread. Rank programs keep large data on the
+    /// heap, so the default is modest to allow thousands of ranks.
+    pub stack_size: usize,
+}
+
+impl SimConfig {
+    /// A configuration with sensible defaults (SMP placement, real data,
+    /// no tracing, 30 s deadlock timeout, 1 MiB stacks).
+    pub fn new(spec: ClusterSpec, cost: CostModel) -> Self {
+        Self {
+            spec,
+            cost,
+            placement: Placement::SmpBlock,
+            mode: DataMode::Real,
+            trace: false,
+            recv_timeout: Duration::from_secs(30),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Use the given placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Use phantom (size-only) data.
+    pub fn phantom(mut self) -> Self {
+        self.mode = DataMode::Phantom;
+        self
+    }
+
+    /// Enable event tracing.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Override the deadlock timeout.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+}
+
+/// Universe-wide state shared by all rank threads.
+pub(crate) struct Shared {
+    pub(crate) cost: CostModel,
+    pub(crate) map: RankMap,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) tracer: Tracer,
+    pub(crate) mode: DataMode,
+    pub(crate) board: OobBoard,
+    pub(crate) next_comm_id: AtomicU32,
+    pub(crate) recv_timeout: Duration,
+    pub(crate) world: Arc<CommInner>,
+}
+
+/// The outcome of a run: each rank's return value and final virtual clock,
+/// plus the event trace when enabled.
+#[derive(Debug)]
+pub struct SimResult<T> {
+    /// Rank programs' return values, indexed by global rank.
+    pub per_rank: Vec<T>,
+    /// Final virtual time of each rank (µs), indexed by global rank.
+    pub clocks: Vec<f64>,
+    /// The event trace (empty unless tracing was enabled).
+    pub tracer: Tracer,
+}
+
+impl<T> SimResult<T> {
+    /// The latest final clock — the completion time of the whole program.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Entry point: runs SPMD programs.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` once per rank over the configured cluster and collect every
+    /// rank's result. Returns an error if any rank panics or a deadlock is
+    /// suspected.
+    pub fn run<T, F>(config: SimConfig, f: F) -> Result<SimResult<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Send + Sync,
+    {
+        let map = config.placement.build(&config.spec);
+        let nranks = map.nranks();
+        let world = Arc::new(CommInner::new(0, (0..nranks).collect()));
+        let shared = Arc::new(Shared {
+            cost: config.cost,
+            map,
+            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            tracer: if config.trace {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            },
+            mode: config.mode,
+            board: OobBoard::new(),
+            next_comm_id: AtomicU32::new(1),
+            recv_timeout: config.recv_timeout,
+            world,
+        });
+
+        type RankOutcome<T> = std::thread::Result<(T, f64)>;
+        let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..nranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for rank in 0..nranks {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank{rank}"))
+                    .stack_size(config.stack_size)
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = Ctx::new(rank, shared);
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let out = f(&mut ctx);
+                            (out, ctx.now())
+                        }))
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                outcomes[rank] = Some(handle.join().expect("rank thread infrastructure failure"));
+            }
+        });
+
+        let mut per_rank = Vec::with_capacity(nranks);
+        let mut clocks = Vec::with_capacity(nranks);
+        let mut first_error: Option<SimError> = None;
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome.expect("all ranks joined") {
+                Ok((value, clock)) => {
+                    per_rank.push(value);
+                    clocks.push(clock);
+                }
+                Err(payload) => {
+                    let err = if let Some(e) = payload.downcast_ref::<SimError>() {
+                        e.clone()
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        SimError::RankPanicked { rank, message: (*s).to_string() }
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        SimError::RankPanicked { rank, message: s.clone() }
+                    } else {
+                        SimError::RankPanicked { rank, message: "<non-string panic>".into() }
+                    };
+                    // A genuine rank panic is the root cause; the deadlock
+                    // timeouts it triggers on other ranks are symptoms. So
+                    // prefer the first RankPanicked, falling back to the
+                    // first DeadlockSuspected.
+                    let is_panic = matches!(err, SimError::RankPanicked { .. });
+                    match &first_error {
+                        None => first_error = Some(err),
+                        Some(SimError::DeadlockSuspected { .. }) if is_panic => {
+                            first_error = Some(err)
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(SimResult {
+            per_rank,
+            clocks,
+            tracer: shared.tracer.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+
+    fn small() -> SimConfig {
+        SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test())
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let r = Universe::run(small(), |ctx| (ctx.rank(), ctx.nranks(), ctx.node())).unwrap();
+        assert_eq!(
+            r.per_rank,
+            vec![(0, 4, 0), (1, 4, 0), (2, 4, 1), (3, 4, 1)]
+        );
+    }
+
+    #[test]
+    fn ping_pong_advances_clocks() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, Payload::empty());
+                ctx.recv(&world, 1, 1);
+            } else if ctx.rank() == 1 {
+                ctx.recv(&world, 0, 0);
+                ctx.send(&world, 0, 1, Payload::empty());
+            }
+            ctx.now()
+        })
+        .unwrap();
+        // cost: o_send=o_recv=1, alpha_intra=1 (ranks 0,1 share node 0).
+        // rank0 sends at t=1; arrival at rank1 = 1+1 = 2.
+        // rank1: recv completes at max(0+1, 2) = 2, send done at 3;
+        //        its reply arrives at rank0 at 3+1 = 4.
+        // rank0: recv completes at max(1+1, 4) = 4.
+        assert_eq!(r.per_rank[1], 3.0);
+        assert_eq!(r.per_rank[0], 4.0);
+        assert_eq!(r.per_rank[2], 0.0);
+    }
+
+    #[test]
+    fn inter_node_costs_more_than_intra() {
+        let run = |pair: (usize, usize)| {
+            Universe::run(small(), move |ctx| {
+                let world = ctx.world();
+                if ctx.rank() == pair.0 {
+                    ctx.send(&world, pair.1, 0, Payload::empty());
+                    0.0
+                } else if ctx.rank() == pair.1 {
+                    ctx.recv(&world, pair.0, 0);
+                    ctx.now()
+                } else {
+                    0.0
+                }
+            })
+            .unwrap()
+        };
+        let intra = run((0, 1)).per_rank[1];
+        let inter = run((0, 2)).per_rank[2];
+        assert!(inter > intra, "inter={inter} intra={intra}");
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let cfg = small().with_recv_timeout(Duration::from_millis(50));
+        let err = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                // Receive that nobody ever sends.
+                ctx.recv(&world, 1, 42);
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::DeadlockSuspected { rank, tag, .. } => {
+                assert_eq!(rank, 0);
+                assert_eq!(tag, 42);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_reported() {
+        let err = Universe::run(small(), |ctx| {
+            if ctx.rank() == 2 {
+                panic!("intentional test panic");
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 2);
+                assert!(message.contains("intentional"));
+            }
+            other => panic!("expected rank panic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn split_shared_gives_node_comms() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            let shm = world.split_shared(ctx);
+            (shm.rank(), shm.size(), shm.members().to_vec())
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], (0, 2, vec![0, 1]));
+        assert_eq!(r.per_rank[1], (1, 2, vec![0, 1]));
+        assert_eq!(r.per_rank[2], (0, 2, vec![2, 3]));
+        assert_eq!(r.per_rank[3], (1, 2, vec![2, 3]));
+    }
+
+    #[test]
+    fn bridge_contains_only_leaders() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            let shm = world.split_shared(ctx);
+            let bridge = world.split_bridge(ctx, &shm);
+            bridge.map(|b| (b.rank(), b.size(), b.members().to_vec()))
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], Some((0, 2, vec![0, 2])));
+        assert_eq!(r.per_rank[1], None);
+        assert_eq!(r.per_rank[2], Some((1, 2, vec![0, 2])));
+        assert_eq!(r.per_rank[3], None);
+    }
+
+    #[test]
+    fn split_orders_by_key_then_parent_rank() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            // Everyone same color; reverse order by key.
+            let key = -(ctx.rank() as i64);
+            let c = world.split(ctx, Some(7), key).unwrap();
+            (c.rank(), c.members().to_vec())
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0], (3, vec![3, 2, 1, 0]));
+        assert_eq!(r.per_rank[3], (0, vec![3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn traffic_on_sibling_comms_does_not_interfere() {
+        // Two disjoint comms both do a 0->1 send with the same tag; the
+        // context id keeps them apart.
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            let color = (ctx.rank() % 2) as i64;
+            let c = world.split(ctx, Some(color), 0).unwrap();
+            if c.rank() == 0 {
+                let payload = Payload::Real(bytes::Bytes::from(vec![ctx.rank() as u8]));
+                ctx.send(&c, 1, 5, payload);
+                0
+            } else {
+                ctx.recv(&c, 0, 5).bytes()[0]
+            }
+        })
+        .unwrap();
+        // comm color0 = {0,2}: rank2 receives byte 0.
+        // comm color1 = {1,3}: rank3 receives byte 1.
+        assert_eq!(r.per_rank[2], 0);
+        assert_eq!(r.per_rank[3], 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            Universe::run(small(), |ctx| {
+                let world = ctx.world();
+                // All-to-all ping storm with data-size-dependent costs.
+                for peer in 0..ctx.nranks() {
+                    if peer != ctx.rank() {
+                        let payload =
+                            Payload::Real(bytes::Bytes::from(vec![0u8; 64 * (peer + 1)]));
+                        ctx.send(&world, peer, 0, payload);
+                    }
+                }
+                for peer in 0..ctx.nranks() {
+                    if peer != ctx.rank() {
+                        ctx.recv(&world, peer, 0);
+                    }
+                }
+                ctx.now()
+            })
+            .unwrap()
+            .clocks
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual time must be deterministic");
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let r = Universe::run(small(), |ctx| {
+            ctx.compute(ctx.rank() as f64 * 100.0);
+        })
+        .unwrap();
+        assert_eq!(r.makespan(), r.clocks[3]);
+    }
+
+    #[test]
+    fn phantom_mode_rejects_real_data() {
+        let cfg = small().phantom().with_recv_timeout(Duration::from_millis(100));
+        let err = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                let payload = Payload::Real(bytes::Bytes::from(vec![1u8, 2]));
+                ctx.send(&world, 1, 0, payload);
+            } else if ctx.rank() == 1 {
+                ctx.recv(&world, 0, 0);
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::RankPanicked { rank: 0, .. }));
+    }
+
+    #[test]
+    fn buffers_follow_universe_mode() {
+        let real = Universe::run(small(), |ctx| ctx.buf_zeroed::<f64>(4).is_phantom()).unwrap();
+        assert!(real.per_rank.iter().all(|p| !p));
+        let ph = Universe::run(small().phantom(), |ctx| ctx.buf_zeroed::<f64>(4).is_phantom())
+            .unwrap();
+        assert!(ph.per_rank.iter().all(|p| *p));
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use crate::msg::Payload;
+
+    fn small() -> SimConfig {
+        SimConfig::new(ClusterSpec::regular(1, 3), CostModel::uniform_test())
+    }
+
+    #[test]
+    fn irecv_posted_early_overlaps_compute() {
+        // Rank 1 posts the receive, computes 100 µs, then waits. The
+        // message (arriving at ~2 µs) must not add to the 100 µs.
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, Payload::empty());
+                0.0
+            } else if ctx.rank() == 1 {
+                let req = ctx.irecv(&world, 0, 0);
+                ctx.compute(100.0);
+                req.wait(ctx);
+                ctx.now()
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        // compute 100 + o_recv 1 = 101; arrival (~2) is absorbed.
+        assert_eq!(r.per_rank[1], 101.0);
+    }
+
+    #[test]
+    fn blocking_recv_does_not_overlap() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.compute(50.0); // delay the send
+                ctx.send(&world, 1, 0, Payload::empty());
+                0.0
+            } else if ctx.rank() == 1 {
+                ctx.recv(&world, 0, 0); // waits for the late sender
+                ctx.compute(100.0);
+                ctx.now()
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        // arrival at 50+1+1=52, then compute: 152.
+        assert_eq!(r.per_rank[1], 152.0);
+    }
+
+    #[test]
+    fn wait_all_preserves_posting_order() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 2 {
+                let reqs = vec![ctx.irecv(&world, 0, 7), ctx.irecv(&world, 1, 7)];
+                let payloads = crate::ctx::wait_all(ctx, reqs);
+                payloads.iter().map(|p| p.len()).collect::<Vec<_>>()
+            } else {
+                let data = vec![0u8; ctx.rank() + 1];
+                ctx.send(&world, 2, 7, Payload::Real(bytes::Bytes::from(data)));
+                vec![]
+            }
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[2], vec![1, 2]);
+    }
+
+    #[test]
+    fn isend_wait_is_noop() {
+        let r = Universe::run(small(), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                let req = ctx.isend(&world, 1, 0, Payload::empty());
+                let t = ctx.now();
+                req.wait(ctx);
+                (ctx.now() - t, true)
+            } else if ctx.rank() == 1 {
+                ctx.recv(&world, 0, 0);
+                (0.0, true)
+            } else {
+                (0.0, false)
+            }
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0].0, 0.0, "isend wait must be free");
+    }
+}

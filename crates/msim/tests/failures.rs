@@ -1,0 +1,139 @@
+//! Failure-injection tests: the runtime must surface misuse and broken
+//! programs as clear, attributable errors instead of hangs or silence.
+
+use msim::{Payload, SimConfig, SimError, Universe};
+use simnet::{ClusterSpec, CostModel, Placement};
+use std::time::Duration;
+
+fn cfg(nodes: usize, ppn: usize) -> SimConfig {
+    SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test())
+        .with_recv_timeout(Duration::from_millis(100))
+}
+
+#[test]
+fn deadlock_cycle_is_detected() {
+    // Two ranks both receive first: classic deadlock (sends are eager
+    // here, so we simulate with receives that are never sent).
+    let err = Universe::run(cfg(1, 2), |ctx| {
+        let world = ctx.world();
+        let peer = 1 - ctx.rank();
+        ctx.recv(&world, peer, 1); // nobody sends tag 1
+    })
+    .unwrap_err();
+    assert!(matches!(err, SimError::DeadlockSuspected { .. }), "{err}");
+}
+
+#[test]
+fn tag_mismatch_is_a_deadlock_not_a_wrong_delivery() {
+    let err = Universe::run(cfg(1, 2), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&world, 1, 7, Payload::empty());
+        } else {
+            ctx.recv(&world, 0, 8); // wrong tag
+        }
+    })
+    .unwrap_err();
+    match err {
+        SimError::DeadlockSuspected { rank, tag, .. } => {
+            assert_eq!((rank, tag), (1, 8));
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn out_of_range_destination_panics_with_context() {
+    let err = Universe::run(cfg(1, 2), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&world, 5, 0, Payload::empty());
+        }
+    })
+    .unwrap_err();
+    match err {
+        SimError::RankPanicked { rank, message } => {
+            assert_eq!(rank, 0);
+            assert!(message.contains("out of range"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn split_color_mismatch_times_out_cleanly() {
+    // Rank 0 never calls split: the others' rendezvous must time out
+    // with the SPMD hint rather than hang forever.
+    let err = Universe::run(cfg(1, 3), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() != 0 {
+            let _ = world.split(ctx, Some(0), 0);
+        }
+    })
+    .unwrap_err();
+    match err {
+        SimError::RankPanicked { message, .. } => {
+            assert!(message.contains("same call"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn window_out_of_bounds_read_is_caught() {
+    let err = Universe::run(cfg(1, 2), |ctx| {
+        let world = ctx.world();
+        let shm = world.split_shared(ctx);
+        let win = msim::SharedWindow::<f64>::allocate(ctx, &shm, 4);
+        let _ = win.read(100);
+    })
+    .unwrap_err();
+    match err {
+        SimError::RankPanicked { message, .. } => {
+            assert!(message.contains("out of bounds"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn flags_between_nodes_are_rejected() {
+    // Shared-cache flags only exist within a node.
+    let err = Universe::run(cfg(2, 1), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.post_flag(&world, 1, 0);
+        }
+    })
+    .unwrap_err();
+    match err {
+        SimError::RankPanicked { message, .. } => {
+            assert!(message.contains("on-node"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn custom_placement_overflow_is_rejected_before_spawn() {
+    let result = std::panic::catch_unwind(|| {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 1), CostModel::uniform_test())
+            .with_placement(Placement::Custom(vec![0, 0]));
+        let _ = Universe::run(cfg, |_ctx| ());
+    });
+    assert!(result.is_err(), "over-capacity placement must panic");
+}
+
+#[test]
+fn error_display_names_the_rank_and_receive() {
+    let err = Universe::run(cfg(1, 2), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 1 {
+            ctx.recv(&world, 0, 42);
+        }
+    })
+    .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("rank 1"), "{text}");
+    assert!(text.contains("tag=42"), "{text}");
+}

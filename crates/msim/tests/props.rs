@@ -1,0 +1,80 @@
+//! Property-based tests for the runtime's data layer.
+
+use msim::elem::{bytes_to_slice, slice_to_bytes};
+use msim::{Buf, Payload, ShmElem};
+use proptest::prelude::*;
+
+fn roundtrip_one<T: ShmElem>(v: T) -> bool {
+    let mut bytes = vec![0u8; T::SIZE];
+    v.write_le(&mut bytes);
+    T::read_le(&bytes) == v && T::from_bits64(v.to_bits64()) == v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f64_roundtrips(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        prop_assert!(roundtrip_one(v));
+    }
+
+    #[test]
+    fn integers_roundtrip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>(), d in any::<i32>(), e in any::<u8>()) {
+        prop_assert!(roundtrip_one(a));
+        prop_assert!(roundtrip_one(b));
+        prop_assert!(roundtrip_one(c));
+        prop_assert!(roundtrip_one(d));
+        prop_assert!(roundtrip_one(e));
+    }
+
+    #[test]
+    fn slices_roundtrip(data in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+        let bytes = slice_to_bytes(&data);
+        let mut out = vec![0.0f64; data.len()];
+        bytes_to_slice(&bytes, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn payload_slicing_composes(len in 1usize..128, a in 0usize..64, b in 0usize..64) {
+        let a = a.min(len - 1);
+        let w = (b % (len - a)).max(1).min(len - a);
+        let data: Vec<u8> = (0..len as u8).collect();
+        let p = Payload::Real(bytes::Bytes::from(data.clone()));
+        let s = p.slice(a, w);
+        prop_assert_eq!(s.len(), w);
+        prop_assert_eq!(s.bytes().as_ref(), &data[a..a + w]);
+        // Phantom mirrors the arithmetic.
+        let q = Payload::Phantom(len).slice(a, w);
+        prop_assert_eq!(q.len(), w);
+    }
+
+    #[test]
+    fn buf_payload_writeback(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..64),
+        off_frac in 0usize..8,
+    ) {
+        let src = Buf::Real(data.clone());
+        let n = data.len();
+        let off = off_frac % n;
+        let len = n - off;
+        let payload = src.payload(off, len);
+        let mut dst = Buf::Real(vec![0.0f64; n]);
+        dst.write_payload(off, &payload);
+        let out = dst.as_slice().unwrap();
+        prop_assert_eq!(&out[off..], &data[off..]);
+        prop_assert!(out[..off].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn phantom_buf_mirrors_lengths(n in 0usize..512, off in 0usize..32) {
+        let b: Buf<f64> = Buf::Phantom(n);
+        prop_assert_eq!(b.len(), n);
+        prop_assert_eq!(b.byte_len(), n * 8);
+        if off < n {
+            let p = b.payload(off, n - off);
+            prop_assert!(p.is_phantom());
+            prop_assert_eq!(p.len(), (n - off) * 8);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-rank deterministic virtual clock.
+
+/// A virtual clock in microseconds.
+///
+/// Each simulated rank owns one clock. Local actions advance it by a cost;
+/// receiving a message may jump it forward to the message's arrival time
+/// (never backward). Because all costs are derived deterministically from
+/// the executed schedule, virtual time is bit-identical across runs and
+/// thread interleavings.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current virtual time in µs.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` µs.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or NaN (a cost model bug).
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance clock by negative/NaN time: {dt}");
+        self.now += dt;
+    }
+
+    /// Move forward to `t` if `t` is later than now; otherwise do nothing.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Reset to time zero (used between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(1.5);
+        c.advance(2.5);
+        assert_eq!(c.now(), 4.0);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backward() {
+        let mut c = Clock::new();
+        c.advance(10.0);
+        c.advance_to(5.0);
+        assert_eq!(c.now(), 10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.now(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_advance_panics() {
+        Clock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = Clock::new();
+        c.advance(3.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+}

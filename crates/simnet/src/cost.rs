@@ -1,0 +1,319 @@
+//! Communication/computation cost model.
+//!
+//! A Hockney-style "α + β·n" model with LogGP-like software overhead, split
+//! by link class (intra-node shared memory vs. inter-node network), plus a
+//! memcpy bandwidth term for explicit data copies through shared memory and
+//! a per-core flop rate for modeled computation.
+//!
+//! All times are in **microseconds**, all sizes in **bytes**.
+//!
+//! The model is deliberately simple: the paper's conclusions are relative
+//! comparisons between *communication schedules*, and those schedules are
+//! produced by actually executing the collective algorithms in `msim`. The
+//! cost model only has to price a single message, a single memcpy, and a
+//! flop, with realistic intra/inter ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect topology refinement for the inter-node latency term.
+///
+/// The paper's Cray XC40 uses the Aries *dragonfly* topology: nodes in
+/// the same group reach each other in fewer hops than nodes in
+/// different groups. `Flat` (the default in all presets, so the headline
+/// figures stay topology-neutral) prices every inter-node hop equally;
+/// `Dragonfly` adds a latency surcharge between groups — used by the
+/// topology ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetTopology {
+    /// Uniform inter-node latency.
+    Flat,
+    /// Nodes are grouped; crossing a group boundary costs extra latency.
+    Dragonfly {
+        /// Nodes per dragonfly group.
+        nodes_per_group: usize,
+        /// Extra latency (µs) for inter-group messages.
+        inter_group_alpha_extra: f64,
+    },
+}
+
+impl NetTopology {
+    /// The latency surcharge between two nodes (0 within a group or on
+    /// flat networks).
+    pub fn group_extra(&self, node_a: usize, node_b: usize) -> f64 {
+        match self {
+            NetTopology::Flat => 0.0,
+            NetTopology::Dragonfly { nodes_per_group, inter_group_alpha_extra } => {
+                if node_a / nodes_per_group == node_b / nodes_per_group {
+                    0.0
+                } else {
+                    *inter_group_alpha_extra
+                }
+            }
+        }
+    }
+}
+
+/// Which physical path a point-to-point message takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Both ranks are on the same SMP node: transfer through shared memory.
+    SharedMem,
+    /// Ranks are on different nodes: transfer over the interconnect.
+    Network,
+}
+
+/// The cost model of a cluster.
+///
+/// Presets [`CostModel::cray_aries`] and [`CostModel::nec_infiniband`]
+/// approximate the two systems of the paper's evaluation (Cray XC40
+/// "Hazel Hen" and the NEC "Vulcan" cluster, both with 24-core Intel
+/// Haswell E5-2680v3 nodes at 2.5 GHz).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU overhead of posting a send (µs), charged to the sender.
+    pub o_send: f64,
+    /// CPU overhead of completing a receive (µs), charged to the receiver.
+    pub o_recv: f64,
+    /// Latency of an intra-node (shared-memory) message (µs).
+    pub alpha_intra: f64,
+    /// Inverse bandwidth of an intra-node message (µs per byte).
+    pub beta_intra: f64,
+    /// Latency of an inter-node (network) message (µs).
+    pub alpha_inter: f64,
+    /// Inverse bandwidth of an inter-node message (µs per byte).
+    pub beta_inter: f64,
+    /// Message size (bytes) above which the rendezvous protocol adds an
+    /// extra round-trip handshake to the latency term.
+    pub rendezvous_threshold: usize,
+    /// Fixed cost of touching shared memory for a copy (µs).
+    pub copy_alpha: f64,
+    /// Inverse memcpy bandwidth through shared memory (µs per byte).
+    pub copy_beta: f64,
+    /// Per-core sustained compute rate (flops per µs).
+    pub flops_per_us: f64,
+    /// CPU cost of writing a shared synchronization flag (µs). Flags live
+    /// in the shared last-level cache and bypass the MPI software stack,
+    /// which is what makes flag synchronization "light-weight" (paper §6
+    /// and the Graham & Shipman shared-flag optimization it cites).
+    pub flag_post_us: f64,
+    /// Propagation latency of a flag write to another core (µs).
+    pub flag_latency_us: f64,
+    /// CPU cost of (successfully) polling a flag (µs).
+    pub flag_poll_us: f64,
+    /// Per-rank software entry fee of one MPI collective call (argument
+    /// checking, communicator lookup, algorithm selection) in µs. Every
+    /// member of the communicator pays it once per call.
+    pub coll_entry_us: f64,
+    /// Entry fee of `MPI_Barrier` (µs) — barriers take a leaner path
+    /// through the stack than data-moving collectives.
+    pub barrier_entry_us: f64,
+    /// Inter-node topology refinement (flat in every preset; see
+    /// [`NetTopology`]).
+    pub topology: NetTopology,
+}
+
+impl CostModel {
+    /// Cray XC40 ("Hazel Hen"): Aries dragonfly interconnect, Cray MPI.
+    ///
+    /// ~1.3 µs network latency, ~10 GB/s per-link bandwidth, fast on-node
+    /// MPI (tuned shared-memory transport).
+    pub fn cray_aries() -> Self {
+        Self {
+            o_send: 0.25,
+            o_recv: 0.25,
+            alpha_intra: 0.30,
+            beta_intra: 1.25e-4, // ~8 GB/s through shared memory
+            alpha_inter: 1.30,
+            beta_inter: 1.0e-4, // ~10 GB/s Aries
+            rendezvous_threshold: 64 * 1024,
+            copy_alpha: 0.05,
+            copy_beta: 1.0e-4, // ~10 GB/s memcpy
+            flops_per_us: 1.0e4, // ~10 GFlop/s/core sustained dgemm
+            flag_post_us: 0.04,
+            flag_latency_us: 0.10,
+            flag_poll_us: 0.04,
+            coll_entry_us: 0.30,
+            barrier_entry_us: 0.10,
+            topology: NetTopology::Flat,
+        }
+    }
+
+    /// NEC cluster ("Vulcan"): InfiniBand interconnect, OpenMPI.
+    ///
+    /// Slightly higher latency and lower bandwidth than Aries, and a bit
+    /// more per-call software overhead, matching the generally higher
+    /// OpenMPI curves in the paper's plots.
+    pub fn nec_infiniband() -> Self {
+        Self {
+            o_send: 0.35,
+            o_recv: 0.35,
+            alpha_intra: 0.40,
+            beta_intra: 1.4e-4,
+            alpha_inter: 1.70,
+            beta_inter: 1.6e-4, // ~6 GB/s FDR InfiniBand
+            rendezvous_threshold: 32 * 1024,
+            copy_alpha: 0.05,
+            copy_beta: 1.0e-4,
+            flops_per_us: 1.0e4,
+            flag_post_us: 0.05,
+            flag_latency_us: 0.12,
+            flag_poll_us: 0.05,
+            coll_entry_us: 0.40,
+            barrier_entry_us: 0.15,
+            topology: NetTopology::Flat,
+        }
+    }
+
+    /// A fast, idealized model for unit tests (unit-ish costs, easy to
+    /// reason about by hand).
+    pub fn uniform_test() -> Self {
+        Self {
+            o_send: 1.0,
+            o_recv: 1.0,
+            alpha_intra: 1.0,
+            beta_intra: 0.001,
+            alpha_inter: 10.0,
+            beta_inter: 0.01,
+            rendezvous_threshold: usize::MAX,
+            copy_alpha: 0.0,
+            copy_beta: 0.001,
+            flops_per_us: 1.0,
+            flag_post_us: 0.25,
+            flag_latency_us: 0.5,
+            flag_poll_us: 0.25,
+            coll_entry_us: 1.0,
+            barrier_entry_us: 0.5,
+            topology: NetTopology::Flat,
+        }
+    }
+
+    /// Latency (α) of a message on `link` of the given size, including the
+    /// rendezvous handshake when the size exceeds the threshold.
+    pub fn alpha(&self, link: LinkClass, bytes: usize) -> f64 {
+        let base = match link {
+            LinkClass::SharedMem => self.alpha_intra,
+            LinkClass::Network => self.alpha_inter,
+        };
+        if bytes > self.rendezvous_threshold {
+            // One extra round trip to negotiate the rendezvous.
+            base * 3.0
+        } else {
+            base
+        }
+    }
+
+    /// Inverse bandwidth (β) on `link` in µs/byte.
+    pub fn beta(&self, link: LinkClass) -> f64 {
+        match link {
+            LinkClass::SharedMem => self.beta_intra,
+            LinkClass::Network => self.beta_inter,
+        }
+    }
+
+    /// Wire time of a message: time from injection to arrival (µs),
+    /// excluding the sender/receiver CPU overheads.
+    pub fn transit(&self, link: LinkClass, bytes: usize) -> f64 {
+        self.alpha(link, bytes) + self.beta(link) * bytes as f64
+    }
+
+    /// Cost of an explicit memcpy of `bytes` through shared memory (µs).
+    pub fn copy(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.copy_alpha + self.copy_beta * bytes as f64
+        }
+    }
+
+    /// Cost of `flops` floating-point operations on one core (µs).
+    pub fn compute(&self, flops: f64) -> f64 {
+        flops / self.flops_per_us
+    }
+
+    /// Switch to a dragonfly topology (builder style; used by the
+    /// topology ablation).
+    pub fn with_dragonfly(mut self, nodes_per_group: usize, extra_us: f64) -> Self {
+        assert!(nodes_per_group > 0, "groups must hold at least one node");
+        self.topology = NetTopology::Dragonfly {
+            nodes_per_group,
+            inter_group_alpha_extra: extra_us,
+        };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_monotone_in_size() {
+        let m = CostModel::cray_aries();
+        for link in [LinkClass::SharedMem, LinkClass::Network] {
+            let mut prev = 0.0;
+            for bytes in [0usize, 1, 64, 4096, 1 << 20] {
+                let t = m.transit(link, bytes);
+                assert!(t >= prev, "transit must not decrease with size");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn network_slower_than_shared_memory() {
+        for m in [CostModel::cray_aries(), CostModel::nec_infiniband()] {
+            for bytes in [8usize, 4096, 1 << 18] {
+                assert!(
+                    m.transit(LinkClass::Network, bytes)
+                        > m.transit(LinkClass::SharedMem, bytes) * 0.5,
+                    "network latency should dominate at small sizes"
+                );
+            }
+            assert!(m.alpha_inter > m.alpha_intra);
+        }
+    }
+
+    #[test]
+    fn rendezvous_adds_latency() {
+        let m = CostModel::cray_aries();
+        let below = m.alpha(LinkClass::Network, m.rendezvous_threshold);
+        let above = m.alpha(LinkClass::Network, m.rendezvous_threshold + 1);
+        assert!(above > below);
+    }
+
+    #[test]
+    fn zero_copy_is_free() {
+        let m = CostModel::cray_aries();
+        assert_eq!(m.copy(0), 0.0);
+        assert!(m.copy(1) > 0.0);
+    }
+
+    #[test]
+    fn compute_scales_linearly() {
+        let m = CostModel::cray_aries();
+        assert!((m.compute(2.0e4) - 2.0 * m.compute(1.0e4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert_ne!(CostModel::cray_aries(), CostModel::nec_infiniband());
+    }
+
+    #[test]
+    fn dragonfly_surcharge_applies_between_groups_only() {
+        let flat = NetTopology::Flat;
+        assert_eq!(flat.group_extra(0, 63), 0.0);
+        let df = NetTopology::Dragonfly { nodes_per_group: 4, inter_group_alpha_extra: 0.5 };
+        assert_eq!(df.group_extra(0, 3), 0.0);
+        assert_eq!(df.group_extra(0, 4), 0.5);
+        assert_eq!(df.group_extra(5, 6), 0.0);
+        assert_eq!(df.group_extra(7, 8), 0.5);
+    }
+
+    #[test]
+    fn with_dragonfly_builder() {
+        let m = CostModel::cray_aries().with_dragonfly(16, 0.4);
+        assert_eq!(m.topology.group_extra(0, 15), 0.0);
+        assert_eq!(m.topology.group_extra(0, 16), 0.4);
+    }
+}

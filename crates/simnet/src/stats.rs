@@ -1,0 +1,63 @@
+//! Small statistics helpers for summarizing per-rank timings.
+
+/// Summary statistics over a set of per-rank values (e.g. latencies in µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value. For a collective, the max across ranks is the
+    /// operation's completion time and is what the OSU benchmark reports.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty slice");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Self {
+            min,
+            max,
+            mean: sum / values.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 6.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn summary_of_single_value() {
+        let s = Summary::of(&[4.2]);
+        assert_eq!(s.min, 4.2);
+        assert_eq!(s.max, 4.2);
+        assert_eq!(s.mean, 4.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+}

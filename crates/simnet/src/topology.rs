@@ -1,0 +1,149 @@
+//! Cluster topology: a list of SMP nodes and the number of cores on each.
+
+use serde::{Deserialize, Serialize};
+
+/// Describes a cluster as an ordered list of nodes, each with a core count.
+///
+/// Core counts may differ between nodes ("irregularly populated nodes",
+/// cf. Fig. 10 of the paper, which uses 42 nodes with 24 processes and one
+/// node with 16).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    cores_per_node: Vec<usize>,
+}
+
+impl ClusterSpec {
+    /// A regular cluster: `nodes` nodes with `ppn` cores each.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `ppn == 0`.
+    pub fn regular(nodes: usize, ppn: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        assert!(ppn > 0, "nodes must have at least one core");
+        Self {
+            cores_per_node: vec![ppn; nodes],
+        }
+    }
+
+    /// A single SMP node with `ppn` cores (the paper's first extreme case).
+    pub fn single_node(ppn: usize) -> Self {
+        Self::regular(1, ppn)
+    }
+
+    /// An irregular cluster given explicit per-node core counts.
+    ///
+    /// # Panics
+    /// Panics if `cores_per_node` is empty or any entry is zero.
+    pub fn irregular(cores_per_node: Vec<usize>) -> Self {
+        assert!(!cores_per_node.is_empty(), "cluster must have at least one node");
+        assert!(
+            cores_per_node.iter().all(|&c| c > 0),
+            "every node must have at least one core"
+        );
+        Self { cores_per_node }
+    }
+
+    /// The irregular population used by Fig. 10 of the paper:
+    /// 42 nodes with 24 processes plus one node with 16 (1024 ranks total).
+    pub fn fig10_irregular() -> Self {
+        let mut cores = vec![24; 42];
+        cores.push(16);
+        Self::irregular(cores)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cores_per_node.len()
+    }
+
+    /// Cores on node `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn cores_on(&self, node: usize) -> usize {
+        self.cores_per_node[node]
+    }
+
+    /// Total number of cores (= total number of MPI ranks we can place).
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_node.iter().sum()
+    }
+
+    /// Per-node core counts.
+    pub fn cores_per_node(&self) -> &[usize] {
+        &self.cores_per_node
+    }
+
+    /// True if every node has the same core count.
+    pub fn is_regular(&self) -> bool {
+        self.cores_per_node.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The first global core index on each node under block numbering,
+    /// plus a final entry equal to `total_cores()` (an exclusive prefix sum).
+    pub fn node_core_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.num_nodes() + 1);
+        let mut acc = 0;
+        for &c in &self.cores_per_node {
+            offs.push(acc);
+            acc += c;
+        }
+        offs.push(acc);
+        offs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_counts() {
+        let c = ClusterSpec::regular(4, 24);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.total_cores(), 96);
+        assert!(c.is_regular());
+        assert_eq!(c.cores_on(3), 24);
+    }
+
+    #[test]
+    fn single_node_is_one_node() {
+        let c = ClusterSpec::single_node(24);
+        assert_eq!(c.num_nodes(), 1);
+        assert_eq!(c.total_cores(), 24);
+    }
+
+    #[test]
+    fn irregular_counts() {
+        let c = ClusterSpec::irregular(vec![4, 2, 3]);
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.total_cores(), 9);
+        assert!(!c.is_regular());
+    }
+
+    #[test]
+    fn fig10_population() {
+        let c = ClusterSpec::fig10_irregular();
+        assert_eq!(c.num_nodes(), 43);
+        assert_eq!(c.total_cores(), 42 * 24 + 16);
+        assert_eq!(c.total_cores(), 1024);
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let c = ClusterSpec::irregular(vec![4, 2, 3]);
+        assert_eq!(c.node_core_offsets(), vec![0, 4, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        ClusterSpec::irregular(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_node_panics() {
+        ClusterSpec::irregular(vec![4, 0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Event tracing.
+//!
+//! When enabled, every rank records the schedule-level actions it performs
+//! (messages, explicit copies, modeled compute, window allocation,
+//! synchronization). Tests use traces to assert *structural* properties of
+//! the paper's approach — e.g. that the hybrid allgather performs **zero**
+//! intra-node data copies while the pure-MPI baseline performs many, or
+//! that per-node shared-window memory stays constant as processes-per-node
+//! grows.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Posted a message of `bytes` to global rank `to` (`intra` = same node).
+    Send { to: usize, bytes: usize, intra: bool },
+    /// Completed a receive of `bytes` from global rank `from`.
+    Recv { from: usize, bytes: usize, intra: bool },
+    /// Explicit data copy through shared memory (memcpy).
+    Copy { bytes: usize },
+    /// Modeled computation.
+    Compute { flops: f64 },
+    /// Allocated `bytes` of shared-window memory on the rank's node.
+    WinAlloc { bytes: usize },
+    /// Completed a barrier (any implementation).
+    Barrier,
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global rank that performed the action.
+    pub rank: usize,
+    /// Virtual time (µs) at which the action completed.
+    pub time: f64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+/// A shared, thread-safe event sink.
+///
+/// Cloning is cheap (it is an `Arc`); all clones append to the same log.
+/// A disabled tracer records nothing and costs one branch per event.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Vec<Event>>>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A tracer that records everything.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&self, rank: usize, time: f64, kind: EventKind) {
+        if let Some(log) = &self.inner {
+            log.lock().push(Event { rank, time, kind });
+        }
+    }
+
+    /// Snapshot of all events recorded so far, in arbitrary global order
+    /// (each rank's own events are in that rank's program order).
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(log) => log.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        if let Some(log) = &self.inner {
+            log.lock().clear();
+        }
+    }
+
+    /// Total bytes moved by explicit copies (across all ranks).
+    pub fn total_copy_bytes(&self) -> usize {
+        self.events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Copy { bytes } => Some(bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of intra-node messages recorded (send side).
+    pub fn intra_node_sends(&self) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { intra: true, .. }))
+            .count()
+    }
+
+    /// Number of inter-node messages recorded (send side).
+    pub fn inter_node_sends(&self) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { intra: false, .. }))
+            .count()
+    }
+
+    /// Total shared-window bytes allocated, summed per event.
+    pub fn total_window_bytes(&self) -> usize {
+        self.events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::WinAlloc { bytes } => Some(bytes),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        t.record(0, 1.0, EventKind::Barrier);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_and_clears() {
+        let t = Tracer::enabled();
+        t.record(0, 1.0, EventKind::Copy { bytes: 64 });
+        t.record(1, 2.0, EventKind::Copy { bytes: 36 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.total_copy_bytes(), 100);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.record(3, 0.5, EventKind::Barrier);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].rank, 3);
+    }
+
+    #[test]
+    fn send_classification() {
+        let t = Tracer::enabled();
+        t.record(0, 0.0, EventKind::Send { to: 1, bytes: 8, intra: true });
+        t.record(0, 0.0, EventKind::Send { to: 9, bytes: 8, intra: false });
+        t.record(0, 0.0, EventKind::Send { to: 9, bytes: 8, intra: false });
+        assert_eq!(t.intra_node_sends(), 1);
+        assert_eq!(t.inter_node_sends(), 2);
+    }
+
+    #[test]
+    fn window_bytes_sum() {
+        let t = Tracer::enabled();
+        t.record(0, 0.0, EventKind::WinAlloc { bytes: 1024 });
+        t.record(4, 0.0, EventKind::WinAlloc { bytes: 512 });
+        assert_eq!(t.total_window_bytes(), 1536);
+    }
+}

@@ -1,0 +1,173 @@
+//! 2D domain decomposition over a near-square process grid.
+
+/// The process grid and this rank's tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomp {
+    /// Process-grid rows.
+    pub pr: usize,
+    /// Process-grid columns.
+    pub pc: usize,
+    /// Global grid edge.
+    pub n: usize,
+}
+
+/// One rank's tile: global index ranges (inclusive start, exclusive
+/// end) of the cells it owns and updates. Only *interior* cells are
+/// updated; global boundary cells are fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// First owned global row.
+    pub r0: usize,
+    /// One past the last owned global row.
+    pub r1: usize,
+    /// First owned global column.
+    pub c0: usize,
+    /// One past the last owned global column.
+    pub c1: usize,
+}
+
+impl Tile {
+    /// Rows in the tile.
+    pub fn rows(&self) -> usize {
+        self.r1 - self.r0
+    }
+
+    /// Columns in the tile.
+    pub fn cols(&self) -> usize {
+        self.c1 - self.c0
+    }
+
+    /// Cells in the tile.
+    pub fn cells(&self) -> usize {
+        self.rows() * self.cols()
+    }
+}
+
+/// The largest (pr, pc) factorization of `p` with pr ≤ pc and pr as
+/// close to √p as possible.
+pub fn near_square(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
+
+/// Balanced split of `n` cells over `parts`: part `k` gets
+/// `[start, end)`.
+fn split(n: usize, parts: usize, k: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let start = k * base + k.min(rem);
+    (start, start + base + usize::from(k < rem))
+}
+
+impl Decomp {
+    /// Decompose an `n x n` grid over `p` ranks.
+    ///
+    /// # Panics
+    /// Panics if the grid is too small for the process grid (every rank
+    /// must own at least one row and one column).
+    pub fn new(n: usize, p: usize) -> Self {
+        let (pr, pc) = near_square(p);
+        assert!(n >= pr && n >= pc, "grid {n}x{n} too small for {pr}x{pc} ranks");
+        Self { pr, pc, n }
+    }
+
+    /// This rank's grid position (row, col), row-major rank order.
+    pub fn position(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// The tile of `rank`.
+    pub fn tile(&self, rank: usize) -> Tile {
+        let (gr, gc) = self.position(rank);
+        let (r0, r1) = split(self.n, self.pr, gr);
+        let (c0, c1) = split(self.n, self.pc, gc);
+        Tile { r0, r1, c0, c1 }
+    }
+
+    /// Neighbor ranks (up, down, left, right), `None` at the domain edge.
+    pub fn neighbors(&self, rank: usize) -> [Option<usize>; 4] {
+        let (gr, gc) = self.position(rank);
+        [
+            (gr > 0).then(|| rank - self.pc),
+            (gr + 1 < self.pr).then(|| rank + self.pc),
+            (gc > 0).then(|| rank - 1),
+            (gc + 1 < self.pc).then(|| rank + 1),
+        ]
+    }
+
+    /// Total ranks in the grid.
+    pub fn nranks(&self) -> usize {
+        self.pr * self.pc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_factorizations() {
+        assert_eq!(near_square(1), (1, 1));
+        assert_eq!(near_square(4), (2, 2));
+        assert_eq!(near_square(6), (2, 3));
+        assert_eq!(near_square(12), (3, 4));
+        assert_eq!(near_square(7), (1, 7)); // prime
+        assert_eq!(near_square(24), (4, 6));
+    }
+
+    #[test]
+    fn tiles_partition_the_grid() {
+        for (n, p) in [(8usize, 4usize), (10, 6), (9, 3), (17, 12)] {
+            let d = Decomp::new(n, p);
+            let mut owned = vec![false; n * n];
+            for rank in 0..d.nranks() {
+                let t = d.tile(rank);
+                assert!(t.rows() >= 1 && t.cols() >= 1, "rank {rank} empty tile");
+                for i in t.r0..t.r1 {
+                    for j in t.c0..t.c1 {
+                        assert!(!owned[i * n + j], "cell ({i},{j}) owned twice");
+                        owned[i * n + j] = true;
+                    }
+                }
+            }
+            assert!(owned.iter().all(|&o| o), "full coverage for n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let d = Decomp::new(12, 6); // 2x3 grid
+        for rank in 0..6 {
+            let [up, down, left, right] = d.neighbors(rank);
+            if let Some(u) = up {
+                assert_eq!(d.neighbors(u)[1], Some(rank));
+            }
+            if let Some(dn) = down {
+                assert_eq!(d.neighbors(dn)[0], Some(rank));
+            }
+            if let Some(l) = left {
+                assert_eq!(d.neighbors(l)[3], Some(rank));
+            }
+            if let Some(r) = right {
+                assert_eq!(d.neighbors(r)[2], Some(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_ranks_have_two_neighbors() {
+        let d = Decomp::new(12, 4); // 2x2
+        assert_eq!(d.neighbors(0), [None, Some(2), None, Some(1)]);
+        assert_eq!(d.neighbors(3), [Some(1), None, Some(2), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_grid_panics() {
+        Decomp::new(2, 9);
+    }
+}

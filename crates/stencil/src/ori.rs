@@ -1,0 +1,156 @@
+//! Pure-MPI Jacobi: private halo-ring tiles, four Isend/Irecv halo
+//! exchanges per iteration with every neighbor, near or far.
+
+use msim::{Buf, Ctx, DataMode, Payload};
+
+use crate::decomp::Decomp;
+use crate::{boundary_value, initial_value, StencilReport, StencilSpec, FLOPS_PER_CELL};
+
+const TAG_UP: u32 = 0x2000; // strip moving up (sent to the `up` neighbor)
+const TAG_DOWN: u32 = 0x2001;
+const TAG_LEFT: u32 = 0x2002;
+const TAG_RIGHT: u32 = 0x2003;
+
+/// Run the pure-MPI variant. Ranks beyond the process grid idle.
+pub fn ori_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
+    let world = ctx.world();
+    let d = Decomp::new(spec.n, world.size());
+    let me = world.rank();
+    let active = me < d.nranks();
+    // All ranks must take part in the split; idle ranks then leave.
+    let grid_comm = world.split(ctx, active.then_some(0), 0);
+    if !active {
+        return StencilReport { elapsed_us: 0.0, tile: None };
+    }
+    let grid_comm = grid_comm.expect("active ranks have a grid communicator");
+    let t = d.tile(me);
+    let (rows, cols) = (t.rows(), t.cols());
+    let (hr, hc) = (rows + 2, cols + 2); // halo ring included
+    let real = ctx.mode() == DataMode::Real;
+    let n = spec.n;
+
+    // Initialize tile + halo from the global initial grid. Halo cells
+    // outside the domain stay unused.
+    let mut cur = vec![0.0f64; hr * hc];
+    let mut next = vec![0.0f64; hr * hc];
+    if real {
+        for li in 0..hr {
+            for lj in 0..hc {
+                let (gi, gj) = (t.r0 as isize - 1 + li as isize, t.c0 as isize - 1 + lj as isize);
+                if gi >= 0 && gj >= 0 && (gi as usize) < n && (gj as usize) < n {
+                    let (gi, gj) = (gi as usize, gj as usize);
+                    cur[li * hc + lj] =
+                        if gi == 0 || gi == n - 1 || gj == 0 || gj == n - 1 {
+                            boundary_value(gi, gj, n)
+                        } else {
+                            initial_value(gi, gj)
+                        };
+                }
+            }
+        }
+        next.copy_from_slice(&cur);
+    }
+
+    collectives::barrier::tuned(ctx, &grid_comm);
+    let t0 = ctx.now();
+
+    let [up, down, left, right] = d.neighbors(me);
+    for _ in 0..spec.iters {
+        // --- Halo exchange (strips carry the current iterate) ---
+        let strip_payload = |cells: &[f64], phantom_len: usize| -> Payload {
+            if real {
+                Buf::Real(cells.to_vec()).payload_all()
+            } else {
+                Payload::Phantom(phantom_len * 8)
+            }
+        };
+        // Row strips are contiguous; column strips require packing,
+        // which real MPI pays via derived datatypes (charged).
+        let mut reqs = Vec::new();
+        if let Some(nb) = up {
+            let row: Vec<f64> = (0..cols).map(|j| cur[hc + 1 + j]).collect();
+            ctx.send(&world, nb, TAG_UP, strip_payload(&row, cols));
+            reqs.push((ctx.irecv(&world, nb, TAG_DOWN), 0usize));
+        }
+        if let Some(nb) = down {
+            let row: Vec<f64> = (0..cols).map(|j| cur[rows * hc + 1 + j]).collect();
+            ctx.send(&world, nb, TAG_DOWN, strip_payload(&row, cols));
+            reqs.push((ctx.irecv(&world, nb, TAG_UP), 1));
+        }
+        if let Some(nb) = left {
+            ctx.charge_copy(rows * 8); // pack the column
+            let col: Vec<f64> = (0..rows).map(|i| cur[(i + 1) * hc + 1]).collect();
+            ctx.send(&world, nb, TAG_LEFT, strip_payload(&col, rows));
+            reqs.push((ctx.irecv(&world, nb, TAG_RIGHT), 2));
+        }
+        if let Some(nb) = right {
+            ctx.charge_copy(rows * 8);
+            let col: Vec<f64> = (0..rows).map(|i| cur[(i + 1) * hc + cols]).collect();
+            ctx.send(&world, nb, TAG_RIGHT, strip_payload(&col, rows));
+            reqs.push((ctx.irecv(&world, nb, TAG_LEFT), 3));
+        }
+        for (req, dir) in reqs {
+            let payload = req.wait(ctx);
+            if dir == 2 || dir == 3 {
+                ctx.charge_copy(payload.len()); // unpack the column
+            }
+            if !real {
+                continue;
+            }
+            let bytes = payload.bytes();
+            let mut vals = vec![0.0f64; bytes.len() / 8];
+            msim::elem::bytes_to_slice(bytes, &mut vals);
+            match dir {
+                0 => {
+                    // From `up`: its bottom row becomes our top halo.
+                    for (j, v) in vals.iter().enumerate() {
+                        cur[1 + j] = *v;
+                    }
+                }
+                1 => {
+                    for (j, v) in vals.iter().enumerate() {
+                        cur[(rows + 1) * hc + 1 + j] = *v;
+                    }
+                }
+                2 => {
+                    for (i, v) in vals.iter().enumerate() {
+                        cur[(i + 1) * hc] = *v;
+                    }
+                }
+                3 => {
+                    for (i, v) in vals.iter().enumerate() {
+                        cur[(i + 1) * hc + cols + 1] = *v;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // --- Update owned, globally interior cells ---
+        let updatable = (t.r0.max(1)..t.r1.min(n - 1)).len() * (t.c0.max(1)..t.c1.min(n - 1)).len();
+        ctx.compute(updatable as f64 * FLOPS_PER_CELL);
+        if real {
+            for gi in t.r0.max(1)..t.r1.min(n - 1) {
+                for gj in t.c0.max(1)..t.c1.min(n - 1) {
+                    let (li, lj) = (gi - t.r0 + 1, gj - t.c0 + 1);
+                    next[li * hc + lj] = 0.25
+                        * (cur[(li - 1) * hc + lj]
+                            + cur[(li + 1) * hc + lj]
+                            + cur[li * hc + lj - 1]
+                            + cur[li * hc + lj + 1]);
+                }
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let elapsed_us = ctx.now() - t0;
+
+    let tile = real.then(|| {
+        let mut out = Vec::with_capacity(rows * cols);
+        for li in 1..=rows {
+            out.extend_from_slice(&cur[li * hc + 1..li * hc + 1 + cols]);
+        }
+        out
+    });
+    StencilReport { elapsed_us, tile }
+}

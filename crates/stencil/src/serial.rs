@@ -1,0 +1,83 @@
+//! Serial Jacobi oracle.
+
+use crate::{boundary_value, initial_value};
+
+/// Run `iters` Jacobi sweeps on the full `n x n` grid and return it in
+/// row-major order. Boundary cells carry [`boundary_value`] and never
+/// change; interior cells average their four neighbors.
+pub fn serial_jacobi(n: usize, iters: usize) -> Vec<f64> {
+    assert!(n >= 2, "grid too small");
+    let mut cur = init_grid(n);
+    let mut next = cur.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                next[i * n + j] = 0.25
+                    * (cur[(i - 1) * n + j]
+                        + cur[(i + 1) * n + j]
+                        + cur[i * n + j - 1]
+                        + cur[i * n + j + 1]);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// The initial grid (boundary applied).
+pub fn init_grid(n: usize) -> Vec<f64> {
+    let mut g = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            g[i * n + j] = if i == 0 || i == n - 1 || j == 0 || j == n - 1 {
+                boundary_value(i, j, n)
+            } else {
+                initial_value(i, j)
+            };
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_is_preserved() {
+        let n = 8;
+        let g = serial_jacobi(n, 10);
+        for j in 0..n {
+            assert_eq!(g[j], crate::boundary_value(0, j, n), "top edge");
+            assert_eq!(g[(n - 1) * n + j], crate::boundary_value(n - 1, j, n), "bottom");
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_downward() {
+        let n = 16;
+        let cold = init_grid(n)[2 * n + 8];
+        let warm = serial_jacobi(n, 50)[2 * n + 8];
+        assert_eq!(cold, 0.0);
+        assert!(warm > 10.0, "cell near the hot edge must warm up: {warm}");
+    }
+
+    #[test]
+    fn converges_toward_harmonic_solution() {
+        // The residual (max cell change per sweep) must shrink.
+        let n = 12;
+        let a = serial_jacobi(n, 200);
+        let b = serial_jacobi(n, 201);
+        let delta = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(delta < 0.05, "late-iteration change {delta} too large");
+    }
+
+    #[test]
+    fn zero_iterations_is_the_initial_grid() {
+        assert_eq!(serial_jacobi(6, 0), init_grid(6));
+    }
+}

@@ -1,0 +1,106 @@
+//! The √P×√P process grid and its row/column communicators.
+
+use msim::{Communicator, Ctx};
+
+/// Grid communicators for one rank. Ranks `q²..world` are not part of the
+/// grid (`GridComms::build` returns `None` for them) — the paper's runs
+/// use square core counts, but the simulator lets a grid live inside a
+/// larger allocation.
+#[derive(Debug, Clone)]
+pub struct GridComms {
+    /// Communicator over the q² active ranks, row-major rank order.
+    pub grid: Communicator,
+    /// This rank's row communicator (q ranks, ordered by column).
+    pub row: Communicator,
+    /// This rank's column communicator (q ranks, ordered by row).
+    pub col: Communicator,
+    /// Grid edge length q.
+    pub q: usize,
+    /// This rank's row index.
+    pub my_row: usize,
+    /// This rank's column index.
+    pub my_col: usize,
+}
+
+impl GridComms {
+    /// Collectively split a `q×q` grid out of `comm` (all members must
+    /// call). Ranks `>= q*q` get `None`.
+    ///
+    /// # Panics
+    /// Panics if the communicator is smaller than `q²`.
+    pub fn build(ctx: &mut Ctx, comm: &Communicator, q: usize) -> Option<Self> {
+        assert!(q * q <= comm.size(), "communicator too small for a {q}x{q} grid");
+        let me = comm.rank();
+        let active = me < q * q;
+        let grid = comm.split(ctx, if active { Some(0) } else { None }, 0);
+        // All members of `comm` must participate in every split below, so
+        // inactive ranks pass UNDEFINED.
+        let (row_color, col_color) = if active {
+            ((me / q) as i64, (me % q) as i64)
+        } else {
+            (-1, -1)
+        };
+        let row = comm.split(ctx, if active { Some(row_color) } else { None }, 0);
+        let col = comm.split(ctx, if active { Some(col_color) } else { None }, 0);
+        if !active {
+            return None;
+        }
+        Some(Self {
+            grid: grid.expect("active rank has a grid comm"),
+            row: row.expect("active rank has a row comm"),
+            col: col.expect("active rank has a col comm"),
+            q,
+            my_row: me / q,
+            my_col: me % q,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    #[test]
+    fn grid_membership_and_shape() {
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 5), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            GridComms::build(ctx, &world, 3)
+                .map(|g| (g.my_row, g.my_col, g.row.size(), g.col.size(), g.row.rank(), g.col.rank()))
+        })
+        .unwrap();
+        // rank 4 -> row 1, col 1.
+        assert_eq!(r.per_rank[4], Some((1, 1, 3, 3, 1, 1)));
+        // rank 8 -> row 2, col 2; ranks 9 (and beyond) inactive.
+        assert_eq!(r.per_rank[8], Some((2, 2, 3, 3, 2, 2)));
+        assert_eq!(r.per_rank[9], None);
+    }
+
+    #[test]
+    fn row_and_col_comms_are_disjoint_slices() {
+        let cfg = SimConfig::new(ClusterSpec::regular(1, 4), CostModel::uniform_test());
+        let r = Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            let g = GridComms::build(ctx, &world, 2).unwrap();
+            (g.row.members().to_vec(), g.col.members().to_vec())
+        })
+        .unwrap();
+        assert_eq!(r.per_rank[0].0, vec![0, 1]);
+        assert_eq!(r.per_rank[0].1, vec![0, 2]);
+        assert_eq!(r.per_rank[3].0, vec![2, 3]);
+        assert_eq!(r.per_rank[3].1, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn oversized_grid_panics() {
+        let cfg = SimConfig::new(ClusterSpec::regular(1, 2), CostModel::uniform_test());
+        Universe::run(cfg, |ctx| {
+            let world = ctx.world();
+            GridComms::build(ctx, &world, 2).is_some()
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,279 @@
+//! The SUMMA kernel: Ori_ (pure MPI) and Hy_ (hybrid MPI+MPI) variants.
+
+use collectives::{barrier, bcast, Tuning};
+use hmpi::{HyAllgatherv, HybridComm};
+use linalg::gemm::{gemm, gemm_flops};
+use linalg::Mat;
+use msim::{Buf, Ctx, DataMode};
+
+use crate::grid::GridComms;
+
+/// Parameters of one SUMMA run.
+#[derive(Debug, Clone)]
+pub struct SummaSpec {
+    /// Grid edge length q (the run uses q² ranks; N = q·b).
+    pub q: usize,
+    /// Per-core block edge b (the paper sweeps 8, 64, 128, 256).
+    pub block: usize,
+    /// MPI library tuning for the broadcasts.
+    pub tuning: Tuning,
+}
+
+/// Per-rank outcome of a SUMMA run.
+#[derive(Debug, Clone)]
+pub struct SummaReport {
+    /// Whether this rank was part of the grid.
+    pub active: bool,
+    /// Virtual time spent in the timed region (µs); 0 for inactive ranks.
+    pub elapsed_us: f64,
+    /// The computed C block (real-data universes only).
+    pub c_block: Option<Mat>,
+}
+
+/// Element (i, j) of the global matrix A (deterministic test pattern).
+pub fn a_elem(i: usize, j: usize) -> f64 {
+    ((i * 13 + j * 7) % 10) as f64 * 0.5 - 2.0
+}
+
+/// Element (i, j) of the global matrix B.
+pub fn b_elem(i: usize, j: usize) -> f64 {
+    ((i * 3 + j * 11) % 8) as f64 * 0.25 - 1.0
+}
+
+/// The expected C block at grid position (row, col) for block size b,
+/// computed serially (test oracle).
+pub fn expected_c_block(q: usize, b: usize, row: usize, col: usize) -> Mat {
+    let n = q * b;
+    Mat::from_fn(b, b, |r, c| {
+        let (gi, gj) = (row * b + r, col * b + c);
+        (0..n).map(|k| a_elem(gi, k) * b_elem(k, gj)).sum()
+    })
+}
+
+fn my_block(ctx: &Ctx, g: &GridComms, b: usize, elem: fn(usize, usize) -> f64) -> Buf<f64> {
+    let (row0, col0) = (g.my_row * b, g.my_col * b);
+    // Column-major within the block: idx = c*b + r.
+    ctx.buf_from_fn(b * b, move |idx| elem(row0 + idx % b, col0 + idx / b))
+}
+
+fn buf_to_mat(b: usize, buf: &Buf<f64>) -> Mat {
+    Mat::from_col_major(b, b, buf.as_slice().expect("real-mode buffer").to_vec())
+}
+
+/// **Ori_SUMMA** — the pure-MPI version: private panel buffers, library
+/// `MPI_Bcast` on the row and column communicators.
+pub fn ori_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
+    let world = ctx.world();
+    let Some(g) = GridComms::build(ctx, &world, spec.q) else {
+        return SummaReport { active: false, elapsed_us: 0.0, c_block: None };
+    };
+    let b = spec.block;
+    let a_block = my_block(ctx, &g, b, a_elem);
+    let b_block = my_block(ctx, &g, b, b_elem);
+    let real = ctx.mode() == DataMode::Real;
+    let mut c = real.then(|| Mat::zeros(b, b));
+
+    barrier::tuned(ctx, &g.grid);
+    let t0 = ctx.now();
+    for k in 0..g.q {
+        // A panel travels along the row; root is the column-k owner.
+        let mut a_panel = if g.my_col == k {
+            a_block.clone()
+        } else {
+            ctx.buf_zeroed(b * b)
+        };
+        bcast::tuned(ctx, &g.row, &mut a_panel, k, &spec.tuning);
+        // B panel travels along the column; root is the row-k owner.
+        let mut b_panel = if g.my_row == k {
+            b_block.clone()
+        } else {
+            ctx.buf_zeroed(b * b)
+        };
+        bcast::tuned(ctx, &g.col, &mut b_panel, k, &spec.tuning);
+
+        ctx.compute(gemm_flops(b, b, b));
+        if let Some(c) = &mut c {
+            gemm(1.0, &buf_to_mat(b, &a_panel), &buf_to_mat(b, &b_panel), 1.0, c);
+        }
+    }
+    SummaReport {
+        active: true,
+        elapsed_us: ctx.now() - t0,
+        c_block: c,
+    }
+}
+
+/// Broadcast panel slot `k` of a node-shared panel store across the
+/// communicator's nodes: a leader-to-leader `MPI_Bcast` of that slot
+/// (window-to-window) followed by the paper's barrier. On a single node
+/// this is the barrier alone — "parallel computation without any data
+/// movement in between" (§5.2.1).
+fn panel_bcast(ctx: &mut Ctx, hc: &HybridComm, panels: &HyAllgatherv<f64>, k: usize) {
+    let h = hc.hierarchy();
+    if !hc.single_node() {
+        let root_group = h
+            .group_members
+            .iter()
+            .position(|m| m.contains(&k))
+            .expect("slot owner must be a member");
+        if let Some(bridge) = &h.bridge {
+            let region = panels
+                .window()
+                .region(panels.block_offset(k), panels.block_len(k));
+            let mut view = Buf::Shared(region);
+            bcast::tuned(ctx, bridge, &mut view, root_group, hc.tuning());
+        }
+    }
+    hc.sync().release(ctx, &h.shm);
+}
+
+/// **Hy_SUMMA** — the hybrid MPI+MPI version. The A and B panels live in
+/// node-shared windows over the row/column communicators (one copy per
+/// node, written once at setup), so a SUMMA broadcast reduces to a
+/// leader-to-leader bridge `MPI_Bcast` of the panel slot plus the
+/// barrier the paper adds after each broadcast ([`panel_bcast`]).
+pub fn hy_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
+    let world = ctx.world();
+    let Some(g) = GridComms::build(ctx, &world, spec.q) else {
+        return SummaReport { active: false, elapsed_us: 0.0, c_block: None };
+    };
+    let b = spec.block;
+    let a_block = my_block(ctx, &g, b, a_elem);
+    let b_block = my_block(ctx, &g, b, b_elem);
+    let real = ctx.mode() == DataMode::Real;
+    let mut c = real.then(|| Mat::zeros(b, b));
+
+    // One-off setup, amortized over the q iterations (and in production
+    // over many multiplications on the same grid): per row/column
+    // communicator, a window with one b² slot per member holds the input
+    // panels — the matrices themselves are node-shared, which is the
+    // MPI+MPI programming model.
+    let counts = vec![b * b; g.q];
+    let hc_row = HybridComm::new(ctx, &g.row, spec.tuning.clone());
+    let a_panels = HyAllgatherv::<f64>::new(ctx, &hc_row, &counts);
+    let hc_col = HybridComm::new(ctx, &g.col, spec.tuning.clone());
+    let b_panels = HyAllgatherv::<f64>::new(ctx, &hc_col, &counts);
+    if let Some(s) = a_block.as_slice() {
+        a_panels.write_my_block(ctx, s);
+    }
+    if let Some(s) = b_block.as_slice() {
+        b_panels.write_my_block(ctx, s);
+    }
+    // Make the setup writes visible before leaders read them (wall-clock
+    // only; setup is untimed).
+    ctx.oob_fence(&g.grid);
+
+    barrier::tuned(ctx, &g.grid);
+    let t0 = ctx.now();
+    for k in 0..g.q {
+        panel_bcast(ctx, &hc_row, &a_panels, k);
+        panel_bcast(ctx, &hc_col, &b_panels, k);
+
+        ctx.compute(gemm_flops(b, b, b));
+        if let Some(c) = &mut c {
+            let a_panel = Mat::from_col_major(b, b, a_panels.read_block(k));
+            let b_panel = Mat::from_col_major(b, b, b_panels.read_block(k));
+            gemm(1.0, &a_panel, &b_panel, 1.0, c);
+        }
+    }
+    SummaReport {
+        active: true,
+        elapsed_us: ctx.now() - t0,
+        c_block: c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::{SimConfig, Universe};
+    use simnet::{ClusterSpec, CostModel};
+
+    type Kernel = fn(&mut Ctx, &SummaSpec) -> SummaReport;
+
+    fn check_correct(nodes: usize, ppn: usize, q: usize, b: usize, kernel: Kernel) {
+        let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
+        let spec = SummaSpec { q, block: b, tuning: Tuning::cray_mpich() };
+        let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec)).unwrap();
+        for (rank, rep) in r.per_rank.iter().enumerate() {
+            if rank < q * q {
+                let got = rep.c_block.as_ref().expect("active rank computes C");
+                let want = expected_c_block(q, b, rank / q, rank % q);
+                assert!(
+                    got.distance(&want) < 1e-9,
+                    "rank {rank}: wrong C block (dist {})",
+                    got.distance(&want)
+                );
+            } else {
+                assert!(!rep.active);
+            }
+        }
+    }
+
+    #[test]
+    fn ori_summa_computes_the_product() {
+        check_correct(1, 4, 2, 3, ori_summa);
+        check_correct(2, 3, 2, 4, ori_summa);
+        check_correct(2, 5, 3, 2, ori_summa);
+    }
+
+    #[test]
+    fn hy_summa_computes_the_product() {
+        check_correct(1, 4, 2, 3, hy_summa);
+        check_correct(2, 3, 2, 4, hy_summa);
+        check_correct(2, 5, 3, 2, hy_summa);
+    }
+
+    #[test]
+    fn hybrid_wins_on_a_single_node_with_small_blocks() {
+        // The paper's headline SUMMA result: up to ~5x for 8x8 blocks when
+        // all processes share one node.
+        let time = |kernel: Kernel| {
+            let cfg = SimConfig::new(ClusterSpec::single_node(16), CostModel::cray_aries());
+            let spec = SummaSpec { q: 4, block: 8, tuning: Tuning::cray_mpich() };
+            let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us).unwrap();
+            r.per_rank.iter().copied().fold(0.0f64, f64::max)
+        };
+        let t_ori = time(ori_summa);
+        let t_hy = time(hy_summa);
+        assert!(
+            t_hy < t_ori,
+            "Hy_SUMMA ({t_hy}) must beat Ori_SUMMA ({t_ori}) on one node"
+        );
+    }
+
+    #[test]
+    fn ratio_shrinks_with_block_size() {
+        // Fig. 11: the advantage decreases as compute dominates.
+        let ratio = |b: usize| {
+            let run = |kernel: Kernel| {
+                let cfg = SimConfig::new(ClusterSpec::regular(2, 8), CostModel::cray_aries())
+                    .phantom();
+                let spec = SummaSpec { q: 4, block: b, tuning: Tuning::cray_mpich() };
+                let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us).unwrap();
+                r.per_rank.iter().copied().fold(0.0f64, f64::max)
+            };
+            run(ori_summa) / run(hy_summa)
+        };
+        let r8 = ratio(8);
+        let r128 = ratio(128);
+        assert!(r8 > r128, "ratio must shrink with block size: r8={r8} r128={r128}");
+        assert!(r128 >= 0.95, "hybrid should stay at least comparable: r128={r128}");
+    }
+
+    #[test]
+    fn phantom_and_real_agree_on_time() {
+        let run_mode = |phantom: bool, kernel: Kernel| {
+            let mut cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::cray_aries());
+            if phantom {
+                cfg = cfg.phantom();
+            }
+            let spec = SummaSpec { q: 2, block: 16, tuning: Tuning::cray_mpich() };
+            Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us)
+                .unwrap()
+                .per_rank
+        };
+        assert_eq!(run_mode(false, ori_summa), run_mode(true, ori_summa));
+        assert_eq!(run_mode(false, hy_summa), run_mode(true, hy_summa));
+    }
+}

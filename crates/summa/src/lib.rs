@@ -1,0 +1,30 @@
+//! # summa — Scalable Universal Matrix Multiplication Algorithm
+//!
+//! The application kernel of the paper's §5.2.1 (van de Geijn & Watts):
+//! dense `C = A × B` on a √P×√P process grid. Each of the √P iterations
+//! broadcasts an A-panel along the row communicators and a B-panel along
+//! the column communicators, then multiplies the panels locally.
+//!
+//! Two variants are provided, exactly as compared in the paper's Fig. 11:
+//!
+//! * [`ori_summa`] — **Ori_SUMMA**: the naive pure-MPI version; every rank
+//!   keeps private panel buffers and the broadcasts are the MPI library's
+//!   `MPI_Bcast` ([`collectives::bcast::tuned`]);
+//! * [`hy_summa`] — **Hy_SUMMA**: the hybrid MPI+MPI version; each row and
+//!   column communicator broadcasts through a node-shared window
+//!   ([`hmpi::HyBcast`]) followed by the required barrier (paper §5.2.1:
+//!   "a barrier synchronization across the processes in the row or column
+//!   communicator needs to be added after each of the two broadcast
+//!   operations").
+//!
+//! In a real-data universe the kernel performs the actual multiplication
+//! and the result is verifiable against a serial product; in a phantom
+//! universe it charges the identical virtual flop/communication costs
+//! without touching data, allowing the paper-scale (1024-core) runs of
+//! Fig. 11.
+
+pub mod grid;
+pub mod kernel;
+
+pub use grid::GridComms;
+pub use kernel::{hy_summa, ori_summa, SummaReport, SummaSpec};

@@ -1,0 +1,61 @@
+//! BPMF demo: distributed Bayesian Probabilistic Matrix Factorization
+//! (the paper's §5.2.2 application) on a synthetic ratings matrix. Both
+//! variants draw identical random streams, so they produce bit-identical
+//! factorizations; only the communication scheme differs.
+//!
+//! Run with: `cargo run --release --example bpmf_demo`
+
+use hybrid_mpi::bpmf::{hy_bpmf, ori_bpmf, BpmfConfig, Dataset, SyntheticSpec};
+use hybrid_mpi::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A small planted-low-rank ratings matrix: 240 users x 60 items.
+    let data = Arc::new(Dataset::synthesize(&SyntheticSpec {
+        users: 240,
+        items: 60,
+        nnz: 3200,
+        seed: 42,
+    }));
+    let cfg = BpmfConfig {
+        k: 8,
+        iters: 6,
+        seed: 7,
+        tuning: Tuning::cray_mpich(),
+        compute_scale: 1.0,
+    };
+
+    println!(
+        "BPMF: {} users x {} items, {} train ratings, K={}, {} Gibbs iterations",
+        data.users(),
+        data.items(),
+        data.train.nnz(),
+        cfg.k,
+        cfg.iters
+    );
+
+    let mut rmses = Vec::new();
+    for (name, hybrid) in [("Ori_BPMF (pure MPI)", false), ("Hy_BPMF  (hybrid)", true)] {
+        let sim = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+        let data = Arc::clone(&data);
+        let cfg = cfg.clone();
+        let out = Universe::run(sim, move |ctx| {
+            let rep = if hybrid {
+                hy_bpmf(ctx, &data, &cfg)
+            } else {
+                ori_bpmf(ctx, &data, &cfg)
+            };
+            (rep.elapsed_us, rep.rmse.expect("real mode evaluates RMSE"))
+        })
+        .expect("BPMF run failed");
+        let t = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
+        let rmse = out.per_rank[0].1;
+        println!("{name}: total time {t:9.2} µs, test RMSE {rmse:.4}");
+        rmses.push(rmse);
+    }
+    assert!(
+        (rmses[0] - rmses[1]).abs() < 1e-9,
+        "both variants must produce the identical factorization"
+    );
+    println!("factorizations are bit-identical — only the communication scheme differs");
+}

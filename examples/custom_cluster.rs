@@ -1,0 +1,61 @@
+//! Modeling your own machine: build a custom cost model (a fat-node
+//! cluster with a slow interconnect), sweep the hybrid-vs-pure allgather
+//! crossover on it, and inspect how the MPI flavor's algorithm selection
+//! reacts.
+//!
+//! Run with: `cargo run --release --example custom_cluster`
+
+use hybrid_mpi::collectives::{barrier, smp_aware::SmpAware};
+use hybrid_mpi::prelude::*;
+
+fn main() {
+    // Start from the Cray preset and describe a different machine:
+    // 64-core fat nodes on a slower, higher-latency fabric.
+    let mut cost = CostModel::cray_aries();
+    cost.alpha_inter = 5.0; // 5 µs network latency
+    cost.beta_inter = 1.0e-3; // ~1 GB/s
+    cost.flops_per_us = 2.0e4; // beefier cores
+
+    let spec = ClusterSpec::regular(8, 64);
+    println!(
+        "custom machine: {} nodes x {} cores, α_net={} µs, ~{:.1} GB/s\n",
+        spec.num_nodes(),
+        spec.cores_on(0),
+        cost.alpha_inter,
+        1e-3 / cost.beta_inter
+    );
+    println!(
+        "{:>8}  {:>12} {:>12} {:>8}",
+        "elems", "hybrid (µs)", "pure (µs)", "ratio"
+    );
+
+    for pow in [0usize, 4, 8, 12, 14] {
+        let elems = 1usize << pow;
+        let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+        let out = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+            let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+            barrier::tuned(ctx, &world);
+            let t0 = ctx.now();
+            ag.execute(ctx);
+            let hy = ctx.now() - t0;
+
+            let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+            let send = ctx.buf_zeroed::<f64>(elems);
+            let mut recv = ctx.buf_zeroed::<f64>(elems * world.size());
+            barrier::tuned(ctx, &world);
+            let t1 = ctx.now();
+            sa.allgather(ctx, &send, &mut recv);
+            (hy, ctx.now() - t1)
+        })
+        .expect("simulation failed");
+        let hy = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
+        let pure = out.per_rank.iter().map(|r| r.1).fold(0.0f64, f64::max);
+        println!("{elems:>8}  {hy:>12.1} {pure:>12.1} {:>7.2}x", pure / hy);
+    }
+
+    println!("\nwith 64 ranks per node, the pure version's two intra-node copy");
+    println!("rounds dwarf the (slow) network phase — the hybrid advantage is");
+    println!("even larger than on the paper's 24-core nodes.");
+}

@@ -1,0 +1,58 @@
+//! Halo-exchange stencil demo (the paper conclusion's "p2p
+//! communications" direction): 2D Jacobi heat diffusion, pure-MPI halo
+//! rings vs hybrid MPI+MPI node-shared tiles, verified against the
+//! serial solver.
+//!
+//! Run with: `cargo run --release --example stencil_demo`
+
+use hybrid_mpi::prelude::*;
+use hybrid_mpi::stencil::{hy_jacobi, ori_jacobi, serial_jacobi, Decomp, StencilReport, StencilSpec};
+
+fn main() {
+    let spec = StencilSpec { n: 48, iters: 30 };
+    let cluster = ClusterSpec::regular(2, 6);
+    println!(
+        "Jacobi heat diffusion: {}x{} grid, {} iterations, {} nodes x {} cores\n",
+        spec.n,
+        spec.n,
+        spec.iters,
+        cluster.num_nodes(),
+        cluster.cores_on(0)
+    );
+
+    let serial = serial_jacobi(spec.n, spec.iters);
+    type Kernel = fn(&mut Ctx, &StencilSpec) -> StencilReport;
+    for (name, kernel) in [
+        ("Ori_Jacobi (pure MPI)", ori_jacobi as Kernel),
+        ("Hy_Jacobi  (hybrid)", hy_jacobi as Kernel),
+    ] {
+        let cfg = SimConfig::new(cluster.clone(), CostModel::cray_aries());
+        let spec2 = spec.clone();
+        let out = Universe::run(cfg, move |ctx| {
+            let rep = kernel(ctx, &spec2);
+            (rep.elapsed_us, rep.tile)
+        })
+        .expect("run failed");
+
+        // Verify every rank's tile against the serial solution.
+        let d = Decomp::new(spec.n, cluster.total_cores());
+        for rank in 0..d.nranks() {
+            let t = d.tile(rank);
+            let tile = out.per_rank[rank].1.as_ref().unwrap();
+            for li in 0..t.rows() {
+                for lj in 0..t.cols() {
+                    assert_eq!(
+                        tile[li * t.cols() + lj],
+                        serial[(t.r0 + li) * spec.n + t.c0 + lj],
+                        "rank {rank} mismatch"
+                    );
+                }
+            }
+        }
+        let time = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
+        println!("{name}: {time:9.2} µs (bitwise-identical to serial)");
+    }
+    println!("\nthe hybrid variant keeps one double-buffered tile set per node in a");
+    println!("shared window: on-node neighbors load boundary cells directly (no halo");
+    println!("copies, no messages), synchronized by light-weight flag pairs (§6).");
+}

@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: end-to-end scenarios spanning the
+//! simulator, the runtime, the pure-MPI baseline, the hybrid collectives
+//! and the two applications.
+
+use hybrid_mpi::bpmf::{self, hy_bpmf, ori_bpmf, BpmfConfig};
+use hybrid_mpi::collectives::{barrier, smp_aware::SmpAware};
+use hybrid_mpi::prelude::*;
+use hybrid_mpi::summa::{hy_summa, kernel::expected_c_block, ori_summa, SummaSpec};
+use std::sync::Arc;
+
+fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// The paper's headline micro result, end to end: on a multi-core
+/// cluster the hybrid allgather beats the SMP-aware pure-MPI allgather,
+/// and the gap grows with processes per node (Fig. 9's trend).
+#[test]
+fn hybrid_allgather_beats_pure_and_gap_grows_with_ppn() {
+    let latency = |ppn: usize, hybrid: bool| {
+        let cfg = SimConfig::new(ClusterSpec::regular(4, ppn), CostModel::cray_aries()).phantom();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            let elems = 512usize;
+            if hybrid {
+                let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+                let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                ag.execute(ctx);
+                ctx.now() - t0
+            } else {
+                let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+                let send = ctx.buf_zeroed::<f64>(elems);
+                let mut recv = ctx.buf_zeroed::<f64>(elems * world.size());
+                barrier::tuned(ctx, &world);
+                let t0 = ctx.now();
+                sa.allgather(ctx, &send, &mut recv);
+                ctx.now() - t0
+            }
+        })
+        .unwrap();
+        max(&r.per_rank)
+    };
+    let ratio6 = latency(6, false) / latency(6, true);
+    let ratio24 = latency(24, false) / latency(24, true);
+    assert!(ratio6 > 1.0, "hybrid must win at 6 ppn (ratio {ratio6})");
+    assert!(
+        ratio24 > ratio6,
+        "advantage must grow with ppn: {ratio6} -> {ratio24}"
+    );
+}
+
+/// Fig. 7's extreme case end to end: single-node hybrid latency is flat
+/// in the message size while the pure version grows.
+#[test]
+fn single_node_hybrid_is_size_independent() {
+    let latency = |elems: usize, hybrid: bool| {
+        let cfg = SimConfig::new(ClusterSpec::single_node(24), CostModel::nec_infiniband())
+            .phantom();
+        let r = Universe::run(cfg, move |ctx| {
+            let world = ctx.world();
+            if hybrid {
+                let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
+                let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+                let t0 = ctx.now();
+                ag.execute(ctx);
+                ctx.now() - t0
+            } else {
+                let sa = SmpAware::new(ctx, &world, Tuning::open_mpi());
+                let send = ctx.buf_zeroed::<f64>(elems);
+                let mut recv = ctx.buf_zeroed::<f64>(elems * world.size());
+                let t0 = ctx.now();
+                sa.allgather(ctx, &send, &mut recv);
+                ctx.now() - t0
+            }
+        })
+        .unwrap();
+        max(&r.per_rank)
+    };
+    let hy_small = latency(1, true);
+    let hy_big = latency(1 << 15, true);
+    assert!((hy_big - hy_small).abs() < 1e-9, "{hy_small} vs {hy_big}");
+    assert!(latency(1 << 15, false) > latency(1, false) * 50.0);
+}
+
+/// SUMMA end to end on a heterogeneous cluster with idle ranks: both
+/// variants compute the exact same (verified) product.
+#[test]
+fn summa_variants_agree_and_verify() {
+    let spec = SummaSpec {
+        q: 3,
+        block: 5,
+        tuning: Tuning::cray_mpich(),
+    };
+    for kernel in [ori_summa, hy_summa] {
+        let cfg = SimConfig::new(ClusterSpec::irregular(vec![4, 4, 3]), CostModel::cray_aries());
+        let spec = spec.clone();
+        let out = Universe::run(cfg, move |ctx| kernel(ctx, &spec).c_block).unwrap();
+        for (rank, c) in out.per_rank.iter().enumerate() {
+            if rank < 9 {
+                let got = c.as_ref().expect("active rank");
+                let want = expected_c_block(3, 5, rank / 3, rank % 3);
+                assert!(got.distance(&want) < 1e-9, "rank {rank}");
+            } else {
+                assert!(c.is_none(), "rank {rank} must be idle");
+            }
+        }
+    }
+}
+
+/// BPMF end to end: Ori and Hy produce bit-identical factorizations on
+/// an irregular cluster, and the hybrid's virtual time is no worse.
+#[test]
+fn bpmf_variants_identical_results_hybrid_not_slower() {
+    let data = Arc::new(bpmf::Dataset::synthesize(&bpmf::SyntheticSpec::tiny(21)));
+    let cfg_app = BpmfConfig {
+        k: 4,
+        iters: 3,
+        seed: 5,
+        tuning: Tuning::cray_mpich(),
+        compute_scale: 1.0,
+    };
+    let run = |hybrid: bool| {
+        let sim = SimConfig::new(ClusterSpec::irregular(vec![3, 2, 3]), CostModel::cray_aries());
+        let data = Arc::clone(&data);
+        let cfg_app = cfg_app.clone();
+        Universe::run(sim, move |ctx| {
+            let rep = if hybrid {
+                hy_bpmf(ctx, &data, &cfg_app)
+            } else {
+                ori_bpmf(ctx, &data, &cfg_app)
+            };
+            (rep.rmse.unwrap(), rep.elapsed_us)
+        })
+        .unwrap()
+        .per_rank
+    };
+    let ori = run(false);
+    let hy = run(true);
+    assert_eq!(ori[0].0, hy[0].0, "factorizations must be identical");
+    let t_ori = max(&ori.iter().map(|r| r.1).collect::<Vec<_>>());
+    let t_hy = max(&hy.iter().map(|r| r.1).collect::<Vec<_>>());
+    assert!(t_hy <= t_ori * 1.05, "hybrid {t_hy} vs pure {t_ori}");
+}
+
+/// The full setup flow of the paper's Fig. 4 pseudo-code, written out
+/// against the public API (split, window, query, exchange).
+#[test]
+fn paper_fig4_pseudocode_walkthrough() {
+    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+    let out = Universe::run(cfg, |ctx| {
+        let comm = ctx.world();
+        // Hierarchical communicator splitting [31].
+        let shm = comm.split_shared(ctx);
+        let bridge = comm.split_bridge(ctx, &shm);
+        // Window allocation: leader asks for msg*nprocs, children 0.
+        let msg = 8usize;
+        let my_len = if shm.rank() == 0 { msg * comm.size() } else { 0 };
+        let win = msim::SharedWindow::<f64>::allocate(ctx, &shm, my_len);
+        // Every rank computes the address of its own partition and
+        // initializes it independently.
+        let my_off = msg * comm.rank();
+        win.fill_with(my_off, msg, |i| (comm.rank() * 10 + i) as f64);
+        // Leaders exchange over the bridge, children wait on barriers.
+        if let Some(bridge) = &bridge {
+            barrier::tuned(ctx, &shm);
+            let counts = vec![msg * shm.size(); bridge.size()];
+            let mut view = Buf::Shared(win.clone());
+            hybrid_mpi::collectives::allgatherv::tuned_in_place(
+                ctx, bridge, &counts, &mut view, &Tuning::cray_mpich(),
+            );
+            barrier::tuned(ctx, &shm);
+        } else {
+            barrier::tuned(ctx, &shm);
+            barrier::tuned(ctx, &shm);
+        }
+        // Each process accesses the updated buffer.
+        win.snapshot()
+    })
+    .unwrap();
+    let expected: Vec<f64> = (0..8).flat_map(|r| (0..8).map(move |i| (r * 10 + i) as f64)).collect();
+    for got in &out.per_rank {
+        assert_eq!(got, &expected);
+    }
+}
+
+/// Determinism across the whole stack: two identical app runs produce
+/// identical virtual clocks on every rank.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let spec = SummaSpec {
+            q: 2,
+            block: 16,
+            tuning: Tuning::open_mpi(),
+        };
+        let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::nec_infiniband());
+        Universe::run(cfg, move |ctx| {
+            hy_summa(ctx, &spec);
+            ctx.now()
+        })
+        .unwrap()
+        .clocks
+    };
+    assert_eq!(run(), run());
+}
