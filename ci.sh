@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the workspace. Hermetic: no network access required
+# (all dependencies are path/vendored; .cargo/config.toml forces offline).
+set -euxo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Pinned-seed fault-injection smoke run: reproducible clocks/trace,
+# oracle-exact data, injected kill surfaced (see docs/testing.md).
+cargo run --release --example fault_injection -- 42
+
+echo "ci: all green"

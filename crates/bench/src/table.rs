@@ -48,7 +48,7 @@ mod tests {
 
     #[test]
     fn formatting() {
-        assert_eq!(us(3.14159), "3.14");
+        assert_eq!(us(3.141_25), "3.14");
         assert_eq!(us(1234.5), "1234.5");
         assert_eq!(ratio(3.0, 2.0), "1.500");
     }

@@ -1,8 +1,7 @@
 //! Synthetic ratings data (the chembl_20 stand-in).
 
 use linalg::Csr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use linalg::rng::{Rng, SmallRng};
 use std::collections::HashSet;
 
 /// Shape of a synthetic sparse ratings matrix.

@@ -48,5 +48,6 @@ pub use hierarchy::Hierarchy;
 pub use op::ReduceOp;
 pub use selection::{MpiFlavor, Tuning};
 
-#[cfg(test)]
-pub(crate) mod testutil;
+/// Test harness + analytic oracles, public so integration tests and
+/// downstream crates validate against the same closed-form expectations.
+pub mod testutil;

@@ -6,10 +6,9 @@
 //! thresholds are one reason the paper's OpenMPI and Cray MPI curves
 //! differ. [`Tuning`] captures those thresholds.
 
-use serde::{Deserialize, Serialize};
 
 /// Which MPI library's selection behavior to imitate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MpiFlavor {
     /// Cray MPI (MPICH-derived), as on the Cray XC40 "Hazel Hen".
     CrayMpich,
@@ -18,7 +17,7 @@ pub enum MpiFlavor {
 }
 
 /// Algorithm-selection thresholds (bytes unless noted).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuning {
     /// The flavor these thresholds belong to.
     pub flavor: MpiFlavor,

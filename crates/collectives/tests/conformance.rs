@@ -1,0 +1,407 @@
+//! Full-collective conformance suite.
+//!
+//! Every collective in the crate is checked against its analytic oracle
+//! (`collectives::testutil`) under the standard seeded fault plans
+//! ([`FaultPlan::from_seed`]: adversarial wall-clock scheduling + virtual
+//! cost perturbation), on a regular 4×6 cluster and an irregularly
+//! populated [1, 3, 4] cluster. For every family:
+//!
+//! * **conforms_under_seeded_schedules** — the oracle holds on every rank
+//!   for every seed, results are bit-identical to the unfuzzed baseline
+//!   (schedule fuzzing and cost perturbation must never change data), and
+//!   a repeated seed reproduces results, clocks and the canonical trace
+//!   exactly.
+//! * **injected_kill_is_surfaced** — killing a rank mid-collective turns
+//!   into `RankPanicked`/`DeadlockSuspected`, never a hang.
+//! * **injected_delay_is_deterministic_and_data_safe** — a straggler rank
+//!   plus message jitter changes virtual clocks (monotonically, and the
+//!   same way on every run) while the payload stays oracle-exact.
+//!
+//! A failing seed is printed in the assertion message; re-running with
+//! `FaultPlan::from_seed(seed, nranks)` reproduces the schedule exactly.
+
+use std::time::{Duration, Instant};
+
+use collectives::testutil::{
+    assert_close, datum, expected_allgather, expected_allgatherv, expected_allreduce_sum,
+    expected_alltoall, expected_bcast, expected_gather, expected_reduce_scatter,
+    expected_reduce_sum, expected_scan_exclusive, expected_scan_inclusive, expected_scatter,
+    run_cfg,
+};
+use collectives::{op::Sum, smp_aware::SmpAware, Tuning};
+use msim::{Ctx, FaultPlan, SimConfig, SimResult, Universe};
+use simnet::{ClusterSpec, CostModel, Perturbation};
+
+/// Elements per rank in every fixed-count family.
+const COUNT: usize = 5;
+/// Root used by all rooted families.
+const ROOT: usize = 1;
+/// The eight seeds every family is fuzzed under.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+type Prog = fn(&mut Ctx) -> Vec<f64>;
+type Oracle = fn(usize, usize) -> Vec<f64>;
+
+/// Deterministic irregular per-rank counts for the v-style collectives
+/// (includes zero-sized contributions).
+fn vcounts(p: usize) -> Vec<usize> {
+    (0..p).map(|r| (r * 3 + 1) % 5).collect()
+}
+
+fn run_under(spec: ClusterSpec, fault: FaultPlan, traced: bool, prog: Prog) -> SimResult<Vec<f64>> {
+    let mut cfg = SimConfig::new(spec, CostModel::uniform_test()).with_fault(fault);
+    if traced {
+        cfg = cfg.traced();
+    }
+    run_cfg(cfg, prog)
+}
+
+fn check_family(name: &str, prog: Prog, oracle: Oracle) {
+    for spec in [ClusterSpec::regular(4, 6), ClusterSpec::irregular(vec![1, 3, 4])] {
+        let p = spec.total_cores();
+        let base = run_under(spec.clone(), FaultPlan::none(), false, prog);
+        for rank in 0..p {
+            assert_close(
+                &base.per_rank[rank],
+                &oracle(rank, p),
+                &format!("{name}: baseline, rank {rank}, p={p}"),
+            );
+        }
+        for seed in SEEDS {
+            let fuzzed = run_under(spec.clone(), FaultPlan::from_seed(seed, p), false, prog);
+            for rank in 0..p {
+                assert_close(
+                    &fuzzed.per_rank[rank],
+                    &oracle(rank, p),
+                    &format!("{name}: seed {seed}, rank {rank}, p={p}"),
+                );
+            }
+            assert_eq!(
+                fuzzed.per_rank, base.per_rank,
+                "{name}: seed {seed} changed results, p={p}"
+            );
+        }
+    }
+    // Same-seed determinism, including clocks and the canonical trace.
+    let spec = ClusterSpec::irregular(vec![1, 3, 4]);
+    let p = spec.total_cores();
+    let a = run_under(spec.clone(), FaultPlan::from_seed(SEEDS[0], p), true, prog);
+    let b = run_under(spec, FaultPlan::from_seed(SEEDS[0], p), true, prog);
+    assert_eq!(a.per_rank, b.per_rank, "{name}: same seed, different results");
+    assert_eq!(a.clocks, b.clocks, "{name}: same seed, different clocks");
+    assert_eq!(a.tracer.events(), b.tracer.events(), "{name}: same seed, different trace");
+}
+
+fn kill_cfg() -> SimConfig {
+    // Kill rank 1 at its very first operation; peers must surface an error
+    // within the (short) receive timeout instead of hanging.
+    SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test())
+        .with_recv_timeout(Duration::from_millis(300))
+        .with_fault(FaultPlan::none().with_kill(1, 0))
+}
+
+/// Kill check for point-to-point based families: the reported error is the
+/// injected kill itself (peers only ever reach `DeadlockSuspected`, which
+/// the universe upgrades to the root-cause panic).
+fn expect_kill(prog: Prog) {
+    let t0 = Instant::now();
+    let err = Universe::run(kill_cfg(), prog).expect_err("a killed rank must fail the run");
+    assert!(err.is_injected_kill(), "{err}");
+    assert!(t0.elapsed() < Duration::from_secs(20), "kill must not hang");
+}
+
+/// Kill check for SMP-aware families: the victim may die inside the shared
+/// setup collective, in which case a *peer's* rendezvous panic can outrank
+/// the injected kill in the error report — any error is acceptable as long
+/// as the run terminates promptly.
+fn expect_kill_loose(prog: Prog) {
+    let t0 = Instant::now();
+    let err = Universe::run(kill_cfg(), prog).expect_err("a killed rank must fail the run");
+    assert!(err.is_panic() || err.is_deadlock(), "{err}");
+    assert!(t0.elapsed() < Duration::from_secs(20), "kill must not hang");
+}
+
+/// Delay check: a straggler rank plus per-message jitter must change
+/// clocks deterministically (same plan → same clocks, never earlier than
+/// nominal) and must never change the data any rank computes.
+fn expect_delay_determinism(name: &str, prog: Prog, oracle: Oracle) {
+    let spec = ClusterSpec::regular(2, 3);
+    let p = spec.total_cores();
+    let perturb = Perturbation::none().with_delayed_rank(2, 9.0).with_message_jitter(1.5);
+    let nominal = run_under(spec.clone(), FaultPlan::none(), false, prog);
+    let run = || {
+        run_under(
+            spec.clone(),
+            FaultPlan::none().with_perturbation(perturb.clone()),
+            false,
+            prog,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.clocks, b.clocks, "{name}: same perturbation, different clocks");
+    assert_eq!(a.per_rank, nominal.per_rank, "{name}: delays changed data");
+    for rank in 0..p {
+        assert_close(&a.per_rank[rank], &oracle(rank, p), &format!("{name}: delayed, rank {rank}"));
+    }
+    assert!(
+        a.clocks.iter().zip(&nominal.clocks).all(|(d, n)| d >= n),
+        "{name}: injected delays can only slow ranks down"
+    );
+}
+
+// ---------------------------------------------------------------- programs
+
+fn allgather_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT * world.size());
+    collectives::allgather::tuned(ctx, &world, &send, &mut recv, &Tuning::cray_mpich());
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn allgather_oracle(_rank: usize, p: usize) -> Vec<f64> {
+    expected_allgather(p, COUNT)
+}
+
+fn allgatherv_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let counts = vcounts(world.size());
+    let send = ctx.buf_from_fn(counts[ctx.rank()], |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(counts.iter().sum());
+    collectives::allgatherv::tuned(ctx, &world, &send, &counts, &mut recv, &Tuning::open_mpi());
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn allgatherv_oracle(_rank: usize, p: usize) -> Vec<f64> {
+    expected_allgatherv(&vcounts(p))
+}
+
+fn bcast_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let mut buf = if ctx.rank() == ROOT {
+        ctx.buf_from_fn(COUNT, |i| datum(ROOT, i))
+    } else {
+        ctx.buf_zeroed(COUNT)
+    };
+    collectives::bcast::tuned(ctx, &world, &mut buf, ROOT, &Tuning::cray_mpich());
+    buf.as_slice().unwrap().to_vec()
+}
+
+fn bcast_oracle(_rank: usize, _p: usize) -> Vec<f64> {
+    expected_bcast(ROOT, COUNT)
+}
+
+fn allreduce_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT);
+    collectives::allreduce::tuned(ctx, &world, &send, &mut recv, Sum, &Tuning::cray_mpich());
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn allreduce_oracle(_rank: usize, p: usize) -> Vec<f64> {
+    expected_allreduce_sum(p, COUNT)
+}
+
+fn alltoall_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let p = world.size();
+    let me = ctx.rank();
+    let send = ctx.buf_from_fn(p * COUNT, |i| datum(me, i));
+    let mut recv = ctx.buf_zeroed(p * COUNT);
+    collectives::alltoall::tuned(ctx, &world, &send, &mut recv, COUNT, &Tuning::open_mpi());
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn alltoall_oracle(rank: usize, p: usize) -> Vec<f64> {
+    expected_alltoall(rank, p, COUNT)
+}
+
+fn reduce_scatter_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let counts = vcounts(world.size());
+    let total: usize = counts.iter().sum();
+    let send = ctx.buf_from_fn(total, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(counts[ctx.rank()]);
+    collectives::reduce_scatter::tuned(
+        ctx, &world, &send, &counts, &mut recv, Sum, &Tuning::cray_mpich(),
+    );
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn reduce_scatter_oracle(rank: usize, p: usize) -> Vec<f64> {
+    expected_reduce_scatter(rank, p, &vcounts(p))
+}
+
+fn scan_inclusive_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT);
+    collectives::scan::inclusive(ctx, &world, &send, &mut recv, Sum);
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn scan_inclusive_oracle(rank: usize, _p: usize) -> Vec<f64> {
+    expected_scan_inclusive(rank, COUNT)
+}
+
+fn scan_exclusive_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT);
+    collectives::scan::exclusive(ctx, &world, &send, &mut recv, Sum);
+    // Rank 0's exclusive-scan output is undefined (MPI semantics).
+    if ctx.rank() == 0 {
+        Vec::new()
+    } else {
+        recv.as_slice().unwrap().to_vec()
+    }
+}
+
+fn scan_exclusive_oracle(rank: usize, _p: usize) -> Vec<f64> {
+    if rank == 0 {
+        Vec::new()
+    } else {
+        expected_scan_exclusive(rank, COUNT)
+    }
+}
+
+fn scatter_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = if ctx.rank() == ROOT {
+        ctx.buf_from_fn(world.size() * COUNT, |i| datum(ROOT, i))
+    } else {
+        ctx.buf_zeroed(0)
+    };
+    let mut recv = ctx.buf_zeroed(COUNT);
+    collectives::scatter::binomial(ctx, &world, &send, &mut recv, ROOT);
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn scatter_oracle(rank: usize, _p: usize) -> Vec<f64> {
+    expected_scatter(rank, ROOT, COUNT)
+}
+
+fn gather_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = if ctx.rank() == ROOT {
+        ctx.buf_zeroed(world.size() * COUNT)
+    } else {
+        ctx.buf_zeroed(0)
+    };
+    collectives::gather::binomial(ctx, &world, &send, &mut recv, ROOT);
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn gather_oracle(rank: usize, p: usize) -> Vec<f64> {
+    if rank == ROOT {
+        expected_gather(p, COUNT)
+    } else {
+        Vec::new()
+    }
+}
+
+fn reduce_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = if ctx.rank() == ROOT {
+        ctx.buf_zeroed(COUNT)
+    } else {
+        ctx.buf_zeroed(0)
+    };
+    collectives::reduce::binomial(ctx, &world, &send, &mut recv, ROOT, Sum);
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn reduce_oracle(rank: usize, p: usize) -> Vec<f64> {
+    if rank == ROOT {
+        expected_reduce_sum(p, COUNT)
+    } else {
+        Vec::new()
+    }
+}
+
+fn barrier_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    collectives::barrier::tuned(ctx, &world);
+    // A barrier moves no data; the conformance property is completion
+    // (no deadlock, no hang) under every schedule.
+    vec![ctx.rank() as f64]
+}
+
+fn barrier_oracle(rank: usize, _p: usize) -> Vec<f64> {
+    vec![rank as f64]
+}
+
+fn smp_allgather_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT * world.size());
+    sa.allgather(ctx, &send, &mut recv);
+    recv.as_slice().unwrap().to_vec()
+}
+
+fn smp_bcast_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+    let mut buf = if ctx.rank() == ROOT {
+        ctx.buf_from_fn(COUNT, |i| datum(ROOT, i))
+    } else {
+        ctx.buf_zeroed(COUNT)
+    };
+    sa.bcast(ctx, &mut buf, ROOT);
+    buf.as_slice().unwrap().to_vec()
+}
+
+fn smp_allreduce_prog(ctx: &mut Ctx) -> Vec<f64> {
+    let world = ctx.world();
+    let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
+    let send = ctx.buf_from_fn(COUNT, |i| datum(ctx.rank(), i));
+    let mut recv = ctx.buf_zeroed(COUNT);
+    sa.allreduce(ctx, &send, &mut recv, Sum);
+    recv.as_slice().unwrap().to_vec()
+}
+
+// ------------------------------------------------------------------ suite
+
+macro_rules! family {
+    ($name:ident, $prog:path, $oracle:path, kill = $kill:ident) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn conforms_under_seeded_schedules() {
+                check_family(stringify!($name), $prog, $oracle);
+            }
+
+            #[test]
+            fn injected_kill_is_surfaced() {
+                $kill($prog);
+            }
+
+            #[test]
+            fn injected_delay_is_deterministic_and_data_safe() {
+                expect_delay_determinism(stringify!($name), $prog, $oracle);
+            }
+        }
+    };
+}
+
+family!(allgather, allgather_prog, allgather_oracle, kill = expect_kill);
+family!(allgatherv, allgatherv_prog, allgatherv_oracle, kill = expect_kill);
+family!(bcast, bcast_prog, bcast_oracle, kill = expect_kill);
+family!(allreduce, allreduce_prog, allreduce_oracle, kill = expect_kill);
+family!(alltoall, alltoall_prog, alltoall_oracle, kill = expect_kill);
+family!(reduce_scatter, reduce_scatter_prog, reduce_scatter_oracle, kill = expect_kill);
+family!(scan_inclusive, scan_inclusive_prog, scan_inclusive_oracle, kill = expect_kill);
+family!(scan_exclusive, scan_exclusive_prog, scan_exclusive_oracle, kill = expect_kill);
+family!(scatter, scatter_prog, scatter_oracle, kill = expect_kill);
+family!(gather, gather_prog, gather_oracle, kill = expect_kill);
+family!(reduce, reduce_prog, reduce_oracle, kill = expect_kill);
+family!(barrier, barrier_prog, barrier_oracle, kill = expect_kill);
+family!(smp_allgather, smp_allgather_prog, allgather_oracle, kill = expect_kill_loose);
+family!(smp_bcast, smp_bcast_prog, bcast_oracle, kill = expect_kill_loose);
+family!(smp_allreduce, smp_allreduce_prog, allreduce_oracle, kill = expect_kill_loose);

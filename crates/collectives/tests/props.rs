@@ -1,35 +1,39 @@
 //! Property-based tests: every collective algorithm must agree with its
-//! analytic oracle for arbitrary cluster shapes, counts and roots.
+//! analytic oracle for randomized cluster shapes, counts and roots.
+//! Driven by the first-party seeded case runner
+//! ([`simnet::rng::check_cases`]) — a failing case prints its sub-seed
+//! for exact replay.
 
+use collectives::testutil::{
+    assert_close, datum, expected_allgather, expected_allgatherv, expected_allreduce_sum,
+    expected_alltoall, expected_bcast, expected_gather, expected_reduce_scatter,
+    expected_reduce_sum, expected_scan_exclusive, expected_scan_inclusive, expected_scatter,
+};
 use collectives::{allgather, allgatherv, allreduce, bcast, op::Sum, smp_aware::SmpAware, Tuning};
-use msim::{Buf, Ctx, SimConfig, Universe};
-use proptest::prelude::*;
+use msim::{Ctx, SimConfig, Universe};
+use simnet::rng::{check_cases, Rng64};
 use simnet::{ClusterSpec, CostModel};
 
-fn datum(rank: usize, i: usize) -> f64 {
-    (rank * 1000 + i) as f64 + 0.25
-}
+const CASES: usize = 24;
 
-fn run_cluster<T: Send>(
-    cores: Vec<usize>,
-    f: impl Fn(&mut Ctx) -> T + Send + Sync,
-) -> Vec<T> {
+fn run_cluster<T: Send>(cores: Vec<usize>, f: impl Fn(&mut Ctx) -> T + Send + Sync) -> Vec<T> {
     let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
     Universe::run(cfg, f).expect("universe must not fail").per_rank
 }
 
 /// Arbitrary small cluster: 1–3 nodes of 1–4 cores.
-fn cluster_strategy() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..=4, 1..=3)
+fn cluster(rng: &mut Rng64) -> Vec<usize> {
+    let nodes = rng.usize_in(1, 4);
+    rng.vec_usize(nodes, 1, 5)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn tuned_allgather_matches_oracle(cores in cluster_strategy(), count in 0usize..24) {
+#[test]
+fn tuned_allgather_matches_oracle() {
+    check_cases(0xA6_0001, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(0, 24);
         let p: usize = cores.iter().sum();
-        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let expected = expected_allgather(p, count);
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
             let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
@@ -38,22 +42,18 @@ proptest! {
             recv.as_slice().unwrap().to_vec()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tuned_allgatherv_matches_oracle(
-        cores in cluster_strategy(),
-        counts_seed in proptest::collection::vec(0usize..9, 12),
-    ) {
+#[test]
+fn tuned_allgatherv_matches_oracle() {
+    check_cases(0xA6_0002, CASES, |rng| {
+        let cores = cluster(rng);
         let p: usize = cores.iter().sum();
-        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
-        let expected: Vec<f64> = counts
-            .iter()
-            .enumerate()
-            .flat_map(|(r, &c)| (0..c).map(move |i| datum(r, i)))
-            .collect();
+        let counts = rng.vec_usize(p, 0, 9);
+        let expected = expected_allgatherv(&counts);
         let counts2 = counts.clone();
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
@@ -63,19 +63,19 @@ proptest! {
             recv.as_slice().unwrap().to_vec()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tuned_bcast_matches_oracle(
-        cores in cluster_strategy(),
-        count in 1usize..40,
-        root_seed in 0usize..64,
-    ) {
+#[test]
+fn tuned_bcast_matches_oracle() {
+    check_cases(0xA6_0003, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 40);
         let p: usize = cores.iter().sum();
-        let root = root_seed % p;
-        let expected: Vec<f64> = (0..count).map(|i| datum(root, i)).collect();
+        let root = rng.usize_in(0, p);
+        let expected = expected_bcast(root, count);
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
             let mut buf = if ctx.rank() == root {
@@ -87,33 +87,38 @@ proptest! {
             buf.as_slice().unwrap().to_vec()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tuned_allreduce_sums_correctly(cores in cluster_strategy(), count in 1usize..24) {
+#[test]
+fn tuned_allreduce_sums_correctly() {
+    check_cases(0xA6_0004, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 24);
         let p: usize = cores.iter().sum();
-        let rank_sum: f64 = (0..p).map(|r| r as f64 + 1.0).sum();
+        let expected = expected_allreduce_sum(p, count);
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
-            let send = ctx.buf_from_fn(count, |i| (ctx.rank() as f64 + 1.0) * (i as f64 + 1.0));
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
             let mut recv = ctx.buf_zeroed(count);
             allreduce::tuned(ctx, &world, &send, &mut recv, Sum, &Tuning::cray_mpich());
             recv.as_slice().unwrap().to_vec()
         });
         for got in out {
-            for (i, v) in got.iter().enumerate() {
-                let want = rank_sum * (i as f64 + 1.0);
-                prop_assert!((v - want).abs() < 1e-9, "{v} vs {want}");
-            }
+            assert_close(&got, &expected, "allreduce");
         }
-    }
+    });
+}
 
-    #[test]
-    fn smp_aware_allgather_matches_oracle(cores in cluster_strategy(), count in 0usize..16) {
+#[test]
+fn smp_aware_allgather_matches_oracle() {
+    check_cases(0xA6_0005, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(0, 16);
         let p: usize = cores.iter().sum();
-        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let expected = expected_allgather(p, count);
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
             let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
@@ -123,15 +128,16 @@ proptest! {
             recv.as_slice().unwrap().to_vec()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn virtual_time_is_identical_between_real_and_phantom(
-        cores in cluster_strategy(),
-        count in 0usize..32,
-    ) {
+#[test]
+fn virtual_time_is_identical_between_real_and_phantom() {
+    check_cases(0xA6_0006, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(0, 32);
         let run_mode = |phantom: bool, cores: Vec<usize>| {
             let mut cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::cray_aries());
             if phantom {
@@ -147,27 +153,21 @@ proptest! {
             .unwrap()
             .clocks
         };
-        prop_assert_eq!(run_mode(false, cores.clone()), run_mode(true, cores));
-    }
+        assert_eq!(run_mode(false, cores.clone()), run_mode(true, cores));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn reduce_scatter_matches_oracle(
-        cores in cluster_strategy(),
-        counts_seed in proptest::collection::vec(0usize..6, 8),
-    ) {
+#[test]
+fn reduce_scatter_matches_oracle() {
+    check_cases(0xA6_0007, CASES, |rng| {
+        let cores = cluster(rng);
         let p: usize = cores.iter().sum();
-        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
-        let displs = collectives::util::displs_of(&counts);
-        let rank_sum: f64 = (1..=p).map(|x| x as f64).sum();
+        let counts = rng.vec_usize(p, 0, 6);
         let counts2 = counts.clone();
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
             let total: usize = counts2.iter().sum();
-            let send = ctx.buf_from_fn(total, |i| (ctx.rank() + 1) as f64 * (i + 1) as f64);
+            let send = ctx.buf_from_fn(total, |i| datum(ctx.rank(), i));
             let mut recv = ctx.buf_zeroed(counts2[ctx.rank()]);
             collectives::reduce_scatter::tuned(
                 ctx, &world, &send, &counts2, &mut recv, Sum, &Tuning::cray_mpich(),
@@ -175,45 +175,136 @@ proptest! {
             recv.as_slice().unwrap().to_vec()
         });
         for (rank, got) in out.iter().enumerate() {
-            for (i, v) in got.iter().enumerate() {
-                let want = rank_sum * (displs[rank] + i + 1) as f64;
-                prop_assert!((v - want).abs() < 1e-9, "rank {rank}: {v} vs {want}");
-            }
+            let expected = expected_reduce_scatter(rank, p, &counts);
+            assert_close(got, &expected, &format!("reduce_scatter rank {rank}"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn inclusive_scan_matches_prefix_sums(cores in cluster_strategy(), count in 1usize..16) {
+#[test]
+fn inclusive_scan_matches_prefix_sums() {
+    check_cases(0xA6_0008, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 16);
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
-            let send = ctx.buf_from_fn(count, |i| (ctx.rank() + 1) as f64 + i as f64);
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
             let mut recv = ctx.buf_zeroed(count);
             collectives::scan::inclusive(ctx, &world, &send, &mut recv, Sum);
             recv.as_slice().unwrap().to_vec()
         });
         for (rank, got) in out.iter().enumerate() {
-            for (i, v) in got.iter().enumerate() {
-                let want: f64 = (0..=rank).map(|r| (r + 1) as f64 + i as f64).sum();
-                prop_assert!((v - want).abs() < 1e-9, "rank {rank} elem {i}: {v} vs {want}");
-            }
+            let expected = expected_scan_inclusive(rank, count);
+            assert_close(got, &expected, &format!("scan rank {rank}"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn alltoall_tuned_matches_oracle(cores in cluster_strategy(), count in 1usize..8) {
+#[test]
+fn exclusive_scan_matches_shifted_prefix_sums() {
+    check_cases(0xA6_0009, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 16);
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = ctx.buf_zeroed(count);
+            collectives::scan::exclusive(ctx, &world, &send, &mut recv, Sum);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in out.iter().enumerate().skip(1) {
+            let expected = expected_scan_exclusive(rank, count);
+            assert_close(got, &expected, &format!("exscan rank {rank}"));
+        }
+    });
+}
+
+#[test]
+fn alltoall_tuned_matches_oracle() {
+    check_cases(0xA6_000A, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 8);
         let p: usize = cores.iter().sum();
         let out = run_cluster(cores, move |ctx| {
             let world = ctx.world();
             let me = ctx.rank();
-            let send = ctx.buf_from_fn(p * count, |i| (me * 100 + i / count) as f64);
+            let send = ctx.buf_from_fn(p * count, |i| datum(me, i));
             let mut recv = ctx.buf_zeroed(p * count);
             collectives::alltoall::tuned(ctx, &world, &send, &mut recv, count, &Tuning::open_mpi());
             recv.as_slice().unwrap().to_vec()
         });
         for (rank, got) in out.iter().enumerate() {
-            for (i, v) in got.iter().enumerate() {
-                prop_assert_eq!(*v, ((i / count) * 100 + rank) as f64);
-            }
+            assert_eq!(got, &expected_alltoall(rank, p, count), "rank {rank}");
         }
-    }
+    });
+}
+
+#[test]
+fn scatter_binomial_matches_oracle() {
+    check_cases(0xA6_000B, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 8);
+        let p: usize = cores.iter().sum();
+        let root = rng.usize_in(0, p);
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = if ctx.rank() == root {
+                ctx.buf_from_fn(p * count, |i| datum(root, i))
+            } else {
+                ctx.buf_zeroed(0)
+            };
+            let mut recv = ctx.buf_zeroed(count);
+            collectives::scatter::binomial(ctx, &world, &send, &mut recv, root);
+            recv.as_slice().unwrap().to_vec()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(got, &expected_scatter(rank, root, count), "rank {rank}");
+        }
+    });
+}
+
+#[test]
+fn gather_binomial_matches_oracle() {
+    check_cases(0xA6_000C, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 8);
+        let p: usize = cores.iter().sum();
+        let root = rng.usize_in(0, p);
+        let expected = expected_gather(p, count);
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = if ctx.rank() == root {
+                ctx.buf_zeroed(p * count)
+            } else {
+                ctx.buf_zeroed(0)
+            };
+            collectives::gather::binomial(ctx, &world, &send, &mut recv, root);
+            recv.as_slice().unwrap().to_vec()
+        });
+        assert_eq!(out[root], expected, "root {root}");
+    });
+}
+
+#[test]
+fn reduce_binomial_matches_oracle() {
+    check_cases(0xA6_000D, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 12);
+        let p: usize = cores.iter().sum();
+        let root = rng.usize_in(0, p);
+        let expected = expected_reduce_sum(p, count);
+        let out = run_cluster(cores, move |ctx| {
+            let world = ctx.world();
+            let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+            let mut recv = if ctx.rank() == root {
+                ctx.buf_zeroed(count)
+            } else {
+                ctx.buf_zeroed(0)
+            };
+            collectives::reduce::binomial(ctx, &world, &send, &mut recv, root, Sum);
+            recv.as_slice().unwrap().to_vec()
+        });
+        assert_close(&out[root], &expected, &format!("reduce root {root}"));
+    });
 }

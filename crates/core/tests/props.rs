@@ -1,51 +1,49 @@
 //! Property-based tests for the hybrid collectives: correctness for
 //! arbitrary cluster shapes, counts, placements and sync flavors, plus
-//! the invariants the paper's design rests on.
+//! the invariants the paper's design rests on. Driven by the first-party
+//! seeded case runner ([`simnet::rng::check_cases`]).
 
 use collectives::Tuning;
 use hmpi::{HyAllgather, HyAllgatherv, HyBcast, HybridComm, SyncMethod};
 use msim::{Ctx, SimConfig, Universe};
-use proptest::prelude::*;
+use simnet::rng::{check_cases, Rng64};
 use simnet::{ClusterSpec, CostModel, Placement};
+
+const CASES: usize = 24;
 
 fn datum(rank: usize, i: usize) -> f64 {
     (rank * 777 + i) as f64 + 0.125
 }
 
-fn cluster_strategy() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..=4, 1..=3)
+/// Arbitrary small cluster: 1–3 nodes of 1–4 cores.
+fn cluster(rng: &mut Rng64) -> Vec<usize> {
+    let nodes = rng.usize_in(1, 4);
+    rng.vec_usize(nodes, 1, 5)
 }
 
-fn placement_strategy() -> impl Strategy<Value = Placement> {
-    prop_oneof![Just(Placement::SmpBlock), Just(Placement::RoundRobin)]
+fn placement(rng: &mut Rng64) -> Placement {
+    rng.pick(&[Placement::SmpBlock, Placement::RoundRobin]).clone()
 }
 
-fn sync_strategy() -> impl Strategy<Value = SyncMethod> {
-    prop_oneof![
-        Just(SyncMethod::Barrier),
-        Just(SyncMethod::SharedFlags),
-        Just(SyncMethod::P2p)
-    ]
+fn sync(rng: &mut Rng64) -> SyncMethod {
+    *rng.pick(&[SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p])
 }
 
 fn run_cfg<T: Send>(cfg: SimConfig, f: impl Fn(&mut Ctx) -> T + Send + Sync) -> Vec<T> {
     Universe::run(cfg, f).expect("universe must not fail").per_rank
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn hybrid_allgather_correct_everywhere(
-        cores in cluster_strategy(),
-        count in 0usize..24,
-        placement in placement_strategy(),
-        sync in sync_strategy(),
-    ) {
+#[test]
+fn hybrid_allgather_correct_everywhere() {
+    check_cases(0xC0_0001, CASES, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(0, 24);
+        let sync = sync(rng);
         let p: usize = cores.iter().sum();
-        let expected: Vec<f64> = (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let expected: Vec<f64> =
+            (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
-            .with_placement(placement);
+            .with_placement(placement(rng));
         let out = run_cfg(cfg, move |ctx| {
             let world = ctx.world();
             let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
@@ -56,17 +54,17 @@ proptest! {
             (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_allgatherv_correct_for_arbitrary_counts(
-        cores in cluster_strategy(),
-        counts_seed in proptest::collection::vec(0usize..7, 12),
-    ) {
+#[test]
+fn hybrid_allgatherv_correct_for_arbitrary_counts() {
+    check_cases(0xC0_0002, CASES, |rng| {
+        let cores = cluster(rng);
         let p: usize = cores.iter().sum();
-        let counts: Vec<usize> = (0..p).map(|r| counts_seed[r % counts_seed.len()]).collect();
+        let counts = rng.vec_usize(p, 0, 7);
         let expected: Vec<f64> = counts
             .iter()
             .enumerate()
@@ -78,28 +76,28 @@ proptest! {
             let world = ctx.world();
             let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
             let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts2);
-            let mine: Vec<f64> = (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+            let mine: Vec<f64> =
+                (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
             ag.write_my_block(ctx, &mine);
             ag.execute(ctx);
             (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_bcast_correct_everywhere(
-        cores in cluster_strategy(),
-        len in 1usize..32,
-        root_seed in 0usize..64,
-        placement in placement_strategy(),
-    ) {
+#[test]
+fn hybrid_bcast_correct_everywhere() {
+    check_cases(0xC0_0003, CASES, |rng| {
+        let cores = cluster(rng);
+        let len = rng.usize_in(1, 32);
         let p: usize = cores.iter().sum();
-        let root = root_seed % p;
+        let root = rng.usize_in(0, p);
         let expected: Vec<f64> = (0..len).map(|i| datum(root, i)).collect();
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
-            .with_placement(placement);
+            .with_placement(placement(rng));
         let out = run_cfg(cfg, move |ctx| {
             let world = ctx.world();
             let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
@@ -112,15 +110,17 @@ proptest! {
             bc.read_message()
         });
         for got in out {
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_never_moves_payload_bytes_intra_node(
-        cores in proptest::collection::vec(2usize..=4, 2..=3),
-        count in 1usize..64,
-    ) {
+#[test]
+fn hybrid_never_moves_payload_bytes_intra_node() {
+    check_cases(0xC0_0004, CASES, |rng| {
+        let nodes = rng.usize_in(2, 4);
+        let cores = rng.vec_usize(nodes, 2, 5);
+        let count = rng.usize_in(1, 64);
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::cray_aries())
             .phantom()
             .traced();
@@ -140,19 +140,19 @@ proptest! {
                 _ => None,
             })
             .sum();
-        prop_assert_eq!(intra_bytes, 0);
-    }
+        assert_eq!(intra_bytes, 0);
+    });
+}
 
-    #[test]
-    fn window_memory_is_independent_of_sync_and_placement(
-        count in 1usize..64,
-        sync in sync_strategy(),
-        placement in placement_strategy(),
-    ) {
+#[test]
+fn window_memory_is_independent_of_sync_and_placement() {
+    check_cases(0xC0_0005, CASES, |rng| {
+        let count = rng.usize_in(1, 64);
+        let sync = sync(rng);
         let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::cray_aries())
             .phantom()
             .traced()
-            .with_placement(placement);
+            .with_placement(placement(rng));
         let r = Universe::run(cfg, move |ctx| {
             let world = ctx.world();
             let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
@@ -160,29 +160,26 @@ proptest! {
         })
         .unwrap();
         // Two nodes, each holding one full copy: 2 * 6 * count * 8 bytes.
-        prop_assert_eq!(r.tracer.total_window_bytes(), 2 * 6 * count * 8);
-    }
+        assert_eq!(r.tracer.total_window_bytes(), 2 * 6 * count * 8);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn hybrid_alltoall_correct_everywhere(
-        cores in proptest::collection::vec(1usize..=4, 1..=3),
-        count in 1usize..6,
-        placement in placement_strategy(),
-    ) {
+#[test]
+fn hybrid_alltoall_correct_everywhere() {
+    check_cases(0xC0_0006, 16, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 6);
         let p: usize = cores.iter().sum();
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
-            .with_placement(placement);
+            .with_placement(placement(rng));
         let out = run_cfg(cfg, move |ctx| {
             let world = ctx.world();
             let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
             let a2a = hmpi::HyAlltoall::<f64>::new(ctx, &hc, count);
             let me = ctx.rank();
             for dest in 0..world.size() {
-                let data: Vec<f64> = (0..count).map(|k| (me * 100 + dest) as f64 + k as f64 / 8.0).collect();
+                let data: Vec<f64> =
+                    (0..count).map(|k| (me * 100 + dest) as f64 + k as f64 / 8.0).collect();
                 a2a.write_block(ctx, dest, &data);
             }
             a2a.execute(ctx);
@@ -192,18 +189,18 @@ proptest! {
             let expected: Vec<f64> = (0..p)
                 .flat_map(|src| (0..count).map(move |k| (src * 100 + rank) as f64 + k as f64 / 8.0))
                 .collect();
-            prop_assert_eq!(got, &expected, "rank {}", rank);
+            assert_eq!(got, &expected, "rank {rank}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_gather_scatter_roundtrip(
-        cores in proptest::collection::vec(1usize..=4, 1..=3),
-        count in 1usize..6,
-        root_seed in 0usize..64,
-    ) {
+#[test]
+fn hybrid_gather_scatter_roundtrip() {
+    check_cases(0xC0_0007, 16, |rng| {
+        let cores = cluster(rng);
+        let count = rng.usize_in(1, 6);
         let p: usize = cores.iter().sum();
-        let root = root_seed % p;
+        let root = rng.usize_in(0, p);
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
         let out = run_cfg(cfg, move |ctx| {
             let world = ctx.world();
@@ -226,7 +223,7 @@ proptest! {
         });
         for (rank, got) in out.iter().enumerate() {
             let expected: Vec<f64> = (0..count).map(|i| (rank * 10 + i) as f64).collect();
-            prop_assert_eq!(got, &expected, "rank {}", rank);
+            assert_eq!(got, &expected, "rank {rank}");
         }
-    }
+    });
 }

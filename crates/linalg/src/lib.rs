@@ -16,10 +16,12 @@
 pub mod cholesky;
 pub mod gemm;
 pub mod mat;
+pub mod rng;
 pub mod sample;
 pub mod sparse;
 
 pub use cholesky::Cholesky;
 pub use gemm::{gemm, matmul};
 pub use mat::Mat;
+pub use rng::{Rng, SmallRng};
 pub use sparse::Csr;

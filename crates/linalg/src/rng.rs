@@ -1,0 +1,133 @@
+//! First-party seeded PRNG with the (tiny) slice of the `rand` API this
+//! workspace uses — [`Rng::gen_range`] over `f64`/integer ranges and
+//! [`SmallRng::seed_from_u64`] — so builds stay hermetic (no registry
+//! dependencies; see `docs/testing.md`).
+//!
+//! The generator is SplitMix64: 64-bit state, equidistributed output,
+//! passes BigCrush for this workspace's purposes (moment checks of the
+//! statistical samplers in [`crate::sample`]). Not cryptographic.
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// A uniform sample in `[lo, hi)`.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + rng.unit() * (hi - lo)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+/// A source of pseudo-randomness (the subset of `rand::Rng` used here).
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform sample from the half-open `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with an empty range");
+        T::sample_uniform(self, range.start, range.end)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A small, fast, seedable generator (SplitMix64), mirroring the role of
+/// `rand::rngs::SmallRng`.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// A generator seeded from `seed`; equal seeds produce equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_repeat() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            SmallRng::seed_from_u64(1).next_u64(),
+            SmallRng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn f64_ranges_are_respected() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..7 must appear");
+        for _ in 0..100 {
+            let x = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_mean_is_half() {
+        let mut r = SmallRng::seed_from_u64(17);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,6 +1,6 @@
 //! Samplers for the Normal–Wishart Gibbs updates of BPMF.
 //!
-//! Everything is built over `rand`'s uniform/normal primitives:
+//! Everything is built over the first-party [`crate::rng`] primitives:
 //!
 //! * standard normal via Box–Muller-free `rand_distr`-less polar method,
 //! * Gamma via Marsaglia–Tsang (with the α<1 boost),
@@ -8,7 +8,7 @@
 //! * multivariate normal via Cholesky of the covariance,
 //! * Wishart via the Bartlett decomposition.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::cholesky::Cholesky;
 use crate::mat::Mat;
@@ -107,8 +107,7 @@ pub fn wishart<R: Rng + ?Sized>(rng: &mut R, nu: f64, v_scale: &Mat) -> Mat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0x5eed)

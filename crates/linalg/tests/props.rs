@@ -1,12 +1,24 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-based tests for the linear-algebra substrate, driven by the
+//! crate's own seeded generator (`linalg::rng`) so the workspace stays
+//! hermetic. Everything is deterministic from the fixed master seeds —
+//! a failure reproduces by just re-running the test.
+
+use std::collections::BTreeMap;
 
 use linalg::gemm::{gemm, matmul};
+use linalg::rng::{Rng, SmallRng};
 use linalg::{Cholesky, Csr, Mat};
-use proptest::prelude::*;
 
-fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |data| Mat::from_col_major(rows, cols, data))
+fn check_cases(seed: u64, cases: usize, f: impl Fn(&mut SmallRng)) {
+    for case in 0..cases {
+        let sub = seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        f(&mut SmallRng::seed_from_u64(sub));
+    }
+}
+
+fn small_mat(rng: &mut SmallRng, rows: usize, cols: usize) -> Mat {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    Mat::from_col_major(rows, cols, data)
 }
 
 fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
@@ -15,37 +27,47 @@ fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gemm_matches_naive(
-        m in 1usize..20,
-        k in 1usize..20,
-        n in 1usize..20,
-        seed in 0u64..1000,
-    ) {
-        let a = Mat::from_fn(m, k, |r, c| ((r * 31 + c * 7 + seed as usize) % 17) as f64 - 8.0);
-        let b = Mat::from_fn(k, n, |r, c| ((r * 13 + c * 3 + seed as usize) % 19) as f64 - 9.0);
+#[test]
+fn gemm_matches_naive() {
+    check_cases(0x11_0001, 64, |rng| {
+        let (m, k, n) = (
+            rng.gen_range(1usize..20),
+            rng.gen_range(1usize..20),
+            rng.gen_range(1usize..20),
+        );
+        let seed = rng.gen_range(0u64..1000) as usize;
+        let a = Mat::from_fn(m, k, |r, c| ((r * 31 + c * 7 + seed) % 17) as f64 - 8.0);
+        let b = Mat::from_fn(k, n, |r, c| ((r * 13 + c * 3 + seed) % 19) as f64 - 9.0);
         let c = matmul(&a, &b);
-        prop_assert!(c.distance(&naive_matmul(&a, &b)) < 1e-9);
-    }
+        assert!(c.distance(&naive_matmul(&a, &b)) < 1e-9);
+    });
+}
 
-    #[test]
-    fn gemm_is_linear_in_alpha(a in small_mat(6, 5), b in small_mat(5, 7)) {
+#[test]
+fn gemm_is_linear_in_alpha() {
+    check_cases(0x11_0002, 64, |rng| {
+        let a = small_mat(rng, 6, 5);
+        let b = small_mat(rng, 5, 7);
         let mut c1 = Mat::zeros(6, 7);
         gemm(2.0, &a, &b, 0.0, &mut c1);
         let c2 = matmul(&a, &b).scale(2.0);
-        prop_assert!(c1.distance(&c2) < 1e-9);
-    }
+        assert!(c1.distance(&c2) < 1e-9);
+    });
+}
 
-    #[test]
-    fn transpose_is_involutive(a in small_mat(7, 4)) {
-        prop_assert!(a.t().t().distance(&a) < 1e-15);
-    }
+#[test]
+fn transpose_is_involutive() {
+    check_cases(0x11_0003, 64, |rng| {
+        let a = small_mat(rng, 7, 4);
+        assert!(a.t().t().distance(&a) < 1e-15);
+    });
+}
 
-    #[test]
-    fn cholesky_reconstructs_spd(n in 1usize..12, seed in 0u64..1000) {
+#[test]
+fn cholesky_reconstructs_spd() {
+    check_cases(0x11_0004, 64, |rng| {
+        let n = rng.gen_range(1usize..12);
+        let seed = rng.gen_range(0u64..1000);
         // A = B·Bᵀ + n·I is SPD.
         let b = Mat::from_fn(n, n, |r, c| {
             ((r as u64 * 37 + c as u64 * 11 + seed) % 29) as f64 / 29.0 - 0.5
@@ -56,28 +78,35 @@ proptest! {
         }
         let ch = Cholesky::new(&a).expect("SPD must factor");
         let re = matmul(ch.l(), &ch.l().t());
-        prop_assert!(re.distance(&a) < 1e-8);
+        assert!(re.distance(&a) < 1e-8);
         // And the solve really solves.
         let rhs: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
         let x = ch.solve(&rhs);
         let ax = a.matvec(&x);
         for (u, v) in ax.iter().zip(&rhs) {
-            prop_assert!((u - v).abs() < 1e-8);
+            assert!((u - v).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn csr_roundtrips_triplets(
-        entries in proptest::collection::btree_map((0usize..15, 0usize..12), -5.0f64..5.0, 0..40)
-    ) {
+#[test]
+fn csr_roundtrips_triplets() {
+    check_cases(0x11_0005, 64, |rng| {
+        let nnz = rng.gen_range(0usize..40);
+        let mut entries: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for _ in 0..nnz {
+            let r = rng.gen_range(0usize..15);
+            let c = rng.gen_range(0usize..12);
+            entries.insert((r, c), rng.gen_range(-5.0..5.0));
+        }
         let triplets: Vec<(usize, usize, f64)> =
             entries.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
         let m = Csr::from_triplets(15, 12, triplets.clone());
-        prop_assert_eq!(m.nnz(), triplets.len());
+        assert_eq!(m.nnz(), triplets.len());
         for (r, c, v) in &triplets {
-            prop_assert_eq!(m.get(*r, *c), Some(*v));
+            assert_eq!(m.get(*r, *c), Some(*v));
         }
         // Transpose round trip preserves everything.
-        prop_assert_eq!(&m.transpose().transpose(), &m);
-    }
+        assert_eq!(&m.transpose().transpose(), &m);
+    });
 }

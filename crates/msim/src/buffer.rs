@@ -8,7 +8,7 @@
 use crate::elem::{bytes_to_slice, slice_to_bytes, ShmElem};
 use crate::msg::Payload;
 use crate::window::SharedWindow;
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// A typed buffer of `T` that is either materialized, size-only, or a view
 /// of a node-shared window.

@@ -1,0 +1,133 @@
+//! A minimal cheaply-cloneable byte buffer.
+//!
+//! First-party replacement for the `bytes` crate's `Bytes` (hermetic,
+//! registry-free builds — see `docs/testing.md`). Provides the subset the
+//! runtime needs: O(1) clone via a shared `Arc`, zero-copy sub-slicing,
+//! and `Deref<Target = [u8]>`.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with O(1) clone and
+/// zero-copy slicing. Message fan-out (one payload sent to many ranks)
+/// clones the handle, not the data.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer borrowing a static slice (copied once into the shared
+    /// allocation; the name mirrors the `bytes` crate API).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-buffer for `range` (indices relative to `self`).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "inverted byte range");
+        assert!(range.end <= self.len, "byte range {range:?} out of bounds (len {})", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self { data: v.into(), start: 0, len }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_len() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let b = Bytes::from(vec![0u8; 1024]);
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+    }
+
+    #[test]
+    fn nested_slices_compose() {
+        let b = Bytes::from_static(b"abcdefgh");
+        let s = b.slice(2..7); // cdefg
+        assert_eq!(s.as_ref(), b"cdefg");
+        let t = s.slice(1..4); // def
+        assert_eq!(t.as_ref(), b"def");
+        assert_eq!(t, Bytes::from_static(b"def"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        Bytes::from_static(b"ab").slice(1..3);
+    }
+}

@@ -9,6 +9,7 @@ use crate::buffer::Buf;
 use crate::comm::Communicator;
 use crate::elem::ShmElem;
 use crate::error::SimError;
+use crate::fault::KILL_MARKER;
 use crate::msg::{Packet, Payload};
 use crate::universe::{DataMode, Shared};
 
@@ -19,6 +20,11 @@ pub struct Ctx {
     clock: Clock,
     shared: Arc<Shared>,
     oob_seqs: HashMap<u32, u32>,
+    /// Operations executed so far (fault-injection event counter).
+    op_count: u64,
+    /// Messages sent so far per destination global rank (perturbation
+    /// sequence numbers; only maintained when a perturbation is active).
+    send_seqs: HashMap<usize, u64>,
 }
 
 impl Ctx {
@@ -28,7 +34,47 @@ impl Ctx {
             clock: Clock::new(),
             shared,
             oob_seqs: HashMap::new(),
+            op_count: 0,
+            send_seqs: HashMap::new(),
         }
+    }
+
+    /// Fault-injection hook run at entry to every `Ctx` operation: counts
+    /// the op, kills this rank if the plan says so, and (for message
+    /// operations under an adversarial schedule) injects a seeded
+    /// wall-clock sleep. Wall-clock sleeps are invisible to virtual time
+    /// by construction — the clock only advances by modeled costs.
+    #[inline]
+    fn fault_step(&mut self, message_op: bool) {
+        if self.shared.fault.is_none() {
+            return;
+        }
+        let op = self.op_count;
+        self.op_count += 1;
+        let fault = &self.shared.fault;
+        if let Some(at) = fault.kill_op_of(self.global_rank) {
+            if op >= at {
+                panic!("{KILL_MARKER}: rank {} killed at op {op}", self.global_rank);
+            }
+        }
+        if message_op {
+            if let Some(d) = fault.sched_sleep(self.global_rank, op) {
+                std::thread::sleep(d);
+            }
+        }
+    }
+
+    /// Extra modeled wire latency (µs) for the next message to
+    /// `global_dst`, per the active perturbation. Zero when unperturbed.
+    fn perturb_extra(&mut self, global_dst: usize) -> f64 {
+        let perturb = &self.shared.fault.perturb;
+        if perturb.is_none() {
+            return 0.0;
+        }
+        let seq = self.send_seqs.entry(global_dst).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        self.shared.fault.perturb.message_extra(self.global_rank, global_dst, s)
     }
 
     /// Global rank (position in `MPI_COMM_WORLD`).
@@ -85,9 +131,13 @@ impl Ctx {
         }
     }
 
-    /// Charge `flops` of modeled computation to this rank's clock.
+    /// Charge `flops` of modeled computation to this rank's clock. A
+    /// fault-injection perturbation may scale this rank's compute time
+    /// (modeling a slow core).
     pub fn compute(&mut self, flops: f64) {
-        let dt = self.shared.cost.compute(flops);
+        self.fault_step(false);
+        let dt =
+            self.shared.cost.compute(flops) * self.shared.fault.perturb.compute_scale_of(self.global_rank);
         self.clock.advance(dt);
         self.shared
             .tracer
@@ -134,6 +184,7 @@ impl Ctx {
     /// Panics if `dst` is out of range or the payload's data mode
     /// contradicts the universe's.
     pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u32, payload: Payload) {
+        self.fault_step(true);
         assert!(
             dst < comm.size(),
             "send destination {dst} out of range (comm size {})",
@@ -162,7 +213,10 @@ impl Ctx {
         } else {
             0.0
         };
-        let arrival = self.clock.now() + self.shared.cost.transit(link, bytes) + topo_extra;
+        let arrival = self.clock.now()
+            + self.shared.cost.transit(link, bytes)
+            + topo_extra
+            + self.perturb_extra(global_dst);
         self.shared.tracer.record(
             self.global_rank,
             self.clock.now(),
@@ -192,6 +246,7 @@ impl Ctx {
     /// converts into an error) if no matching message shows up within the
     /// configured timeout.
     pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u32) -> Payload {
+        self.fault_step(true);
         assert!(
             src < comm.size(),
             "recv source {src} out of range (comm size {})",
@@ -258,6 +313,7 @@ impl Ctx {
     /// # Panics
     /// Panics if `dst` lives on a different node.
     pub fn post_flag(&mut self, comm: &Communicator, dst: usize, tag: u32) {
+        self.fault_step(true);
         let global_dst = comm.global_of(dst);
         assert_eq!(
             self.shared.map.node_of(global_dst),
@@ -290,6 +346,7 @@ impl Ctx {
     /// # Panics
     /// Panics if any member lives on a different node.
     pub fn post_flag_multicast(&mut self, comm: &Communicator, tag: u32) {
+        self.fault_step(true);
         for &g in comm.members() {
             assert_eq!(
                 self.shared.map.node_of(g),
@@ -323,6 +380,7 @@ impl Ctx {
 
     /// Wait for a flag posted by communicator-local rank `src` (same-node).
     pub fn wait_flag(&mut self, comm: &Communicator, src: usize, tag: u32) {
+        self.fault_step(true);
         let key = (comm.id(), src, tag);
         let packet = match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout)
         {

@@ -28,6 +28,34 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// True for [`SimError::DeadlockSuspected`].
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, SimError::DeadlockSuspected { .. })
+    }
+
+    /// True for [`SimError::RankPanicked`].
+    pub fn is_panic(&self) -> bool {
+        matches!(self, SimError::RankPanicked { .. })
+    }
+
+    /// True when this error was produced by an injected kill
+    /// ([`crate::FaultPlan::with_kill`]) rather than a genuine bug: a rank
+    /// panic whose message carries [`crate::fault::KILL_MARKER`].
+    pub fn is_injected_kill(&self) -> bool {
+        matches!(self, SimError::RankPanicked { message, .. }
+                 if message.contains(crate::fault::KILL_MARKER))
+    }
+
+    /// The global rank the error is attributed to.
+    pub fn rank(&self) -> usize {
+        match self {
+            SimError::DeadlockSuspected { rank, .. } => *rank,
+            SimError::RankPanicked { rank, .. } => *rank,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,220 @@
+//! Deterministic fault injection and schedule fuzzing.
+//!
+//! The journal version of the source paper (Zhou et al., arXiv:2007.11496)
+//! stresses that the hard part of hybrid MPI+MPI collectives is the
+//! *synchronization protocol* around the shared-memory windows — exactly
+//! the class of bug that hides behind one lucky thread schedule. This
+//! module gives every test an adversary:
+//!
+//! * [`SchedulePolicy::Adversarial`] — perturbs the **wall-clock**
+//!   execution of rank threads (seeded sleeps at message operations,
+//!   permuted mailbox staging). Virtual time is computed from the executed
+//!   schedule alone, so a correct program must produce *bit-identical*
+//!   results, clocks and traces under every schedule seed; any divergence
+//!   is a real synchronization bug.
+//! * [`simnet::Perturbation`] (carried in [`FaultPlan::perturb`]) —
+//!   perturbs **virtual time**: per-message latency jitter, straggler
+//!   ranks, slow cores. Results must still match the oracle; virtual times
+//!   legitimately change, but deterministically per seed.
+//! * [`KillRule`] — kills a rank at a chosen operation index by panicking
+//!   its thread. [`crate::Universe::run`] must then surface
+//!   [`crate::SimError::RankPanicked`] (for the victim) or
+//!   [`crate::SimError::DeadlockSuspected`] (for peers blocked on it)
+//!   instead of hanging.
+//!
+//! Everything is derived by pure hashing from the plan's seeds
+//! ([`simnet::rng::mix`]), so a failing schedule is reproduced exactly by
+//! re-running with the same [`FaultPlan`]. See `docs/testing.md`.
+
+use std::time::Duration;
+
+use simnet::rng::mix;
+use simnet::Perturbation;
+
+/// Marker embedded in the panic message of an injected kill, so tests can
+/// distinguish injected deaths from genuine bugs.
+pub const KILL_MARKER: &str = "fault-injection kill";
+
+/// How rank threads are scheduled in wall-clock time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SchedulePolicy {
+    /// Natural OS scheduling; packets become matchable as soon as they are
+    /// pushed, in FIFO order.
+    #[default]
+    Fifo,
+    /// Adversarial seeded scheduling: every message operation may sleep a
+    /// hashed amount of wall-clock time, and mailboxes withhold arriving
+    /// packets in a staging buffer that is flushed to the matchable queues
+    /// in a seeded permutation (preserving per-`(comm, src, tag)` FIFO
+    /// order, i.e. MPI's non-overtaking rule).
+    Adversarial {
+        /// Seed for all schedule decisions.
+        seed: u64,
+        /// Upper bound (exclusive) of the injected wall-clock sleep per
+        /// message operation, in microseconds. 0 disables sleeping.
+        max_sleep_us: u64,
+        /// Upper bound on how many packets a mailbox may withhold before
+        /// flushing. 1 effectively disables staging.
+        max_stage: usize,
+    },
+}
+
+impl SchedulePolicy {
+    /// The adversarial policy with default intensities for `seed`.
+    pub fn adversarial(seed: u64) -> Self {
+        SchedulePolicy::Adversarial { seed, max_sleep_us: 40, max_stage: 4 }
+    }
+}
+
+/// Kill a rank at a given operation index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillRule {
+    /// Global rank to kill.
+    pub rank: usize,
+    /// Operation index (the rank's `op_count` at entry to a `Ctx`
+    /// operation) at which the rank dies. Op 0 is the rank's first
+    /// operation.
+    pub at_op: u64,
+}
+
+/// A complete, seeded description of the adversities injected into one
+/// run. The same plan always reproduces the same behavior.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Wall-clock schedule perturbation (does not affect virtual time).
+    pub schedule: SchedulePolicy,
+    /// Virtual-time cost perturbation (affects clocks deterministically).
+    pub perturb: Perturbation,
+    /// Ranks to kill, and when.
+    pub kills: Vec<KillRule>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, natural scheduling, nominal costs.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.schedule == SchedulePolicy::Fifo && self.perturb.is_none() && self.kills.is_empty()
+    }
+
+    /// The standard randomized plan for seed `seed` on a cluster of
+    /// `nranks` ranks: adversarial scheduling plus a mild cost
+    /// perturbation (message jitter and one straggler rank). No kills.
+    ///
+    /// This is the plan the conformance suite runs every collective under;
+    /// equal seeds produce equal plans, and a failing seed printed by a
+    /// test reproduces the failure exactly.
+    pub fn from_seed(seed: u64, nranks: usize) -> Self {
+        Self {
+            schedule: SchedulePolicy::adversarial(mix(seed, 0x5C4E_D01E, 0, 0)),
+            perturb: Perturbation::from_seed(mix(seed, 0xC057, 0, 0), nranks),
+            kills: Vec::new(),
+        }
+    }
+
+    /// Builder: use the given schedule policy.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Builder: use the given virtual-cost perturbation.
+    pub fn with_perturbation(mut self, perturb: Perturbation) -> Self {
+        self.perturb = perturb;
+        self
+    }
+
+    /// Builder: kill `rank` at operation `at_op`.
+    pub fn with_kill(mut self, rank: usize, at_op: u64) -> Self {
+        self.kills.push(KillRule { rank, at_op });
+        self
+    }
+
+    /// The operation index at which `rank` dies, if any (earliest rule
+    /// wins when several target the same rank).
+    pub(crate) fn kill_op_of(&self, rank: usize) -> Option<u64> {
+        self.kills.iter().filter(|k| k.rank == rank).map(|k| k.at_op).min()
+    }
+
+    /// The seeded wall-clock sleep injected before `rank`'s `op`-th
+    /// message operation, if the schedule is adversarial.
+    pub(crate) fn sched_sleep(&self, rank: usize, op: u64) -> Option<Duration> {
+        match self.schedule {
+            SchedulePolicy::Fifo => None,
+            SchedulePolicy::Adversarial { seed, max_sleep_us, .. } => {
+                if max_sleep_us == 0 {
+                    return None;
+                }
+                let us = mix(seed, rank as u64, op, 0x51EE) % max_sleep_us;
+                (us > 0).then(|| Duration::from_micros(us))
+            }
+        }
+    }
+
+    /// Mailbox staging parameters `(seed, max_stage)` for the owning
+    /// rank's mailbox, if the schedule is adversarial.
+    pub(crate) fn stage_fuzz(&self, owner: usize) -> Option<(u64, usize)> {
+        match self.schedule {
+            SchedulePolicy::Fifo => None,
+            SchedulePolicy::Adversarial { seed, max_stage, .. } => {
+                (max_stage > 1).then(|| (mix(seed, owner as u64, 0, 0x57A6), max_stage))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert_eq!(p.kill_op_of(0), None);
+        assert_eq!(p.sched_sleep(0, 0), None);
+        assert_eq!(p.stage_fuzz(0), None);
+    }
+
+    #[test]
+    fn from_seed_is_reproducible_and_nonempty() {
+        assert_eq!(FaultPlan::from_seed(3, 8), FaultPlan::from_seed(3, 8));
+        assert_ne!(FaultPlan::from_seed(3, 8), FaultPlan::from_seed(4, 8));
+        assert!(!FaultPlan::from_seed(3, 8).is_none());
+    }
+
+    #[test]
+    fn earliest_kill_wins() {
+        let p = FaultPlan::none().with_kill(2, 9).with_kill(2, 4).with_kill(1, 1);
+        assert_eq!(p.kill_op_of(2), Some(4));
+        assert_eq!(p.kill_op_of(1), Some(1));
+        assert_eq!(p.kill_op_of(0), None);
+    }
+
+    #[test]
+    fn sleeps_are_deterministic_and_bounded() {
+        let p = FaultPlan::none().with_schedule(SchedulePolicy::adversarial(7));
+        for op in 0..64 {
+            let a = p.sched_sleep(1, op);
+            assert_eq!(a, p.sched_sleep(1, op));
+            if let Some(d) = a {
+                assert!(d < Duration::from_micros(40));
+            }
+        }
+        // Not all sleeps are equal (the stream actually varies).
+        let sleeps: Vec<_> = (0..64).map(|op| p.sched_sleep(1, op)).collect();
+        assert!(sleeps.iter().any(|s| s != &sleeps[0]));
+    }
+
+    #[test]
+    fn stage_fuzz_differs_per_owner() {
+        let p = FaultPlan::none().with_schedule(SchedulePolicy::adversarial(7));
+        let a = p.stage_fuzz(0).unwrap();
+        let b = p.stage_fuzz(1).unwrap();
+        assert_ne!(a.0, b.0, "each mailbox gets its own staging stream");
+        assert_eq!(a.1, 4);
+    }
+}

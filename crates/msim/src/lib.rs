@@ -25,11 +25,13 @@
 //! scheduling. This is tested.
 
 pub mod buffer;
+pub mod bytes;
 pub mod comm;
 pub mod ctx;
 pub mod datatype;
 pub mod elem;
 pub mod error;
+pub mod fault;
 mod mailbox;
 pub mod msg;
 mod oob;
@@ -37,11 +39,13 @@ pub mod universe;
 pub mod window;
 
 pub use buffer::Buf;
+pub use bytes::Bytes;
 pub use comm::Communicator;
 pub use datatype::Layout;
 pub use ctx::{wait_all, Ctx, RecvRequest, SendRequest};
 pub use elem::ShmElem;
 pub use error::SimError;
+pub use fault::{FaultPlan, KillRule, SchedulePolicy};
 pub use msg::Payload;
 pub use universe::{DataMode, SimConfig, SimResult, Universe};
 pub use window::SharedWindow;

@@ -1,6 +1,6 @@
 //! Message payloads and in-flight packets.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// The contents of a message.
 ///

@@ -8,10 +8,9 @@
 //! last member to arrive runs a finisher over all deposits; everyone
 //! receives the shared result. No virtual time is charged.
 
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// (communicator context id, per-handle op sequence, op kind)
@@ -61,7 +60,10 @@ impl OobBoard {
         V: Send + 'static,
         R: Send + Sync + 'static,
     {
-        let mut entries = self.entries.lock();
+        // Setup collectives never run concurrently with injected kills in
+        // a way that tears an entry (deposits complete before any panic
+        // point), so recovering from poison is safe.
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = entries.entry(key).or_insert_with(|| Entry {
             expected,
             deposits: Vec::with_capacity(expected),
@@ -116,8 +118,13 @@ impl OobBoard {
                 // once all `expected` takers are counted.
                 unreachable!("rendezvous entry removed before all members took the result");
             }
+            let (guard, wait) = self
+                .done
+                .wait_timeout(entries, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            entries = guard;
             assert!(
-                !self.done.wait_for(&mut entries, timeout).timed_out(),
+                !wait.timed_out(),
                 "setup-collective rendezvous timed out \
                  (did every member of the communicator make the same call?)"
             );
@@ -205,7 +212,7 @@ mod tests {
                 assert_eq!(h.join().unwrap(), 2);
             }
         }
-        assert!(board.entries.lock().is_empty(), "entries must be cleaned up");
+        assert!(board.entries.lock().unwrap().is_empty(), "entries must be cleaned up");
     }
 
     #[test]

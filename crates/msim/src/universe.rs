@@ -10,7 +10,8 @@ use simnet::{ClusterSpec, CostModel, Placement, RankMap, Tracer};
 use crate::comm::CommInner;
 use crate::ctx::Ctx;
 use crate::error::SimError;
-use crate::mailbox::Mailbox;
+use crate::fault::FaultPlan;
+use crate::mailbox::{Mailbox, StageFuzz};
 use crate::oob::OobBoard;
 
 /// Whether buffers and messages carry real data or only sizes.
@@ -45,6 +46,8 @@ pub struct SimConfig {
     /// Stack size per rank thread. Rank programs keep large data on the
     /// heap, so the default is modest to allow thousands of ranks.
     pub stack_size: usize,
+    /// Injected faults and schedule perturbations (none by default).
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -59,6 +62,7 @@ impl SimConfig {
             trace: false,
             recv_timeout: Duration::from_secs(30),
             stack_size: 1 << 20,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -85,6 +89,20 @@ impl SimConfig {
         self.recv_timeout = timeout;
         self
     }
+
+    /// Inject the given fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Convenience: run under the standard seeded fuzz plan
+    /// ([`FaultPlan::from_seed`]) — adversarial wall-clock scheduling plus
+    /// a mild seeded cost perturbation. Equal seeds reproduce equal runs.
+    pub fn fuzzed(mut self, seed: u64) -> Self {
+        self.fault = FaultPlan::from_seed(seed, self.spec.total_cores());
+        self
+    }
 }
 
 /// Universe-wide state shared by all rank threads.
@@ -98,6 +116,7 @@ pub(crate) struct Shared {
     pub(crate) next_comm_id: AtomicU32,
     pub(crate) recv_timeout: Duration,
     pub(crate) world: Arc<CommInner>,
+    pub(crate) fault: FaultPlan,
 }
 
 /// The outcome of a run: each rank's return value and final virtual clock,
@@ -137,7 +156,16 @@ impl Universe {
         let shared = Arc::new(Shared {
             cost: config.cost,
             map,
-            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..nranks)
+                .map(|r| {
+                    Mailbox::fuzzed(
+                        config
+                            .fault
+                            .stage_fuzz(r)
+                            .map(|(seed, max_stage)| StageFuzz { seed, max_stage }),
+                    )
+                })
+                .collect(),
             tracer: if config.trace {
                 Tracer::enabled()
             } else {
@@ -148,6 +176,7 @@ impl Universe {
             next_comm_id: AtomicU32::new(1),
             recv_timeout: config.recv_timeout,
             world,
+            fault: config.fault,
         });
 
         type RankOutcome<T> = std::thread::Result<(T, f64)>;
@@ -374,7 +403,7 @@ mod tests {
             let color = (ctx.rank() % 2) as i64;
             let c = world.split(ctx, Some(color), 0).unwrap();
             if c.rank() == 0 {
-                let payload = Payload::Real(bytes::Bytes::from(vec![ctx.rank() as u8]));
+                let payload = Payload::Real(crate::bytes::Bytes::from(vec![ctx.rank() as u8]));
                 ctx.send(&c, 1, 5, payload);
                 0
             } else {
@@ -397,7 +426,7 @@ mod tests {
                 for peer in 0..ctx.nranks() {
                     if peer != ctx.rank() {
                         let payload =
-                            Payload::Real(bytes::Bytes::from(vec![0u8; 64 * (peer + 1)]));
+                            Payload::Real(crate::bytes::Bytes::from(vec![0u8; 64 * (peer + 1)]));
                         ctx.send(&world, peer, 0, payload);
                     }
                 }
@@ -431,7 +460,7 @@ mod tests {
         let err = Universe::run(cfg, |ctx| {
             let world = ctx.world();
             if ctx.rank() == 0 {
-                let payload = Payload::Real(bytes::Bytes::from(vec![1u8, 2]));
+                let payload = Payload::Real(crate::bytes::Bytes::from(vec![1u8, 2]));
                 ctx.send(&world, 1, 0, payload);
             } else if ctx.rank() == 1 {
                 ctx.recv(&world, 0, 0);
@@ -514,7 +543,7 @@ mod nonblocking_tests {
                 payloads.iter().map(|p| p.len()).collect::<Vec<_>>()
             } else {
                 let data = vec![0u8; ctx.rank() + 1];
-                ctx.send(&world, 2, 7, Payload::Real(bytes::Bytes::from(data)));
+                ctx.send(&world, 2, 7, Payload::Real(crate::bytes::Bytes::from(data)));
                 vec![]
             }
         })

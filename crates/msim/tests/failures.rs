@@ -125,6 +125,39 @@ fn custom_placement_overflow_is_rejected_before_spawn() {
 }
 
 #[test]
+fn deadlock_error_carries_exact_receive_coordinates() {
+    // Regression: the DeadlockSuspected fields must identify the pending
+    // receive precisely — global rank, *communicator id* (not 0 when the
+    // receive was on a derived communicator), communicator-local source
+    // and tag.
+    let err = Universe::run(cfg(1, 4), |ctx| {
+        let world = ctx.world();
+        // Split {0,2} / {1,3}; derived comms get fresh nonzero ids.
+        let color = (ctx.rank() % 2) as i64;
+        let sub = world.split(ctx, Some(color), 0).unwrap();
+        if ctx.rank() == 2 {
+            // Local rank 1 of the color-0 comm blocks on local rank 0,
+            // tag 31; nobody sends.
+            ctx.recv(&sub, 0, 31);
+        }
+        sub.id()
+    })
+    .unwrap_err();
+    match &err {
+        &SimError::DeadlockSuspected { rank, comm, src, tag } => {
+            assert_eq!(rank, 2, "global rank of the blocked receiver");
+            assert_ne!(comm, 0, "derived communicator must not report WORLD's id");
+            assert_eq!(src, 0, "communicator-local source");
+            assert_eq!(tag, 31);
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+    assert!(err.is_deadlock());
+    assert!(!err.is_injected_kill());
+    assert_eq!(err.rank(), 2);
+}
+
+#[test]
 fn error_display_names_the_rank_and_receive() {
     let err = Universe::run(cfg(1, 2), |ctx| {
         let world = ctx.world();

@@ -1,0 +1,164 @@
+//! Runtime-level fault-injection tests: injected kills surface as errors
+//! (never hangs), schedule fuzzing is invisible to virtual time, and cost
+//! perturbations are reproducible from their seed.
+
+use std::time::Duration;
+
+use msim::{FaultPlan, Payload, SchedulePolicy, SimConfig, SimError, Universe};
+use simnet::{ClusterSpec, CostModel, Perturbation};
+
+fn cfg(nodes: usize, ppn: usize) -> SimConfig {
+    SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test())
+        .with_recv_timeout(Duration::from_millis(200))
+}
+
+/// A ring program: everyone sends to the right, receives from the left,
+/// several rounds. Exercises send and recv on every rank. Returns a
+/// checksum of the received *data* (virtual time is reported separately
+/// via `SimResult::clocks` — perturbations change clocks, never data).
+fn ring(ctx: &mut msim::Ctx, rounds: usize) -> u64 {
+    let world = ctx.world();
+    let n = ctx.nranks();
+    let mut sum = 0u64;
+    for round in 0..rounds {
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        ctx.send(&world, right, round as u32, Payload::Real(msim::Bytes::from(vec![ctx.rank() as u8; 32])));
+        let got = ctx.recv(&world, left, round as u32);
+        assert_eq!(got.bytes()[0], left as u8);
+        sum = sum.wrapping_mul(31).wrapping_add(got.bytes()[0] as u64);
+    }
+    sum
+}
+
+#[test]
+fn injected_kill_surfaces_as_rank_panicked() {
+    let plan = FaultPlan::none().with_kill(2, 3);
+    let err = Universe::run(cfg(1, 4).with_fault(plan), |ctx| ring(ctx, 8)).unwrap_err();
+    match &err {
+        SimError::RankPanicked { rank, message } => {
+            assert_eq!(*rank, 2);
+            assert!(message.contains(msim::fault::KILL_MARKER), "{message}");
+        }
+        other => panic!("expected the injected kill, got {other}"),
+    }
+    assert!(err.is_injected_kill());
+    assert_eq!(err.rank(), 2);
+}
+
+#[test]
+fn kill_at_op_zero_dies_before_any_message() {
+    // Victim dies on its very first operation; a peer blocked on it must
+    // be reported (as the panic, which outranks the induced deadlocks).
+    let plan = FaultPlan::none().with_kill(0, 0);
+    let err = Universe::run(cfg(1, 2).with_fault(plan), |ctx| ring(ctx, 2)).unwrap_err();
+    assert!(err.is_injected_kill(), "{err}");
+    assert_eq!(err.rank(), 0);
+}
+
+#[test]
+fn kill_does_not_mask_peer_progress() {
+    // Ranks that don't depend on the victim finish normally; the run still
+    // errors out because one rank died.
+    let plan = FaultPlan::none().with_kill(3, 0);
+    let err = Universe::run(cfg(1, 4).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        // Kills fire at operation entry, so every rank must perform at
+        // least one operation for its kill rule to take effect.
+        ctx.compute(1.0);
+        if ctx.rank() == 0 {
+            ctx.send(&world, 1, 0, Payload::empty());
+        } else if ctx.rank() == 1 {
+            ctx.recv(&world, 0, 0);
+        }
+    })
+    .unwrap_err();
+    assert!(err.is_injected_kill(), "{err}");
+}
+
+#[test]
+fn unkilled_peers_blocked_on_victim_report_deadlock_not_hang() {
+    // With no kill for rank 1 but rank 0 dead, rank 1's receive times out
+    // as DeadlockSuspected; the universe prefers the root-cause panic.
+    let plan = FaultPlan::none().with_kill(0, 0);
+    let t0 = std::time::Instant::now();
+    let err = Universe::run(cfg(1, 2).with_fault(plan), |ctx| ring(ctx, 1)).unwrap_err();
+    assert!(err.is_panic(), "{err}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "kill must not turn into a hang"
+    );
+}
+
+#[test]
+fn schedule_fuzzing_is_invisible_to_virtual_time() {
+    // The defining property of the harness: adversarial wall-clock
+    // scheduling must not change results, virtual clocks, or the trace.
+    let baseline = Universe::run(cfg(2, 3).traced(), |ctx| ring(ctx, 4)).unwrap();
+    for seed in 0..8u64 {
+        let plan = FaultPlan::none().with_schedule(SchedulePolicy::adversarial(seed));
+        let fuzzed = Universe::run(cfg(2, 3).traced().with_fault(plan), |ctx| ring(ctx, 4)).unwrap();
+        assert_eq!(fuzzed.per_rank, baseline.per_rank, "seed {seed} changed results");
+        assert_eq!(fuzzed.clocks, baseline.clocks, "seed {seed} changed clocks");
+        assert_eq!(
+            fuzzed.tracer.events(),
+            baseline.tracer.events(),
+            "seed {seed} changed the trace"
+        );
+    }
+}
+
+#[test]
+fn perturbation_changes_clocks_deterministically() {
+    let run = |plan: FaultPlan| {
+        Universe::run(cfg(1, 4).with_fault(plan), |ctx| ring(ctx, 4)).unwrap().clocks
+    };
+    let nominal = run(FaultPlan::none());
+    let perturb = Perturbation::none().with_delayed_rank(1, 5.0).with_message_jitter(2.0);
+    let a = run(FaultPlan::none().with_perturbation(perturb.clone()));
+    let b = run(FaultPlan::none().with_perturbation(perturb));
+    assert_eq!(a, b, "same perturbation, same clocks");
+    assert_ne!(a, nominal, "the delay must actually show up in virtual time");
+    assert!(
+        a.iter().zip(&nominal).all(|(p, n)| p >= n),
+        "injected delays can only slow ranks down: {a:?} vs {nominal:?}"
+    );
+}
+
+#[test]
+fn slow_rank_stretches_its_compute() {
+    let run = |plan: FaultPlan| {
+        Universe::run(cfg(1, 2).with_fault(plan), |ctx| {
+            ctx.compute(1000.0);
+            ctx.now()
+        })
+        .unwrap()
+        .per_rank
+    };
+    let nominal = run(FaultPlan::none());
+    let slowed = run(FaultPlan::none().with_perturbation(Perturbation::none().with_slow_rank(1, 2.0)));
+    assert_eq!(slowed[0], nominal[0]);
+    assert_eq!(slowed[1], 2.0 * nominal[1]);
+}
+
+#[test]
+fn fuzzed_config_reproduces_per_seed() {
+    // SimConfig::fuzzed(seed): same seed -> byte-identical results, same
+    // clocks, same trace. Different seeds may differ in clocks (the
+    // perturbation is seeded) but never in results.
+    let run = |seed: u64| Universe::run(cfg(2, 2).traced().fuzzed(seed), |ctx| ring(ctx, 3)).unwrap();
+    let a1 = run(11);
+    let a2 = run(11);
+    assert_eq!(a1.per_rank, a2.per_rank);
+    assert_eq!(a1.clocks, a2.clocks);
+    assert_eq!(a1.tracer.events(), a2.tracer.events());
+    let b = run(12);
+    assert_eq!(b.per_rank, a1.per_rank, "results are schedule-independent");
+    assert_ne!(b.clocks, a1.clocks, "different seed, different perturbed clocks");
+}
+
+#[test]
+fn from_seed_plans_differ_across_seeds() {
+    assert_ne!(FaultPlan::from_seed(1, 8), FaultPlan::from_seed(2, 8));
+    assert_eq!(FaultPlan::from_seed(1, 8), FaultPlan::from_seed(1, 8));
+}

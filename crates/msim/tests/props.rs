@@ -1,8 +1,11 @@
-//! Property-based tests for the runtime's data layer.
+//! Property-based tests for the runtime's data layer, driven by the
+//! first-party seeded case runner ([`simnet::rng::check_cases`]).
 
 use msim::elem::{bytes_to_slice, slice_to_bytes};
 use msim::{Buf, Payload, ShmElem};
-use proptest::prelude::*;
+use simnet::rng::{check_cases, Rng64};
+
+const CASES: usize = 128;
 
 fn roundtrip_one<T: ShmElem>(v: T) -> bool {
     let mut bytes = vec![0u8; T::SIZE];
@@ -10,71 +13,101 @@ fn roundtrip_one<T: ShmElem>(v: T) -> bool {
     T::read_le(&bytes) == v && T::from_bits64(v.to_bits64()) == v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn f64_roundtrips() {
+    check_cases(0xF64_0001, CASES, |rng| {
+        let v = match rng.usize_in(0, 4) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.f64_in(-1e300, 1e300),
+            _ => rng.f64_in(-1.0, 1.0),
+        };
+        assert!(roundtrip_one(v), "{v} failed to roundtrip");
+    });
+}
 
-    #[test]
-    fn f64_roundtrips(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
-        prop_assert!(roundtrip_one(v));
-    }
+#[test]
+fn integers_roundtrip() {
+    check_cases(0x1A7_0002, CASES, |rng| {
+        let raw = rng.next_u64();
+        assert!(roundtrip_one(raw));
+        assert!(roundtrip_one(raw as i64));
+        assert!(roundtrip_one(raw as u32));
+        assert!(roundtrip_one(raw as i32));
+        assert!(roundtrip_one(raw as u8));
+    });
+}
 
-    #[test]
-    fn integers_roundtrip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>(), d in any::<i32>(), e in any::<u8>()) {
-        prop_assert!(roundtrip_one(a));
-        prop_assert!(roundtrip_one(b));
-        prop_assert!(roundtrip_one(c));
-        prop_assert!(roundtrip_one(d));
-        prop_assert!(roundtrip_one(e));
-    }
-
-    #[test]
-    fn slices_roundtrip(data in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+#[test]
+fn slices_roundtrip() {
+    check_cases(0x51C_0003, CASES, |rng| {
+        let len = rng.usize_in(0, 64);
+        let data: Vec<f64> = (0..len).map(|_| rng.f64_in(-1e12, 1e12)).collect();
         let bytes = slice_to_bytes(&data);
         let mut out = vec![0.0f64; data.len()];
         bytes_to_slice(&bytes, &mut out);
-        prop_assert_eq!(out, data);
-    }
+        assert_eq!(out, data);
+    });
+}
 
-    #[test]
-    fn payload_slicing_composes(len in 1usize..128, a in 0usize..64, b in 0usize..64) {
-        let a = a.min(len - 1);
-        let w = (b % (len - a)).max(1).min(len - a);
+#[test]
+fn payload_slicing_composes() {
+    check_cases(0x9A1_0004, CASES, |rng| {
+        let len = rng.usize_in(1, 128);
+        let a = rng.usize_in(0, 64).min(len - 1);
+        let w = (rng.usize_in(0, 64) % (len - a)).max(1).min(len - a);
         let data: Vec<u8> = (0..len as u8).collect();
-        let p = Payload::Real(bytes::Bytes::from(data.clone()));
+        let p = Payload::Real(msim::Bytes::from(data.clone()));
         let s = p.slice(a, w);
-        prop_assert_eq!(s.len(), w);
-        prop_assert_eq!(s.bytes().as_ref(), &data[a..a + w]);
+        assert_eq!(s.len(), w);
+        assert_eq!(s.bytes().as_ref(), &data[a..a + w]);
         // Phantom mirrors the arithmetic.
         let q = Payload::Phantom(len).slice(a, w);
-        prop_assert_eq!(q.len(), w);
-    }
+        assert_eq!(q.len(), w);
+    });
+}
 
-    #[test]
-    fn buf_payload_writeback(
-        data in proptest::collection::vec(-1e6f64..1e6, 1..64),
-        off_frac in 0usize..8,
-    ) {
-        let src = Buf::Real(data.clone());
-        let n = data.len();
-        let off = off_frac % n;
+#[test]
+fn buf_payload_writeback() {
+    check_cases(0xB0F_0005, CASES, |rng| {
+        let n = rng.usize_in(1, 64);
+        let data: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e6, 1e6)).collect();
+        let off = rng.usize_in(0, 8) % n;
         let len = n - off;
+        let src = Buf::Real(data.clone());
         let payload = src.payload(off, len);
         let mut dst = Buf::Real(vec![0.0f64; n]);
         dst.write_payload(off, &payload);
         let out = dst.as_slice().unwrap();
-        prop_assert_eq!(&out[off..], &data[off..]);
-        prop_assert!(out[..off].iter().all(|&x| x == 0.0));
-    }
+        assert_eq!(&out[off..], &data[off..]);
+        assert!(out[..off].iter().all(|&x| x == 0.0));
+    });
+}
 
-    #[test]
-    fn phantom_buf_mirrors_lengths(n in 0usize..512, off in 0usize..32) {
+#[test]
+fn phantom_buf_mirrors_lengths() {
+    check_cases(0x9B0_0006, CASES, |rng: &mut Rng64| {
+        let n = rng.usize_in(0, 512);
+        let off = rng.usize_in(0, 32);
         let b: Buf<f64> = Buf::Phantom(n);
-        prop_assert_eq!(b.len(), n);
-        prop_assert_eq!(b.byte_len(), n * 8);
+        assert_eq!(b.len(), n);
+        assert_eq!(b.byte_len(), n * 8);
         if off < n {
             let p = b.payload(off, n - off);
-            prop_assert!(p.is_phantom());
-            prop_assert_eq!(p.len(), (n - off) * 8);
+            assert!(p.is_phantom());
+            assert_eq!(p.len(), (n - off) * 8);
         }
-    }
+    });
+}
+
+#[test]
+fn bytes_slicing_matches_std_slices() {
+    check_cases(0xB17_0007, CASES, |rng| {
+        let n = rng.usize_in(0, 256);
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        let b = msim::Bytes::from(data.clone());
+        let lo = rng.usize_in(0, n + 1);
+        let hi = rng.usize_in(lo, n + 1);
+        assert_eq!(b.slice(lo..hi).as_ref(), &data[lo..hi]);
+    });
 }

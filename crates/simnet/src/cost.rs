@@ -13,7 +13,6 @@
 //! cost model only has to price a single message, a single memcpy, and a
 //! flop, with realistic intra/inter ratios.
 
-use serde::{Deserialize, Serialize};
 
 /// Interconnect topology refinement for the inter-node latency term.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// figures stay topology-neutral) prices every inter-node hop equally;
 /// `Dragonfly` adds a latency surcharge between groups — used by the
 /// topology ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetTopology {
     /// Uniform inter-node latency.
     Flat,
@@ -54,7 +53,7 @@ impl NetTopology {
 }
 
 /// Which physical path a point-to-point message takes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// Both ranks are on the same SMP node: transfer through shared memory.
     SharedMem,
@@ -68,7 +67,7 @@ pub enum LinkClass {
 /// approximate the two systems of the paper's evaluation (Cray XC40
 /// "Hazel Hen" and the NEC "Vulcan" cluster, both with 24-core Intel
 /// Haswell E5-2680v3 nodes at 2.5 GHz).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// CPU overhead of posting a send (µs), charged to the sender.
     pub o_send: f64,

@@ -26,7 +26,9 @@
 pub mod analysis;
 pub mod clock;
 pub mod cost;
+pub mod perturb;
 pub mod placement;
+pub mod rng;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -34,6 +36,7 @@ pub mod trace;
 pub use analysis::TrafficStats;
 pub use clock::Clock;
 pub use cost::{CostModel, LinkClass, NetTopology};
+pub use perturb::Perturbation;
 pub use placement::{Placement, RankMap};
 pub use stats::Summary;
 pub use topology::ClusterSpec;

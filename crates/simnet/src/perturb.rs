@@ -1,0 +1,169 @@
+//! Deterministic cost-model perturbations for fault injection.
+//!
+//! A [`Perturbation`] refines the base [`crate::CostModel`] with seeded,
+//! *reproducible* deviations: extra per-message wire latency (uniform
+//! jitter and per-rank straggler surcharges) and per-rank compute
+//! slowdowns. The runtime (`msim`) consults it when pricing each event.
+//!
+//! Two properties make perturbed runs usable as a correctness net:
+//!
+//! 1. **Determinism** — every deviation is a pure function of
+//!    `(seed, event identifiers)` via [`crate::rng::mix_unit`], so the same
+//!    seed reproduces bit-identical virtual times and traces regardless of
+//!    OS scheduling.
+//! 2. **Semantics preservation** — perturbations only re-price events;
+//!    they never drop, duplicate or reorder matched messages. A collective
+//!    that is correct must therefore produce byte-identical results under
+//!    every perturbation seed, which is exactly what the conformance suite
+//!    asserts.
+
+use crate::rng::mix_unit;
+
+/// A seeded, deterministic deviation of the communication/computation
+/// costs — the "adversarial weather" of a simulated run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Perturbation {
+    /// Seed for the per-event jitter hash.
+    pub seed: u64,
+    /// Extra wire latency added to **every** message (µs).
+    pub msg_extra_us: f64,
+    /// Upper bound of additional per-message seeded jitter (µs): each
+    /// message pays `mix_unit(seed, src, dst, seq) * msg_jitter_us` extra.
+    pub msg_jitter_us: f64,
+    /// Per-rank multipliers on modeled compute time: `(rank, scale)` with
+    /// `scale >= 1.0` modeling a slow core.
+    pub compute_scale: Vec<(usize, f64)>,
+    /// Per-rank extra send-side wire latency `(rank, extra_us)`: models a
+    /// straggler NIC / congested injection port.
+    pub rank_send_extra_us: Vec<(usize, f64)>,
+}
+
+impl Perturbation {
+    /// No perturbation: costs follow the base model exactly.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this perturbation changes anything at all (lets the
+    /// runtime skip per-event hashing on unperturbed runs).
+    pub fn is_none(&self) -> bool {
+        self.msg_extra_us == 0.0
+            && self.msg_jitter_us == 0.0
+            && self.compute_scale.is_empty()
+            && self.rank_send_extra_us.is_empty()
+    }
+
+    /// A mild randomized perturbation derived from `seed`: some message
+    /// jitter plus one straggler rank among `nranks` with a slowed NIC and
+    /// core. This is the default shape used by schedule-fuzzing seeds.
+    pub fn from_seed(seed: u64, nranks: usize) -> Self {
+        let straggler = (crate::rng::mix(seed, 0xD1A9, 0, 0) % nranks.max(1) as u64) as usize;
+        Self {
+            seed,
+            msg_extra_us: 0.0,
+            msg_jitter_us: 2.0,
+            compute_scale: vec![(straggler, 1.5)],
+            rank_send_extra_us: vec![(straggler, 3.0)],
+        }
+    }
+
+    /// Builder: add `us` of extra latency to every message.
+    pub fn with_message_extra(mut self, us: f64) -> Self {
+        assert!(us >= 0.0, "latency surcharges must be non-negative");
+        self.msg_extra_us = us;
+        self
+    }
+
+    /// Builder: add seeded per-message jitter in `[0, us)`.
+    pub fn with_message_jitter(mut self, us: f64) -> Self {
+        assert!(us >= 0.0, "jitter bound must be non-negative");
+        self.msg_jitter_us = us;
+        self
+    }
+
+    /// Builder: scale rank `rank`'s modeled compute time by `scale`.
+    pub fn with_slow_rank(mut self, rank: usize, scale: f64) -> Self {
+        assert!(scale >= 0.0 && scale.is_finite(), "compute scale must be finite and >= 0");
+        self.compute_scale.push((rank, scale));
+        self
+    }
+
+    /// Builder: delay every message **sent by** `rank` by `us` extra µs.
+    pub fn with_delayed_rank(mut self, rank: usize, us: f64) -> Self {
+        assert!(us >= 0.0, "latency surcharges must be non-negative");
+        self.rank_send_extra_us.push((rank, us));
+        self
+    }
+
+    /// Extra wire latency (µs) for the `seq`-th message sent from global
+    /// rank `src` to global rank `dst`. Pure in its arguments.
+    pub fn message_extra(&self, src: usize, dst: usize, seq: u64) -> f64 {
+        if self.is_none() {
+            return 0.0;
+        }
+        let mut extra = self.msg_extra_us;
+        for &(r, us) in &self.rank_send_extra_us {
+            if r == src {
+                extra += us;
+            }
+        }
+        if self.msg_jitter_us > 0.0 {
+            extra += mix_unit(self.seed, src as u64, dst as u64, seq) * self.msg_jitter_us;
+        }
+        extra
+    }
+
+    /// The compute-time multiplier of global rank `rank` (1.0 = nominal).
+    pub fn compute_scale_of(&self, rank: usize) -> f64 {
+        self.compute_scale
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, s)| s)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let p = Perturbation::none();
+        assert!(p.is_none());
+        assert_eq!(p.message_extra(0, 1, 0), 0.0);
+        assert_eq!(p.compute_scale_of(3), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = Perturbation::none().with_message_jitter(4.0);
+        let a = p.message_extra(2, 5, 17);
+        let b = p.message_extra(2, 5, 17);
+        assert_eq!(a, b, "same event, same jitter");
+        assert!((0.0..4.0).contains(&a));
+        assert_ne!(a, p.message_extra(2, 5, 18), "sequence-sensitive");
+    }
+
+    #[test]
+    fn straggler_surcharge_applies_to_sender_only() {
+        let p = Perturbation::none().with_delayed_rank(3, 10.0);
+        assert_eq!(p.message_extra(3, 0, 0), 10.0);
+        assert_eq!(p.message_extra(0, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn compute_scales_compose() {
+        let p = Perturbation::none().with_slow_rank(1, 2.0).with_slow_rank(1, 3.0);
+        assert_eq!(p.compute_scale_of(1), 6.0);
+        assert_eq!(p.compute_scale_of(0), 1.0);
+    }
+
+    #[test]
+    fn from_seed_reproduces() {
+        assert_eq!(Perturbation::from_seed(9, 8), Perturbation::from_seed(9, 8));
+        let p = Perturbation::from_seed(9, 8);
+        assert!(!p.is_none());
+        assert!(p.compute_scale[0].0 < 8, "straggler must be a real rank");
+    }
+}

@@ -5,13 +5,12 @@
 //! for any placement because they derive node membership from the placement
 //! itself (the "node-sorted global rank array" technique of [31]).
 
-use serde::{Deserialize, Serialize};
 
 use crate::cost::LinkClass;
 use crate::topology::ClusterSpec;
 
 /// A policy assigning global ranks to nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// SMP-style: consecutive ranks fill a node before moving to the next.
     SmpBlock,

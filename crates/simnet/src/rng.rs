@@ -1,0 +1,204 @@
+//! Small deterministic PRNG utilities for seeded fault injection,
+//! schedule fuzzing and property tests.
+//!
+//! Everything in this module is a pure function of its inputs: the fault
+//! layer derives per-event jitter by *hashing* `(seed, identifiers...)`
+//! rather than by drawing from shared mutable state, so the amount of
+//! perturbation applied to an event never depends on thread interleaving.
+//! That property is what makes a fuzzed schedule reproducible from its
+//! seed alone (see `docs/testing.md`).
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14) — the same generator `java.util.SplittableRandom`
+/// and rand's seeding path use.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless mix of a seed and up to three event identifiers into a u64.
+///
+/// Used for per-event jitter: `mix(seed, rank, op, 0)` is deterministic no
+/// matter which thread evaluates it or when.
+#[inline]
+pub fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut s = seed ^ 0xA076_1D64_78BD_642F;
+    s = s.wrapping_add(a).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    s ^= s >> 32;
+    s = s.wrapping_add(b).wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+    s ^= s >> 29;
+    s = s.wrapping_add(c);
+    splitmix64(&mut s)
+}
+
+/// A unit-interval sample in `[0, 1)` from a stateless mix.
+#[inline]
+pub fn mix_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    // 53 high bits -> f64 mantissa.
+    (mix(seed, a, b, c) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A sequential deterministic PRNG (SplitMix64 stream) for test-case
+/// generation, where a single generator is threaded through one thread.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// A generator seeded from `seed` (equal seeds ⇒ equal streams).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// An independent child generator (for splitting a seed into
+    /// per-subsystem streams without correlating them).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64 { state: self.next_u64() }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// A length-`len` vector of usizes in `[lo, hi)`.
+    pub fn vec_usize(&mut self, len: usize, lo: usize, hi: usize) -> Vec<usize> {
+        (0..len).map(|_| self.usize_in(lo, hi)).collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.usize_in(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_in(0, xs.len())]
+    }
+}
+
+/// Run `cases` deterministic test cases: each case gets its own [`Rng64`]
+/// derived from `(seed, case index)`, and a panic inside a case is
+/// re-raised with the case index and sub-seed attached so the failing case
+/// can be replayed in isolation.
+pub fn check_cases(seed: u64, cases: usize, f: impl Fn(&mut Rng64)) {
+    for case in 0..cases {
+        let sub = mix(seed, case as u64, 0, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng64::new(sub);
+            f(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property case {case}/{cases} failed (seed {seed}, case sub-seed {sub:#x}); \
+                 rerun with check_cases({sub:#x}, 1, ...) to reproduce"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Rng64::new(1).next_u64(), Rng64::new(2).next_u64());
+    }
+
+    #[test]
+    fn mix_is_stateless_and_sensitive() {
+        assert_eq!(mix(7, 1, 2, 3), mix(7, 1, 2, 3));
+        assert_ne!(mix(7, 1, 2, 3), mix(7, 1, 2, 4));
+        assert_ne!(mix(7, 1, 2, 3), mix(8, 1, 2, 3));
+    }
+
+    #[test]
+    fn unit_samples_are_in_range() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+        for i in 0..1000 {
+            let u = mix_unit(3, i, 0, 1);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn usize_in_respects_bounds() {
+        let mut r = Rng64::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.usize_in(2, 7) - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..7 must appear");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = Rng64::new(5);
+        let mut v: Vec<usize> = (0..16).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_ne!(v, (0..16).collect::<Vec<_>>(), "16! permutations: identity is astronomically unlikely");
+    }
+
+    #[test]
+    fn check_cases_runs_all_cases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        check_cases(0xC0FFEE, 10, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 10);
+    }
+}

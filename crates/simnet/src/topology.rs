@@ -1,13 +1,12 @@
 //! Cluster topology: a list of SMP nodes and the number of cores on each.
 
-use serde::{Deserialize, Serialize};
 
 /// Describes a cluster as an ordered list of nodes, each with a core count.
 ///
 /// Core counts may differ between nodes ("irregularly populated nodes",
 /// cf. Fig. 10 of the paper, which uses 42 nodes with 24 processes and one
 /// node with 16).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSpec {
     cores_per_node: Vec<usize>,
 }

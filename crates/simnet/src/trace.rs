@@ -8,8 +8,7 @@
 //! that per-node shared-window memory stays constant as processes-per-node
 //! grows.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,15 +68,30 @@ impl Tracer {
     /// Record an event (no-op when disabled).
     pub fn record(&self, rank: usize, time: f64, kind: EventKind) {
         if let Some(log) = &self.inner {
-            log.lock().push(Event { rank, time, kind });
+            // Ranks may be killed (fault injection) while other ranks keep
+            // tracing, so ignore lock poisoning: the Vec is never left in a
+            // torn state by a panic outside the guard scope.
+            log.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Event { rank, time, kind });
         }
     }
 
-    /// Snapshot of all events recorded so far, in arbitrary global order
-    /// (each rank's own events are in that rank's program order).
+    /// Snapshot of all events recorded so far, in canonical order: grouped
+    /// by rank (each rank's own events in that rank's program order).
+    ///
+    /// Ranks are real threads, so the raw append order of the shared log
+    /// is wall-clock interleaving — nondeterministic even for a perfectly
+    /// deterministic program. The per-rank sequences *are* deterministic,
+    /// so sorting stably by rank yields a schedule-independent trace that
+    /// tests can compare across runs and fuzz seeds.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
-            Some(log) => log.lock().clone(),
+            Some(log) => {
+                let mut events = log.lock().unwrap_or_else(PoisonError::into_inner).clone();
+                events.sort_by_key(|e| e.rank);
+                events
+            }
             None => Vec::new(),
         }
     }
@@ -85,7 +99,7 @@ impl Tracer {
     /// Drop all recorded events.
     pub fn clear(&self) {
         if let Some(log) = &self.inner {
-            log.lock().clear();
+            log.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
     }
 

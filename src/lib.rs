@@ -55,6 +55,9 @@ pub use summa;
 pub mod prelude {
     pub use collectives::{MpiFlavor, Tuning};
     pub use hmpi::{HyAllgather, HyAllgatherv, HyAllreduce, HyBcast, HybridComm, SyncMethod};
-    pub use msim::{Buf, Communicator, Ctx, DataMode, SimConfig, SimResult, Universe};
+    pub use msim::{
+        Buf, Communicator, Ctx, DataMode, FaultPlan, KillRule, SchedulePolicy, SimConfig,
+        SimResult, Universe,
+    };
     pub use simnet::{ClusterSpec, CostModel, Placement};
 }

@@ -12,6 +12,27 @@ fn max(values: &[f64]) -> f64 {
     values.iter().copied().fold(0.0, f64::max)
 }
 
+// Tolerances for the trend assertions below. All latencies are *virtual*
+// simnet clocks (phantom data, deterministic cost model), so reruns are
+// bit-identical; these constants document how much headroom each paper
+// trend is given, rather than scattering bare ratios through the asserts.
+
+/// Fig. 9: minimum hybrid-over-pure allgather speedup required at 6 ppn.
+const FIG9_MIN_SPEEDUP_6PPN: f64 = 1.0;
+/// Fig. 9: the 24-ppn speedup must exceed the 6-ppn speedup by this factor
+/// (the paper's gap *grows* with processes per node).
+const FIG9_MIN_GAP_GROWTH: f64 = 1.0;
+/// Fig. 7: absolute tolerance (µs, virtual) for "hybrid latency is flat
+/// in message size" on a single node.
+const FIG7_FLATNESS_TOL_US: f64 = 1e-9;
+/// Fig. 7: the pure-MPI single-node allgather must slow down at least this
+/// much from 1 element to 2^15 elements.
+const FIG7_MIN_PURE_SIZE_GROWTH: f64 = 50.0;
+/// BPMF: the hybrid variant may be at most this factor slower than the
+/// pure variant (it is expected to be faster; the margin absorbs
+/// second-order cost-model effects, not run-to-run noise).
+const BPMF_MAX_HYBRID_SLOWDOWN: f64 = 1.05;
+
 /// The paper's headline micro result, end to end: on a multi-core
 /// cluster the hybrid allgather beats the SMP-aware pure-MPI allgather,
 /// and the gap grows with processes per node (Fig. 9's trend).
@@ -44,9 +65,12 @@ fn hybrid_allgather_beats_pure_and_gap_grows_with_ppn() {
     };
     let ratio6 = latency(6, false) / latency(6, true);
     let ratio24 = latency(24, false) / latency(24, true);
-    assert!(ratio6 > 1.0, "hybrid must win at 6 ppn (ratio {ratio6})");
     assert!(
-        ratio24 > ratio6,
+        ratio6 > FIG9_MIN_SPEEDUP_6PPN,
+        "hybrid must win at 6 ppn (ratio {ratio6})"
+    );
+    assert!(
+        ratio24 > ratio6 * FIG9_MIN_GAP_GROWTH,
         "advantage must grow with ppn: {ratio6} -> {ratio24}"
     );
 }
@@ -80,8 +104,11 @@ fn single_node_hybrid_is_size_independent() {
     };
     let hy_small = latency(1, true);
     let hy_big = latency(1 << 15, true);
-    assert!((hy_big - hy_small).abs() < 1e-9, "{hy_small} vs {hy_big}");
-    assert!(latency(1 << 15, false) > latency(1, false) * 50.0);
+    assert!(
+        (hy_big - hy_small).abs() < FIG7_FLATNESS_TOL_US,
+        "{hy_small} vs {hy_big}"
+    );
+    assert!(latency(1 << 15, false) > latency(1, false) * FIG7_MIN_PURE_SIZE_GROWTH);
 }
 
 /// SUMMA end to end on a heterogeneous cluster with idle ranks: both
@@ -141,7 +168,10 @@ fn bpmf_variants_identical_results_hybrid_not_slower() {
     assert_eq!(ori[0].0, hy[0].0, "factorizations must be identical");
     let t_ori = max(&ori.iter().map(|r| r.1).collect::<Vec<_>>());
     let t_hy = max(&hy.iter().map(|r| r.1).collect::<Vec<_>>());
-    assert!(t_hy <= t_ori * 1.05, "hybrid {t_hy} vs pure {t_ori}");
+    assert!(
+        t_hy <= t_ori * BPMF_MAX_HYBRID_SLOWDOWN,
+        "hybrid {t_hy} vs pure {t_ori}"
+    );
 }
 
 /// The full setup flow of the paper's Fig. 4 pseudo-code, written out

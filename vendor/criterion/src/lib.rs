@@ -1,0 +1,209 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored so the workspace builds and runs without registry
+//! access (see `docs/testing.md`, "Hermetic builds").
+//!
+//! It implements the subset of the criterion 0.5 API this repository's
+//! benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement. Numbers are good enough for
+//! relative comparisons during development; they are not a replacement for
+//! real criterion statistics.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper that defeats constant folding, same contract as
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, rendered as `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A benchmark id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing handle passed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it enough to get a stable-ish median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then `samples` timed calls.
+        black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("time is not NaN"));
+        self.last_median_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's minimum is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.crit.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.crit.sample_size, last_median_ns: 0.0 };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.last_median_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.crit.sample_size, last_median_ns: 0.0 };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.last_median_ns);
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, median_ns: f64) {
+    let (value, unit) = if median_ns >= 1e9 {
+        (median_ns / 1e9, "s")
+    } else if median_ns >= 1e6 {
+        (median_ns / 1e6, "ms")
+    } else if median_ns >= 1e3 {
+        (median_ns / 1e3, "µs")
+    } else {
+        (median_ns, "ns")
+    };
+    println!("{group}/{id:<40} median {value:>10.3} {unit}");
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Configure from CLI args (ignored; kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), crit: self }
+    }
+
+    /// Run a stand-alone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, last_median_ns: 0.0 };
+        f(&mut b);
+        report("bench", id, b.last_median_ns);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render_with_parameter() {
+        assert_eq!(BenchmarkId::new("algo", 128).to_string(), "algo/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
