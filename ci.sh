@@ -4,6 +4,7 @@
 set -euxo pipefail
 cd "$(dirname "$0")"
 
+cargo fmt --check
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
@@ -11,5 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Pinned-seed fault-injection smoke run: reproducible clocks/trace,
 # oracle-exact data, injected kill surfaced (see docs/testing.md).
 cargo run --release --example fault_injection -- 42
+
+# Autotune smoke run (docs/tuning.md): the offline sweep must produce a
+# non-empty table for the Cray preset (tune exits non-zero otherwise)...
+cargo run --release -p bench --bin tune -- --cluster cray_aries --out /tmp/ci_tuning_table.json
+# ...and the checked-in tables must round-trip the canonical JSON schema
+# byte-for-byte (the SelectionPolicy::Table serialization golden check).
+cargo run --release -p bench --bin tune -- --verify-golden results/tuning/cray_aries.json
+cargo run --release -p bench --bin tune -- --verify-golden results/tuning/nec_infiniband.json
+# The freshly swept table must match the checked-in golden exactly.
+cmp /tmp/ci_tuning_table.json results/tuning/cray_aries.json
 
 echo "ci: all green"

@@ -15,16 +15,20 @@ fn bench_allgather(c: &mut Criterion) {
     let mut g = c.benchmark_group("allgather");
     g.sample_size(10);
     for count in [64usize, 4096] {
-        g.bench_with_input(BenchmarkId::new("recursive_doubling", count), &count, |b, &count| {
-            b.iter(|| {
-                run_real(8, move |ctx| {
-                    let world = ctx.world();
-                    let send = ctx.buf_from_fn(count, |i| i as f64);
-                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
-                    allgather::recursive_doubling(ctx, &world, &send, &mut recv);
+        g.bench_with_input(
+            BenchmarkId::new("recursive_doubling", count),
+            &count,
+            |b, &count| {
+                b.iter(|| {
+                    run_real(8, move |ctx| {
+                        let world = ctx.world();
+                        let send = ctx.buf_from_fn(count, |i| i as f64);
+                        let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                        allgather::recursive_doubling(ctx, &world, &send, &mut recv);
+                    })
                 })
-            })
-        });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("ring", count), &count, |b, &count| {
             b.iter(|| {
                 run_real(8, move |ctx| {

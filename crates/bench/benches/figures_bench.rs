@@ -52,7 +52,11 @@ fn bench_app_figures(c: &mut Criterion) {
         let cost = cost.clone();
         b.iter(move || {
             let cfg = SimConfig::new(ClusterSpec::regular(2, 8), cost.clone()).phantom();
-            let spec = SummaSpec { q: 4, block: 64, tuning: tuning.clone() };
+            let spec = SummaSpec {
+                q: 4,
+                block: 64,
+                tuning: tuning.clone(),
+            };
             Universe::run(cfg, move |ctx| hy_summa(ctx, &spec).elapsed_us).unwrap()
         })
     });
@@ -61,7 +65,11 @@ fn bench_app_figures(c: &mut Criterion) {
         let cost = cost.clone();
         b.iter(move || {
             let cfg = SimConfig::new(ClusterSpec::regular(2, 8), cost.clone()).phantom();
-            let spec = SummaSpec { q: 4, block: 64, tuning: tuning.clone() };
+            let spec = SummaSpec {
+                q: 4,
+                block: 64,
+                tuning: tuning.clone(),
+            };
             Universe::run(cfg, move |ctx| ori_summa(ctx, &spec).elapsed_us).unwrap()
         })
     });

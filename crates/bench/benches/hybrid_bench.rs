@@ -13,8 +13,7 @@ fn bench_hybrid_allgather(c: &mut Criterion) {
     for count in [64usize, 4096] {
         g.bench_with_input(BenchmarkId::new("hybrid", count), &count, |b, &count| {
             b.iter(|| {
-                let cfg =
-                    SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+                let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
                 Universe::run(cfg, move |ctx| {
                     let world = ctx.world();
                     let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
@@ -28,8 +27,7 @@ fn bench_hybrid_allgather(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("smp_aware", count), &count, |b, &count| {
             b.iter(|| {
-                let cfg =
-                    SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
+                let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries());
                 Universe::run(cfg, move |ctx| {
                     let world = ctx.world();
                     let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());

@@ -14,7 +14,11 @@ fn main() {
     for pow in [0usize, 4, 8, 12, 14] {
         let elems = 1usize << pow;
         let mut row = vec![elems.to_string()];
-        for sync in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+        for sync in [
+            SyncMethod::Barrier,
+            SyncMethod::SharedFlags,
+            SyncMethod::P2p,
+        ] {
             let t = allgather_latency(
                 spec.clone(),
                 &m,

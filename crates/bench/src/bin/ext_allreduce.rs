@@ -70,12 +70,20 @@ fn main() {
     // Application: conjugate gradient (3 scalar allreduces/iteration).
     let mut rows = Vec::new();
     for cores in [48usize, 96, 192, 384] {
-        let cg_spec = CgSpec { n: 1 << 18, iters: 25 };
+        let cg_spec = CgSpec {
+            n: 1 << 18,
+            iters: 25,
+        };
         let time = |hybrid: bool| {
             let cfg = SimConfig::new(bench::cluster_for(cores), m.cost.clone()).phantom();
             let cg_spec = cg_spec.clone();
             Universe::run(cfg, move |ctx| {
-                if hybrid { hy_cg(ctx, &cg_spec) } else { ori_cg(ctx, &cg_spec) }.elapsed_us
+                if hybrid {
+                    hy_cg(ctx, &cg_spec)
+                } else {
+                    ori_cg(ctx, &cg_spec)
+                }
+                .elapsed_us
             })
             .unwrap()
             .per_rank

@@ -55,7 +55,12 @@ fn main() {
             .into_iter()
             .fold(0.0f64, f64::max)
         };
-        rows.push(vec![count.to_string(), us(hy), us(flat), format!("{:.2}", flat / hy)]);
+        rows.push(vec![
+            count.to_string(),
+            us(hy),
+            us(flat),
+            format!("{:.2}", flat / hy),
+        ]);
     }
     print_table(
         "Extension ([31]) — hybrid vs flat all-to-all, 8 nodes x 24 ppn (Cray MPI), µs",

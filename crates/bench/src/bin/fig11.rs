@@ -11,7 +11,12 @@ use collectives::Tuning;
 use msim::{Ctx, SimConfig, Universe};
 use summa::{hy_summa, ori_summa, SummaReport, SummaSpec};
 
-fn run(q: usize, block: usize, machine: &Machine, kernel: fn(&mut Ctx, &SummaSpec) -> SummaReport) -> f64 {
+fn run(
+    q: usize,
+    block: usize,
+    machine: &Machine,
+    kernel: fn(&mut Ctx, &SummaSpec) -> SummaReport,
+) -> f64 {
     let cores = q * q;
     let cfg = SimConfig::new(cluster_for(cores), machine.cost.clone()).phantom();
     let spec = SummaSpec {
@@ -33,12 +38,7 @@ fn main() {
             let cores = q * q;
             let ori = run(q, block, &machine, ori_summa);
             let hy = run(q, block, &machine, hy_summa);
-            rows.push(vec![
-                cores.to_string(),
-                us(ori),
-                us(hy),
-                ratio(ori, hy),
-            ]);
+            rows.push(vec![cores.to_string(), us(ori), us(hy), ratio(ori, hy)]);
         }
         print_table(
             &format!("Fig. 11 — SUMMA, per-core block {block}x{block} (Cray MPI), time in µs"),

@@ -4,8 +4,8 @@
 //! Expected shape (paper): Hy_Allgather is flat (one barrier) and always
 //! below the pure-MPI Allgather, whose cost grows with message size.
 
-use bench::{allgather_latency, AllgatherVariant, Machine};
 use bench::table::{print_table, us};
+use bench::{allgather_latency, AllgatherVariant, Machine};
 use simnet::{ClusterSpec, Placement};
 
 fn main() {

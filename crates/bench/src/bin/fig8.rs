@@ -38,8 +38,13 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Fig. 8 ({}) — Allgather, 1 process/node, time in µs", m.name),
-            &["elems", "Hy_4", "All_4", "Hy_16", "All_16", "Hy_64", "All_64"],
+            &format!(
+                "Fig. 8 ({}) — Allgather, 1 process/node, time in µs",
+                m.name
+            ),
+            &[
+                "elems", "Hy_4", "All_4", "Hy_16", "All_16", "Hy_64", "All_64",
+            ],
             &rows,
         );
     }

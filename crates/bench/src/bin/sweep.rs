@@ -38,7 +38,9 @@ fn variant_of(name: &str) -> Option<(String, AllgatherVariant)> {
         "smp" => AllgatherVariant::PureSmpAware,
         "flat" => AllgatherVariant::PureFlat,
         "flags" => AllgatherVariant::HybridSync(SyncMethod::SharedFlags),
-        "pipelined" => AllgatherVariant::HybridPipelined { segment_elems: 1 << 14 },
+        "pipelined" => AllgatherVariant::HybridPipelined {
+            segment_elems: 1 << 14,
+        },
         other => {
             eprintln!("unknown variant '{other}' (use hybrid, smp, flat, flags, pipelined)");
             return None;

@@ -1,12 +1,14 @@
 //! Schedule report: the structural difference between the hybrid and the
 //! SMP-aware pure-MPI allgather, straight from the runtime's event trace
-//! (message counts, volumes per link class, copies, node traffic).
+//! (message counts, volumes per link class, copies, node traffic), plus
+//! the decision log of an autotuned run — which algorithm the policy
+//! picked for every case, and why.
 //!
 //! This is the paper's Fig. 3 rendered as numbers.
 
-use bench::Machine;
 use bench::table::print_table;
-use collectives::{smp_aware::SmpAware, Tuning};
+use bench::Machine;
+use collectives::{smp_aware::SmpAware, SelectionPolicy, Tuning};
 use hmpi::{HyAllgather, HybridComm};
 use msim::{SimConfig, Universe};
 use simnet::analysis::{node_traffic_matrix, TrafficStats};
@@ -19,7 +21,9 @@ fn main() {
     let map = Placement::SmpBlock.build(&spec);
 
     let run_traced = |hybrid: bool| {
-        let cfg = SimConfig::new(spec.clone(), m.cost.clone()).phantom().traced();
+        let cfg = SimConfig::new(spec.clone(), m.cost.clone())
+            .phantom()
+            .traced();
         let tuning = m.tuning.clone();
         let r = Universe::run(cfg, move |ctx| {
             let world = ctx.world();
@@ -40,7 +44,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut matrices = Vec::new();
-    for (name, hybrid) in [("Allgather (pure, SMP-aware)", false), ("Hy_Allgather (hybrid)", true)] {
+    for (name, hybrid) in [
+        ("Allgather (pure, SMP-aware)", false),
+        ("Hy_Allgather (hybrid)", true),
+    ] {
         let events = run_traced(hybrid);
         let s = TrafficStats::of(&events);
         rows.push(vec![
@@ -73,8 +80,52 @@ fn main() {
         for row in &m {
             println!(
                 "  {}",
-                row.iter().map(|b| format!("{b:>9}")).collect::<Vec<_>>().join(" ")
+                row.iter()
+                    .map(|b| format!("{b:>9}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
         }
     }
+
+    // Decision log: the same hybrid allgather under the autotune policy.
+    // Each row is one distinct (op, algorithm) selection with the cost
+    // estimate that justified it; the count says how many ranks recorded
+    // it (also visible in the trace as `decisions` events).
+    let policy = SelectionPolicy::autotune(m.tuning.clone());
+    let handle = policy.clone();
+    let cfg = SimConfig::new(spec.clone(), m.cost.clone())
+        .phantom()
+        .traced();
+    let r = Universe::run(cfg, move |ctx| {
+        let world = ctx.world();
+        let hc = HybridComm::with_policy(ctx, &world, policy.clone());
+        let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+        ag.execute(ctx);
+    })
+    .expect("traced autotune run");
+    let traced = TrafficStats::of(&r.tracer.events()).decisions;
+
+    let mut rows: Vec<(String, String, String, usize)> = Vec::new();
+    for d in handle.log().decisions() {
+        match rows
+            .iter_mut()
+            .find(|(op, algo, _, _)| *op == d.op.key() && *algo == d.algo)
+        {
+            Some(row) => row.3 += 1,
+            None => rows.push((d.op.key().to_string(), d.algo.to_string(), d.why, 1)),
+        }
+    }
+    print_table(
+        &format!(
+            "Decision log — autotuned Hy_Allgather, {} decisions recorded ({} traced)",
+            handle.log().len(),
+            traced
+        ),
+        &["op", "algorithm", "why", "ranks"],
+        &rows
+            .into_iter()
+            .map(|(op, algo, why, n)| vec![op, algo, why, n.to_string()])
+            .collect::<Vec<_>>(),
+    );
 }

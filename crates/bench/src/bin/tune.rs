@@ -1,0 +1,216 @@
+//! Offline autotuner: sweep every collective operation over a ladder of
+//! communicator sizes and power-of-two byte sizes, rank the registered
+//! algorithms with the `simnet` closed-form cost model, and persist the
+//! winners as a per-cluster [`TuningTable`] under `results/tuning/`.
+//!
+//! ```text
+//! tune [--cluster cray_aries|nec_infiniband] [--out PATH]
+//! tune --verify-golden PATH
+//! ```
+//!
+//! `--verify-golden` re-serializes an existing table file and compares it
+//! byte-for-byte against what was read — the CI guard that
+//! `SelectionPolicy::Table` round-trips the canonical JSON schema.
+
+use std::process::ExitCode;
+
+use collectives::{
+    flavor_key, CollectiveOp, CommCase, SelectionPolicy, TableEntry, Tuning, TuningTable,
+};
+use simnet::CostModel;
+
+/// Processes per node assumed when mapping a communicator size to a node
+/// count — the paper's 24-core nodes, same as `machines::cluster_for`.
+const PPN: usize = 24;
+
+/// Communicator sizes swept (the paper's scales: intra-node up to one
+/// 24-core node, then multi-node up to 64 nodes).
+const COMM_LADDER: &[usize] = &[2, 4, 6, 8, 12, 16, 24, 48, 96, 192, 384, 768, 1536];
+
+/// Largest power-of-two byte size swept (16 MiB).
+const MAX_BYTES_LOG2: u32 = 24;
+
+fn preset(name: &str) -> Option<(CostModel, Tuning)> {
+    match name {
+        "cray_aries" => Some((CostModel::cray_aries(), Tuning::cray_mpich())),
+        "nec_infiniband" => Some((CostModel::nec_infiniband(), Tuning::open_mpi())),
+        _ => None,
+    }
+}
+
+/// Build the tuning table for one cost-model preset: for every op, comm
+/// size, and size bucket, record the offline autotune winner, merging
+/// adjacent byte ranges that share a winner into one row. Rows are
+/// emitted smallest-first, so the table's first-match-wins lookup
+/// reproduces the sweep exactly.
+fn build_table(cluster: &str, cost: &CostModel, tuning: &Tuning) -> TuningTable {
+    let policy = SelectionPolicy::autotune(tuning.clone());
+    let mut table = TuningTable::new(cluster);
+    table.flavor = Some(tuning.flavor);
+    for op in CollectiveOp::all() {
+        if matches!(op, CollectiveOp::Sync | CollectiveOp::Barrier) {
+            // Zero-byte ops: one decision per communicator size.
+            for (i, &p) in COMM_LADDER.iter().enumerate() {
+                let nodes = p.div_ceil(PPN);
+                let algo = policy.choose_offline(cost, &CommCase::new(op, p, nodes, 0));
+                let comm_le = if i + 1 == COMM_LADDER.len() {
+                    usize::MAX
+                } else {
+                    p
+                };
+                let last = table
+                    .entries
+                    .last_mut()
+                    .filter(|e| e.op == op && e.algo == algo);
+                match last {
+                    Some(e) => e.comm_le = comm_le,
+                    None => table.entries.push(TableEntry {
+                        op,
+                        comm_le,
+                        bytes_le: usize::MAX,
+                        algo: algo.to_string(),
+                    }),
+                }
+            }
+            continue;
+        }
+        for (i, &p) in COMM_LADDER.iter().enumerate() {
+            let nodes = p.div_ceil(PPN);
+            let comm_le = if i + 1 == COMM_LADDER.len() {
+                usize::MAX
+            } else {
+                p
+            };
+            let mut rows: Vec<TableEntry> = Vec::new();
+            for k in 0..=MAX_BYTES_LOG2 {
+                let bytes = 1usize << k;
+                let algo = policy.choose_offline(cost, &CommCase::new(op, p, nodes, bytes));
+                let bytes_le = if k == MAX_BYTES_LOG2 {
+                    usize::MAX
+                } else {
+                    bytes
+                };
+                match rows.last_mut().filter(|e| e.algo == algo) {
+                    Some(e) => e.bytes_le = bytes_le,
+                    None => rows.push(TableEntry {
+                        op,
+                        comm_le,
+                        bytes_le,
+                        algo: algo.to_string(),
+                    }),
+                }
+            }
+            // A comm tier identical to the previous tier collapses into it.
+            let prev_len = table
+                .entries
+                .iter()
+                .rev()
+                .take_while(|e| e.op == op)
+                .count();
+            let prev = &table.entries[table.entries.len() - prev_len..];
+            let same = prev.len() == rows.len()
+                && prev
+                    .iter()
+                    .zip(&rows)
+                    .all(|(a, b)| a.bytes_le == b.bytes_le && a.algo == b.algo);
+            if same {
+                let start = table.entries.len() - prev_len;
+                for e in &mut table.entries[start..] {
+                    e.comm_le = comm_le;
+                }
+            } else {
+                table.entries.extend(rows);
+            }
+        }
+    }
+    table
+}
+
+fn verify_golden(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tune: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match TuningTable::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tune: {path} does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let round_tripped = format!("{}\n", table.pretty());
+    if round_tripped != text {
+        eprintln!("tune: {path} is not in canonical form (parse→serialize changed the bytes)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "tune: {path} round-trips byte-for-byte ({} entries, cluster '{}')",
+        table.entries.len(),
+        table.cluster
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut cluster = "cray_aries".to_string();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cluster" => match args.next() {
+                Some(c) => cluster = c,
+                None => {
+                    eprintln!("tune: --cluster needs a preset name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => out = args.next(),
+            "--verify-golden" => match args.next() {
+                Some(path) => return verify_golden(&path),
+                None => {
+                    eprintln!("tune: --verify-golden needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("tune: unknown argument {other:?}");
+                eprintln!(
+                    "usage: tune [--cluster PRESET] [--out PATH] | tune --verify-golden PATH"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some((cost, tuning)) = preset(&cluster) else {
+        eprintln!("tune: unknown cluster preset {cluster:?} (try cray_aries or nec_infiniband)");
+        return ExitCode::FAILURE;
+    };
+    let table = build_table(&cluster, &cost, &tuning);
+    if table.entries.is_empty() {
+        eprintln!("tune: sweep produced an empty table for {cluster}");
+        return ExitCode::FAILURE;
+    }
+    let path = out.unwrap_or_else(|| format!("results/tuning/{cluster}.json"));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("tune: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let text = format!("{}\n", table.pretty());
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("tune: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "tune: {} entries for cluster '{}' (flavor {}) -> {path}",
+        table.entries.len(),
+        table.cluster,
+        table.flavor.map(flavor_key).unwrap_or("none"),
+    );
+    ExitCode::SUCCESS
+}

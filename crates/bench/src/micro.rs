@@ -8,7 +8,7 @@
 //! region, matching the paper's "extra one-off activities are not
 //! evaluated".
 
-use collectives::{allgather, barrier, smp_aware::SmpAware};
+use collectives::{allgather, barrier, smp_aware::SmpAware, SelectionPolicy};
 use hmpi::{pipeline::HyAllgatherPipelined, HyAllgather, HybridComm, SyncMethod};
 use msim::{SimConfig, Universe};
 use simnet::{ClusterSpec, Placement};
@@ -30,6 +30,10 @@ pub enum AllgatherVariant {
         /// Ring segment size in elements.
         segment_elems: usize,
     },
+    /// The hybrid allgather with autotuned selection: the
+    /// [`SelectionPolicy`] picks the sync flavor and the bridge algorithm
+    /// from cost-model estimates instead of the legacy thresholds.
+    HybridAuto,
     /// The naive pure-MPI baseline: SMP-aware hierarchical allgather
     /// (paper Fig. 3a).
     PureSmpAware,
@@ -74,6 +78,37 @@ pub fn allgather_latency(
                     ag.execute(ctx);
                 }
                 (ctx.now() - t0) / iters as f64
+            }
+            AllgatherVariant::HybridAuto => {
+                let policy = SelectionPolicy::autotune(tuning.clone());
+                let hc = HybridComm::with_policy(ctx, &world, policy);
+                // Hybrid-vs-flat goes through the same policy interface as
+                // every other selection (windowed schedule vs library
+                // algorithms over the parent communicator).
+                if hc.use_windowed_allgather(ctx, elems * 8 * p) {
+                    let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+                    barrier::tuned(ctx, &world);
+                    let t0 = ctx.now();
+                    for _ in 0..iters {
+                        ag.execute(ctx);
+                    }
+                    (ctx.now() - t0) / iters as f64
+                } else {
+                    let send = ctx.buf_zeroed::<f64>(elems);
+                    let mut recv = ctx.buf_zeroed::<f64>(elems * p);
+                    barrier::tuned(ctx, &world);
+                    let t0 = ctx.now();
+                    for _ in 0..iters {
+                        allgather::with_policy(
+                            ctx,
+                            &world,
+                            &send,
+                            &mut recv,
+                            hc.policy().expect("built with a policy"),
+                        );
+                    }
+                    (ctx.now() - t0) / iters as f64
+                }
             }
             AllgatherVariant::HybridPipelined { segment_elems } => {
                 let hc = HybridComm::new(ctx, &world, tuning.clone());
@@ -121,10 +156,7 @@ pub fn allgather_latency(
         }
     })
     .expect("benchmark universe must not fail");
-    result
-        .per_rank
-        .into_iter()
-        .fold(0.0f64, f64::max)
+    result.per_rank.into_iter().fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(h, w)| format!("{h:>w$}"))
         .collect();
     println!("{}", line.join("  "));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

@@ -89,8 +89,12 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
     let real = ctx.mode() == DataMode::Real;
 
     // Element counts per rank for the two allgathers.
-    let u_counts: Vec<usize> = (0..p).map(|r| (partition(nu, p, r).1 - partition(nu, p, r).0) * k).collect();
-    let v_counts: Vec<usize> = (0..p).map(|r| (partition(ni, p, r).1 - partition(ni, p, r).0) * k).collect();
+    let u_counts: Vec<usize> = (0..p)
+        .map(|r| (partition(nu, p, r).1 - partition(nu, p, r).0) * k)
+        .collect();
+    let v_counts: Vec<usize> = (0..p)
+        .map(|r| (partition(ni, p, r).1 - partition(ni, p, r).0) * k)
+        .collect();
 
     // One-off setup + initial latent matrices (identical on every rank).
     let mut ex = if hybrid {
@@ -110,11 +114,18 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
         LatentExchange::Windows { hc, u, v }
     } else {
         let (u, v) = if real {
-            (init_latent(k, nu, cfg.seed, 0), init_latent(k, ni, cfg.seed, 1))
+            (
+                init_latent(k, nu, cfg.seed, 0),
+                init_latent(k, ni, cfg.seed, 1),
+            )
         } else {
             (Vec::new(), Vec::new())
         };
-        LatentExchange::Private { u, v, tuning: &cfg.tuning }
+        LatentExchange::Private {
+            u,
+            v,
+            tuning: &cfg.tuning,
+        }
     };
 
     barrier::tuned(ctx, &world);
@@ -127,7 +138,11 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
             let read_all = |ex: &LatentExchange, users_side: bool| -> Vec<f64> {
                 match ex {
                     LatentExchange::Private { u, v, .. } => {
-                        if users_side { u.clone() } else { v.clone() }
+                        if users_side {
+                            u.clone()
+                        } else {
+                            v.clone()
+                        }
                     }
                     LatentExchange::Windows { u, v, .. } => {
                         let (h, n) = if users_side { (u, nu) } else { (v, ni) };
@@ -148,13 +163,29 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
 
         // --- Sample my users against the full V, then allgather U ---
         sample_side(
-            ctx, data, cfg, &mut ex, it, /*users=*/ true, (u_lo, u_hi), hp_u.as_ref(), p,
+            ctx,
+            data,
+            cfg,
+            &mut ex,
+            it,
+            /*users=*/ true,
+            (u_lo, u_hi),
+            hp_u.as_ref(),
+            p,
         );
         exchange(ctx, &mut ex, /*users=*/ true, &u_counts, me);
 
         // --- Sample my items against the full U, then allgather V ---
         sample_side(
-            ctx, data, cfg, &mut ex, it, /*users=*/ false, (i_lo, i_hi), hp_v.as_ref(), p,
+            ctx,
+            data,
+            cfg,
+            &mut ex,
+            it,
+            /*users=*/ false,
+            (i_lo, i_hi),
+            hp_v.as_ref(),
+            p,
         );
         exchange(ctx, &mut ex, /*users=*/ false, &v_counts, me);
     }
@@ -204,8 +235,16 @@ fn sample_side(
 ) {
     let k = cfg.k;
     let (lo, hi) = range;
-    let ratings = if users_side { &data.train } else { &data.train_t };
-    let n_other = if users_side { data.items() } else { data.users() };
+    let ratings = if users_side {
+        &data.train
+    } else {
+        &data.train_t
+    };
+    let n_other = if users_side {
+        data.items()
+    } else {
+        data.users()
+    };
     let class = if users_side { 0 } else { 1 };
 
     // Charge the modeled flops for this slice.
@@ -213,7 +252,7 @@ fn sample_side(
     ctx.compute(flops * cfg.compute_scale);
 
     let Some(hp) = hp else { return }; // phantom mode: costs only
-    // Snapshot of the opposite side's read accessor.
+                                       // Snapshot of the opposite side's read accessor.
     let mut fresh = Vec::with_capacity((hi - lo) * k);
     for e in lo..hi {
         let mut rng = stream_rng(cfg.seed, it, class, e);
@@ -313,7 +352,14 @@ mod tests {
     }
 
     fn serial_rmse(data: &Dataset, cfg: &BpmfConfig) -> f64 {
-        let (u, v) = serial_gibbs(&data.train, &data.train_t, cfg.k, cfg.iters, cfg.seed, data.mean);
+        let (u, v) = serial_gibbs(
+            &data.train,
+            &data.train_t,
+            cfg.k,
+            cfg.iters,
+            cfg.seed,
+            data.mean,
+        );
         let k = cfg.k;
         rmse(
             k,
@@ -398,7 +444,13 @@ mod tests {
             nnz: 3000,
             seed: 2,
         }));
-        let cfg = BpmfConfig { k: 8, iters: 2, seed: 4, tuning: Tuning::cray_mpich(), compute_scale: 1.0 };
+        let cfg = BpmfConfig {
+            k: 8,
+            iters: 2,
+            seed: 4,
+            tuning: Tuning::cray_mpich(),
+            compute_scale: 1.0,
+        };
         let time = |hybrid: bool| {
             let sim = SimConfig::new(ClusterSpec::regular(4, 6), CostModel::cray_aries()).phantom();
             let data = Arc::clone(&data);

@@ -1,7 +1,7 @@
 //! Synthetic ratings data (the chembl_20 stand-in).
 
-use linalg::Csr;
 use linalg::rng::{Rng, SmallRng};
+use linalg::Csr;
 use std::collections::HashSet;
 
 /// Shape of a synthetic sparse ratings matrix.
@@ -162,7 +162,11 @@ mod tests {
         assert_eq!(d.items(), 25);
         assert_eq!(d.train.nnz() + d.test.len(), 700);
         assert!((d.test.len() as f64) / 700.0 - 0.05 < 0.02);
-        assert!(d.mean > 4.0 && d.mean < 8.0, "mean {} not pIC50-like", d.mean);
+        assert!(
+            d.mean > 4.0 && d.mean < 8.0,
+            "mean {} not pIC50-like",
+            d.mean
+        );
     }
 
     #[test]
@@ -213,7 +217,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot place")]
     fn overfull_spec_panics() {
-        Dataset::synthesize(&SyntheticSpec { users: 2, items: 2, nnz: 5, seed: 0 });
+        Dataset::synthesize(&SyntheticSpec {
+            users: 2,
+            items: 2,
+            nnz: 5,
+            seed: 0,
+        });
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! block of entities a contiguous slice — exactly what the allgather
 //! exchanges.
 
+use linalg::rng::SmallRng;
 use linalg::sample::{mvn_with_chol, standard_normal, wishart};
 use linalg::{Cholesky, Csr, Mat};
-use linalg::rng::SmallRng;
 
 /// Observation precision (the BPMF reference code fixes α = 2).
 pub const ALPHA: f64 = 2.0;
@@ -217,7 +217,9 @@ pub fn serial_gibbs(
 /// Deterministic latent initialization: small noise around zero.
 pub fn init_latent(k: usize, n: usize, seed: u64, class: u64) -> Vec<f64> {
     let mut rng = stream_rng(seed, usize::MAX, class, 0);
-    (0..k * n).map(|_| standard_normal(&mut rng) * 0.1).collect()
+    (0..k * n)
+        .map(|_| standard_normal(&mut rng) * 0.1)
+        .collect()
 }
 
 #[cfg(test)]
@@ -270,7 +272,11 @@ mod tests {
             0.0,
         );
         assert!(u[0] > 3.0, "u0 {} should be pulled toward 4", u[0]);
-        assert!(u[1].abs() < 3.5, "u1 {} should stay near the N(0,1) prior", u[1]);
+        assert!(
+            u[1].abs() < 3.5,
+            "u1 {} should stay near the N(0,1) prior",
+            u[1]
+        );
     }
 
     #[test]

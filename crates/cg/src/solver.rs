@@ -79,7 +79,7 @@ enum DotScheme {
     /// Library `MPI_Allreduce` on the world communicator.
     Flat(Tuning),
     /// The hybrid allreduce through a node-shared result window.
-    Hybrid(HyAllreduce<f64>),
+    Hybrid(Box<HyAllreduce<f64>>),
 }
 
 impl DotScheme {
@@ -118,7 +118,7 @@ fn run_cg(ctx: &mut Ctx, spec: &CgSpec, hybrid: bool) -> CgReport {
 
     let scheme = if hybrid {
         let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
-        DotScheme::Hybrid(HyAllreduce::<f64>::new(ctx, &hc, 1))
+        DotScheme::Hybrid(Box::new(HyAllreduce::<f64>::new(ctx, &hc, 1)))
     } else {
         DotScheme::Flat(Tuning::cray_mpich())
     };
@@ -183,11 +183,15 @@ fn run_cg(ctx: &mut Ctx, spec: &CgSpec, hybrid: bool) -> CgReport {
 
         // --- alpha = rs_old / (p · Ap) ---
         ctx.compute(2.0 * n_local as f64);
-        let p_ap = scheme.reduce(ctx, &world, if real {
-            local_dot(&p_halo[1..=n_local], &ap)
-        } else {
-            0.0
-        });
+        let p_ap = scheme.reduce(
+            ctx,
+            &world,
+            if real {
+                local_dot(&p_halo[1..=n_local], &ap)
+            } else {
+                0.0
+            },
+        );
         ctx.compute(4.0 * n_local as f64);
         let mut rs_new_partial = 0.0;
         if real {
@@ -241,7 +245,10 @@ mod tests {
         let n = 64;
         let (_, rs0) = serial_cg(n, 0);
         let (_, rs) = serial_cg(n, 40);
-        assert!(rs < rs0 * 1e-6, "CG must reduce the residual: {rs0} -> {rs}");
+        assert!(
+            rs < rs0 * 1e-6,
+            "CG must reduce the residual: {rs0} -> {rs}"
+        );
     }
 
     #[test]
@@ -265,7 +272,11 @@ mod tests {
         let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
         let out = Universe::run(cfg, move |ctx| {
             let spec = CgSpec { n, iters };
-            let rep = if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) };
+            let rep = if hybrid {
+                hy_cg(ctx, &spec)
+            } else {
+                ori_cg(ctx, &spec)
+            };
             (rep.x.unwrap(), rep.rs.unwrap())
         })
         .unwrap();
@@ -311,7 +322,12 @@ mod tests {
             }
             Universe::run(cfg, move |ctx| {
                 let spec = CgSpec { n: 60, iters: 4 };
-                if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) }.elapsed_us
+                if hybrid {
+                    hy_cg(ctx, &spec)
+                } else {
+                    ori_cg(ctx, &spec)
+                }
+                .elapsed_us
             })
             .unwrap()
             .per_rank
@@ -330,7 +346,12 @@ mod tests {
                 SimConfig::new(ClusterSpec::regular(4, 16), CostModel::cray_aries()).phantom();
             Universe::run(cfg, move |ctx| {
                 let spec = CgSpec { n: 4096, iters: 10 };
-                if hybrid { hy_cg(ctx, &spec) } else { ori_cg(ctx, &spec) }.elapsed_us
+                if hybrid {
+                    hy_cg(ctx, &spec)
+                } else {
+                    ori_cg(ctx, &spec)
+                }
+                .elapsed_us
             })
             .unwrap()
             .per_rank

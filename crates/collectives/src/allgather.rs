@@ -15,10 +15,17 @@
 
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
 
-fn place_own_block<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, send: &Buf<T>, recv: &mut Buf<T>) {
+fn place_own_block<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+) {
     let count = send.len();
     recv.copy_from(comm.rank() * count, send, 0, count);
     ctx.charge_copy(count * T::SIZE);
@@ -44,7 +51,10 @@ pub fn recursive_doubling<T: ShmElem>(
     recv: &mut Buf<T>,
 ) {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "recursive doubling requires a power-of-two communicator");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling requires a power-of-two communicator"
+    );
     check_args(comm, send, recv);
     let me = comm.rank();
     let count = send.len();
@@ -120,9 +130,52 @@ pub fn ring<T: ShmElem>(ctx: &mut Ctx, comm: &Communicator, send: &Buf<T>, recv:
     for s in 0..p - 1 {
         let send_block = (me + p - s) % p;
         let recv_block = (me + p - s - 1) % p;
-        ctx.send_region(comm, right, tags::ALLGATHER + 2, recv, send_block * count, count);
+        ctx.send_region(
+            comm,
+            right,
+            tags::ALLGATHER + 2,
+            recv,
+            send_block * count,
+            count,
+        );
         let payload = ctx.recv(comm, left, tags::ALLGATHER + 2);
         recv.write_payload(recv_block * count, &payload);
+    }
+}
+
+/// The [`CommCase`] one allgather call presents to a selection policy.
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, send: &Buf<T>) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Allgather,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        send.byte_len() * comm.size(),
+    )
+}
+
+/// Run the named registered algorithm. The registry holds selection
+/// metadata only (collective kernels are generic over the element type),
+/// so name → kernel happens here.
+///
+/// # Panics
+/// Panics on an unknown name or an inapplicable one (e.g. recursive
+/// doubling on a non-power-of-two communicator).
+pub fn dispatch<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    algo: &str,
+) {
+    match algo {
+        "allgather.local" => {
+            check_args(comm, send, recv);
+            place_own_block(ctx, comm, send, recv);
+        }
+        "allgather.recursive_doubling" => recursive_doubling(ctx, comm, send, recv),
+        "allgather.bruck" => bruck(ctx, comm, send, recv),
+        "allgather.ring" => ring(ctx, comm, send, recv),
+        other => panic!("allgather: unknown algorithm {other:?}"),
     }
 }
 
@@ -151,20 +204,76 @@ pub fn tuned_uncharged<T: ShmElem>(
     recv: &mut Buf<T>,
     tuning: &Tuning,
 ) {
-    let p = comm.size();
-    if p == 1 {
-        check_args(comm, send, recv);
-        place_own_block(ctx, comm, send, recv);
-        return;
-    }
-    let total_bytes = send.byte_len() * p;
-    if p.is_power_of_two() && total_bytes < tuning.allgather_rd_threshold {
-        recursive_doubling(ctx, comm, send, recv);
-    } else if !p.is_power_of_two() && total_bytes < tuning.allgather_bruck_threshold {
-        bruck(ctx, comm, send, recv);
-    } else {
-        ring(ctx, comm, send, recv);
-    }
+    let case = case_for(ctx, comm, send);
+    dispatch(ctx, comm, send, recv, legacy_choice(tuning, &case));
+}
+
+/// Policy-driven entry point: let `policy` pick the algorithm (recording
+/// the decision), then run it. Charges the per-call entry fee.
+pub fn with_policy<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    with_policy_uncharged(ctx, comm, send, recv, policy);
+}
+
+/// Policy-driven selection without the entry fee.
+pub fn with_policy_uncharged<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    policy: &SelectionPolicy,
+) {
+    let case = case_for(ctx, comm, send);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, send, recv, algo);
+}
+
+/// Register this module's algorithms (name, applicability, cost estimate).
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "allgather.local",
+        op: CollectiveOp::Allgather,
+        applicable: |c| c.comm_size <= 1,
+        estimate: |e, c| e.copy(c.total_bytes),
+    });
+    reg.register(AlgorithmSpec {
+        name: "allgather.recursive_doubling",
+        op: CollectiveOp::Allgather,
+        applicable: |c| c.comm_size.is_power_of_two(),
+        // Own-block copy, then log₂ p rounds of doubling block counts.
+        estimate: |e, c| {
+            e.copy(c.block_bytes()) + e.doubling_rounds(c.comm_size, c.block_bytes(), c.total_bytes)
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "allgather.bruck",
+        op: CollectiveOp::Allgather,
+        applicable: |_| true,
+        // Initial copy into the rotated buffer, ⌈log₂ p⌉ doubling rounds,
+        // and the full-buffer inverse rotation at the end.
+        estimate: |e, c| {
+            e.copy(c.block_bytes())
+                + e.doubling_rounds(c.comm_size, c.block_bytes(), c.total_bytes)
+                + e.copy(c.total_bytes)
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "allgather.ring",
+        op: CollectiveOp::Allgather,
+        applicable: |_| true,
+        // Own-block copy, then p−1 balanced neighbor exchanges.
+        estimate: |e, c| {
+            e.copy(c.block_bytes())
+                + e.uniform_rounds(c.comm_size.saturating_sub(1), c.block_bytes())
+        },
+    });
 }
 
 #[cfg(test)]
@@ -187,7 +296,10 @@ mod tests {
         });
         let expected = expected_allgather(nodes * ppn, count);
         for (rank, got) in r.per_rank.iter().enumerate() {
-            assert_eq!(got, &expected, "rank {rank} disagrees ({nodes}x{ppn}, count {count})");
+            assert_eq!(
+                got, &expected,
+                "rank {rank} disagrees ({nodes}x{ppn}, count {count})"
+            );
         }
     }
 
@@ -233,12 +345,16 @@ mod tests {
 
     #[test]
     fn single_rank_tuned_is_local_copy() {
-        check(1, 1, 6, |ctx, c, s, r| tuned(ctx, c, s, r, &crate::Tuning::open_mpi()));
+        check(1, 1, 6, |ctx, c, s, r| {
+            tuned(ctx, c, s, r, &crate::Tuning::open_mpi())
+        });
     }
 
     #[test]
     fn zero_count_allgather_is_legal() {
-        check(2, 2, 0, |ctx, c, s, r| tuned(ctx, c, s, r, &crate::Tuning::cray_mpich()));
+        check(2, 2, 0, |ctx, c, s, r| {
+            tuned(ctx, c, s, r, &crate::Tuning::cray_mpich())
+        });
     }
 
     #[test]

@@ -14,14 +14,24 @@
 
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
-use crate::util::displs_of;
+use crate::util::{displs_of, VectorLayout};
 
 fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, counts: &[usize], recv: &Buf<T>) {
     assert_eq!(counts.len(), comm.size(), "one count per rank required");
-    assert_eq!(send.len(), counts[comm.rank()], "send length must equal counts[rank]");
-    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    assert_eq!(
+        send.len(),
+        counts[comm.rank()],
+        "send length must equal counts[rank]"
+    );
+    assert_eq!(
+        recv.len(),
+        counts.iter().sum::<usize>(),
+        "recv must hold the full result"
+    );
 }
 
 /// Ring allgatherv: p−1 neighbor-exchange steps with per-block sizes.
@@ -52,7 +62,11 @@ pub fn ring_in_place<T: ShmElem>(
     let p = comm.size();
     let me = comm.rank();
     assert_eq!(counts.len(), p, "one count per rank required");
-    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    assert_eq!(
+        recv.len(),
+        counts.iter().sum::<usize>(),
+        "recv must hold the full result"
+    );
     let displs = displs_of(counts);
     if p == 1 {
         return;
@@ -97,7 +111,11 @@ pub fn bruck_in_place<T: ShmElem>(
     recv: &mut Buf<T>,
 ) {
     assert_eq!(counts.len(), comm.size(), "one count per rank required");
-    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    assert_eq!(
+        recv.len(),
+        counts.iter().sum::<usize>(),
+        "recv must hold the full result"
+    );
     bruck_impl(ctx, comm, counts, recv, None);
 }
 
@@ -110,8 +128,7 @@ fn bruck_impl<T: ShmElem>(
 ) {
     let p = comm.size();
     let me = comm.rank();
-    let total: usize = counts.iter().sum();
-    let displs = displs_of(counts);
+    let VectorLayout { displs, total, .. } = VectorLayout::new(counts.to_vec());
 
     // Rotated layout: slot j holds block (me + j) mod p.
     let rot_counts: Vec<usize> = (0..p).map(|j| counts[(me + j) % p]).collect();
@@ -147,6 +164,62 @@ fn bruck_impl<T: ShmElem>(
     ctx.charge_copy(total * T::SIZE);
 }
 
+/// The [`CommCase`] one allgatherv call presents to a selection policy
+/// (`total_bytes` = whole result, elements of type `T`).
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, counts: &[usize]) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Allgatherv,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        counts.iter().sum::<usize>() * T::SIZE,
+    )
+}
+
+/// Run the named registered algorithm (see `allgather::dispatch` for the
+/// name → kernel rationale).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    algo: &str,
+) {
+    match algo {
+        "allgatherv.local" => {
+            check_args(comm, send, counts, recv);
+            recv.copy_from(0, send, 0, counts[0]);
+            ctx.charge_copy(counts[0] * T::SIZE);
+        }
+        "allgatherv.bruck" => bruck(ctx, comm, send, counts, recv),
+        "allgatherv.ring" => ring(ctx, comm, send, counts, recv),
+        other => panic!("allgatherv: unknown algorithm {other:?}"),
+    }
+}
+
+/// Run the named registered algorithm with `MPI_IN_PLACE` semantics (own
+/// block already at its displacement in `recv`).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch_in_place<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    algo: &str,
+) {
+    match algo {
+        "allgatherv.local" => {}
+        "allgatherv.bruck" => bruck_in_place(ctx, comm, counts, recv),
+        "allgatherv.ring" => ring_in_place(ctx, comm, counts, recv),
+        other => panic!("allgatherv (in place): unknown algorithm {other:?}"),
+    }
+}
+
 /// Runtime selection for the irregular variant: Bruck for short totals,
 /// ring for long, plus the per-member bookkeeping overhead real `v`
 /// implementations pay for processing the count/displacement vectors.
@@ -173,19 +246,26 @@ pub fn tuned_uncharged<T: ShmElem>(
     tuning: &Tuning,
 ) {
     ctx.charge_time(tuning.v_overhead_per_rank_us * comm.size() as f64);
-    let p = comm.size();
-    if p == 1 {
-        check_args(comm, send, counts, recv);
-        recv.copy_from(0, send, 0, counts[0]);
-        ctx.charge_copy(counts[0] * T::SIZE);
-        return;
-    }
-    let total_bytes: usize = counts.iter().sum::<usize>() * T::SIZE;
-    if total_bytes < tuning.allgatherv_bruck_threshold {
-        bruck(ctx, comm, send, counts, recv);
-    } else {
-        ring(ctx, comm, send, counts, recv);
-    }
+    let case = case_for::<T>(ctx, comm, counts);
+    dispatch(ctx, comm, send, counts, recv, legacy_choice(tuning, &case));
+}
+
+/// Policy-driven selection. Charges the entry fee and the `v`-variant
+/// bookkeeping overhead, in that order (same as [`tuned`]).
+pub fn with_policy<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    ctx.charge_time(policy.tuning().v_overhead_per_rank_us * comm.size() as f64);
+    let case = case_for::<T>(ctx, comm, counts);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, send, counts, recv, algo);
 }
 
 /// In-place runtime selection (the paper's hybrid bridge exchange path).
@@ -203,12 +283,59 @@ pub fn tuned_in_place<T: ShmElem>(
     if comm.size() == 1 {
         return;
     }
-    let total_bytes: usize = counts.iter().sum::<usize>() * T::SIZE;
-    if total_bytes < tuning.allgatherv_bruck_threshold {
-        bruck_in_place(ctx, comm, counts, recv);
-    } else {
-        ring_in_place(ctx, comm, counts, recv);
+    let case = case_for::<T>(ctx, comm, counts);
+    dispatch_in_place(ctx, comm, counts, recv, legacy_choice(tuning, &case));
+}
+
+/// Policy-driven in-place selection, fee-identical to [`tuned_in_place`].
+pub fn with_policy_in_place<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    ctx.charge_time(policy.tuning().v_overhead_per_rank_us * comm.size() as f64);
+    if comm.size() == 1 {
+        return;
     }
+    let case = case_for::<T>(ctx, comm, counts);
+    let algo = policy.choose(ctx, &case);
+    dispatch_in_place(ctx, comm, counts, recv, algo);
+}
+
+/// Register this module's algorithms.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "allgatherv.local",
+        op: CollectiveOp::Allgatherv,
+        applicable: |c| c.comm_size <= 1,
+        estimate: |e, c| e.copy(c.total_bytes),
+    });
+    reg.register(AlgorithmSpec {
+        name: "allgatherv.bruck",
+        op: CollectiveOp::Allgatherv,
+        applicable: |_| true,
+        // Same growth pattern as the regular Bruck, priced at the mean
+        // block size (the schedule's steps are bounded by the max block;
+        // the mean preserves the ranking on realistic count vectors).
+        estimate: |e, c| {
+            e.copy(c.block_bytes())
+                + e.doubling_rounds(c.comm_size, c.block_bytes(), c.total_bytes)
+                + e.copy(c.total_bytes)
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "allgatherv.ring",
+        op: CollectiveOp::Allgatherv,
+        applicable: |_| true,
+        estimate: |e, c| {
+            e.copy(c.block_bytes())
+                + e.uniform_rounds(c.comm_size.saturating_sub(1), c.block_bytes())
+        },
+    });
 }
 
 #[cfg(test)]
@@ -293,7 +420,14 @@ mod tests {
             let counts = vec![count; world.size()];
             let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
             let mut recv = ctx.buf_zeroed(count * world.size());
-            tuned(ctx, &world, &send, &counts, &mut recv, &crate::Tuning::cray_mpich());
+            tuned(
+                ctx,
+                &world,
+                &send,
+                &counts,
+                &mut recv,
+                &crate::Tuning::cray_mpich(),
+            );
             ctx.now()
         })
         .makespan();
@@ -306,7 +440,10 @@ mod tests {
         })
         .makespan();
         assert!(tv > tg, "allgatherv ({tv}) should trail allgather ({tg})");
-        assert!(tv < tg * 4.0, "but only slightly (paper: 'slightly inferior')");
+        assert!(
+            tv < tg * 4.0,
+            "but only slightly (paper: 'slightly inferior')"
+        );
     }
 
     #[test]

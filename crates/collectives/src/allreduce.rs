@@ -11,6 +11,8 @@
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
 use crate::op::ReduceOp;
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{ceil_log2, AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
 use crate::util::{displs_of, segment_counts};
@@ -159,11 +161,84 @@ pub fn tuned<T: ShmElem, O: ReduceOp<T>>(
 ) {
     let fee = ctx.cost().coll_entry_us;
     ctx.charge_time(fee);
-    if send.byte_len() < tuning.allreduce_rabenseifner_threshold {
-        recursive_doubling(ctx, comm, send, recv, op);
-    } else {
-        rabenseifner(ctx, comm, send, recv, op);
+    let case = case_for(ctx, comm, send);
+    dispatch(ctx, comm, send, recv, op, legacy_choice(tuning, &case));
+}
+
+/// The [`CommCase`] one allreduce call presents to a selection policy
+/// (`total_bytes` = the reduced vector).
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, send: &Buf<T>) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Allreduce,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        send.byte_len(),
+    )
+}
+
+/// Run the named registered algorithm.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+    algo: &str,
+) {
+    match algo {
+        "allreduce.recursive_doubling" => recursive_doubling(ctx, comm, send, recv, op),
+        "allreduce.rabenseifner" => rabenseifner(ctx, comm, send, recv, op),
+        other => panic!("allreduce: unknown algorithm {other:?}"),
     }
+}
+
+/// Policy-driven entry point. Charges the per-call entry fee.
+pub fn with_policy<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    op: O,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    let case = case_for(ctx, comm, send);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, send, recv, op, algo);
+}
+
+/// Register this module's algorithms. Reduction compute is priced at one
+/// flop per element per combine.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "allreduce.recursive_doubling",
+        op: CollectiveOp::Allreduce,
+        applicable: |_| true,
+        // log₂ p full-vector exchanges, each followed by a combine.
+        estimate: |e, c| {
+            let rounds = ceil_log2(c.comm_size);
+            e.copy(c.total_bytes)
+                + rounds as f64 * (e.msg(c.total_bytes) + e.reduce_compute(c.total_bytes / 8, 1.0))
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "allreduce.rabenseifner",
+        op: CollectiveOp::Allreduce,
+        applicable: |_| true,
+        // Recursive-halving reduce-scatter + recursive-doubling allgather:
+        // each phase moves <1 vector total instead of log p vectors.
+        estimate: |e, c| {
+            let p = c.comm_size;
+            e.copy(c.total_bytes)
+                + e.halving_rounds(p, c.total_bytes)
+                + e.reduce_compute(c.total_bytes / 8, 1.0)
+                + e.doubling_rounds(p, c.total_bytes / p.max(1), c.total_bytes)
+        },
+    });
 }
 
 fn prev_power_of_two(n: usize) -> usize {
@@ -264,6 +339,9 @@ mod tests {
         };
         let t_rd = time(recursive_doubling::<f64, Sum>);
         let t_rab = time(rabenseifner::<f64, Sum>);
-        assert!(t_rab < t_rd, "rabenseifner ({t_rab}) must beat recursive doubling ({t_rd})");
+        assert!(
+            t_rab < t_rd,
+            "rabenseifner ({t_rab}) must beat recursive doubling ({t_rd})"
+        );
     }
 }

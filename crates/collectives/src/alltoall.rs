@@ -6,6 +6,8 @@
 
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{ceil_log2, AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
 
@@ -75,7 +77,14 @@ pub fn bruck<T: ShmElem>(
             pack.copy_from(slot * count, &tmp, j * count, count);
         }
         ctx.charge_copy(indices.len() * count * T::SIZE);
-        ctx.send_region(comm, dst, tags::ALLTOALL + 1, &pack, 0, indices.len() * count);
+        ctx.send_region(
+            comm,
+            dst,
+            tags::ALLTOALL + 1,
+            &pack,
+            0,
+            indices.len() * count,
+        );
         let payload = ctx.recv(comm, src, tags::ALLTOALL + 1);
         pack.write_payload(0, &payload);
         for (slot, &j) in indices.iter().enumerate() {
@@ -95,7 +104,8 @@ pub fn bruck<T: ShmElem>(
 
 /// MPICH-style selection: Bruck for short messages (few large rounds at
 /// the cost of pack/unpack), pairwise exchange otherwise. Charges the
-/// per-call collective entry fee.
+/// per-call collective entry fee. (MPICH's Bruck cutoff — 256 bytes per
+/// block — is size-structural, so `tuning` carries no alltoall knob.)
 pub fn tuned<T: ShmElem>(
     ctx: &mut Ctx,
     comm: &Communicator,
@@ -106,13 +116,80 @@ pub fn tuned<T: ShmElem>(
 ) {
     let fee = ctx.cost().coll_entry_us;
     ctx.charge_time(fee);
-    // MPICH uses Bruck below ~256 bytes per block.
-    let _ = tuning;
-    if count * T::SIZE <= 256 {
-        bruck(ctx, comm, send, recv, count);
-    } else {
-        pairwise(ctx, comm, send, recv, count);
+    let case = case_for::<T>(ctx, comm, count);
+    dispatch(ctx, comm, send, recv, count, legacy_choice(tuning, &case));
+}
+
+/// The [`CommCase`] one alltoall call presents to a selection policy
+/// (`total_bytes` = one rank-to-rank block).
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, count: usize) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Alltoall,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        count * T::SIZE,
+    )
+}
+
+/// Run the named registered algorithm.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    count: usize,
+    algo: &str,
+) {
+    match algo {
+        "alltoall.bruck" => bruck(ctx, comm, send, recv, count),
+        "alltoall.pairwise" => pairwise(ctx, comm, send, recv, count),
+        other => panic!("alltoall: unknown algorithm {other:?}"),
     }
+}
+
+/// Policy-driven entry point. Charges the per-call entry fee.
+pub fn with_policy<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    recv: &mut Buf<T>,
+    count: usize,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    let case = case_for::<T>(ctx, comm, count);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, send, recv, count, algo);
+}
+
+/// Register this module's algorithms. `total_bytes` is one block.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "alltoall.bruck",
+        op: CollectiveOp::Alltoall,
+        applicable: |_| true,
+        // ⌈log₂ p⌉ rounds of p/2 blocks each, plus two full rotations and
+        // per-round pack/unpack of the shipped half.
+        estimate: |e, c| {
+            let p = c.comm_size;
+            let total = p * c.total_bytes;
+            let half = total / 2;
+            e.copy(total) + ceil_log2(p) as f64 * (e.msg(half) + 2.0 * e.copy(half)) + e.copy(total)
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "alltoall.pairwise",
+        op: CollectiveOp::Alltoall,
+        applicable: |_| true,
+        // p−1 single-block exchanges plus the own-block copy.
+        estimate: |e, c| {
+            e.copy(c.total_bytes) + e.uniform_rounds(c.comm_size.saturating_sub(1), c.total_bytes)
+        },
+    });
 }
 
 #[cfg(test)]
@@ -121,7 +198,12 @@ mod tests {
     use crate::testutil::run;
 
     /// send block of rank s destined to rank d carries value s*100 + d.
-    fn check(nodes: usize, ppn: usize, count: usize, algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>, usize)) {
+    fn check(
+        nodes: usize,
+        ppn: usize,
+        count: usize,
+        algo: fn(&mut Ctx, &Communicator, &Buf<f64>, &mut Buf<f64>, usize),
+    ) {
         let p = nodes * ppn;
         let r = run(nodes, ppn, move |ctx| {
             let world = ctx.world();

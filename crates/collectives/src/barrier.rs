@@ -7,6 +7,9 @@
 
 use msim::{Communicator, Ctx, Payload};
 
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
+use crate::selection::Tuning;
 use crate::tags;
 
 /// Dissemination barrier: in round `k`, rank `r` signals `r + 2^k` and
@@ -60,16 +63,60 @@ pub fn shm_dissemination(ctx: &mut Ctx, comm: &Communicator) {
 pub fn tuned(ctx: &mut Ctx, comm: &Communicator) {
     let fee = ctx.cost().barrier_entry_us;
     ctx.charge_time(fee);
-    let my_node = ctx.map().node_of(ctx.rank());
-    let single_node = comm
-        .members()
-        .iter()
-        .all(|&g| ctx.map().node_of(g) == my_node);
-    if single_node {
-        shm_dissemination(ctx, comm);
-    } else {
-        dissemination(ctx, comm);
+    let case = case_for(ctx, comm);
+    // The barrier split is node-structural, not threshold-driven, so any
+    // Tuning yields the same legacy choice.
+    dispatch(ctx, comm, legacy_choice(&Tuning::cray_mpich(), &case));
+}
+
+/// The [`CommCase`] one barrier call presents to a selection policy.
+pub fn case_for(ctx: &Ctx, comm: &Communicator) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Barrier,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        0,
+    )
+}
+
+/// Run the named registered algorithm.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch(ctx: &mut Ctx, comm: &Communicator, algo: &str) {
+    match algo {
+        "barrier.dissemination" => dissemination(ctx, comm),
+        "barrier.shm_dissemination" => shm_dissemination(ctx, comm),
+        other => panic!("barrier: unknown algorithm {other:?}"),
     }
+}
+
+/// Policy-driven entry point. Charges the per-call barrier entry fee.
+pub fn with_policy(ctx: &mut Ctx, comm: &Communicator, policy: &SelectionPolicy) {
+    let fee = ctx.cost().barrier_entry_us;
+    ctx.charge_time(fee);
+    let case = case_for(ctx, comm);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, algo);
+}
+
+/// Register this module's algorithms.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "barrier.dissemination",
+        op: CollectiveOp::Barrier,
+        applicable: |_| true,
+        estimate: |e, c| e.barrier(c.comm_size),
+    });
+    reg.register(AlgorithmSpec {
+        name: "barrier.shm_dissemination",
+        op: CollectiveOp::Barrier,
+        // Flag rounds only exist inside one node.
+        applicable: |c| c.num_nodes <= 1,
+        estimate: |e, c| {
+            simnet::Estimator::new(e.cost(), simnet::LinkClass::SharedMem).barrier(c.comm_size)
+        },
+    });
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{ceil_log2, AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
 use crate::util::{displs_of, segment_counts};
@@ -193,12 +195,93 @@ pub fn tuned_uncharged<T: ShmElem>(
     root: usize,
     tuning: &Tuning,
 ) {
-    let bytes = buf.byte_len();
-    if bytes < tuning.bcast_long_threshold || comm.size() < tuning.bcast_min_ranks_for_long {
-        binomial(ctx, comm, buf, root);
-    } else {
-        scatter_allgather(ctx, comm, buf, root);
+    let case = case_for(ctx, comm, buf);
+    dispatch(ctx, comm, buf, root, legacy_choice(tuning, &case));
+}
+
+/// The [`CommCase`] one bcast call presents to a selection policy
+/// (`total_bytes` = the broadcast message).
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, buf: &Buf<T>) -> CommCase {
+    CommCase::new(
+        CollectiveOp::Bcast,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        buf.byte_len(),
+    )
+}
+
+/// Run the named registered algorithm.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+    algo: &str,
+) {
+    match algo {
+        "bcast.binomial" => binomial(ctx, comm, buf, root),
+        "bcast.scatter_allgather" => scatter_allgather(ctx, comm, buf, root),
+        "bcast.pipelined_chain" => {
+            // Default segment size when chosen by name: 8 KiB of elements.
+            let seg = (8 * 1024 / T::SIZE).max(1);
+            pipelined_chain(ctx, comm, buf, root, seg);
+        }
+        other => panic!("bcast: unknown algorithm {other:?}"),
     }
+}
+
+/// Policy-driven entry point. Charges the per-call entry fee.
+pub fn with_policy<T: ShmElem>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    buf: &mut Buf<T>,
+    root: usize,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    let case = case_for(ctx, comm, buf);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, buf, root, algo);
+}
+
+/// Register this module's algorithms.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "bcast.binomial",
+        op: CollectiveOp::Bcast,
+        applicable: |_| true,
+        // ⌈log₂ p⌉ rounds, each forwarding the full message.
+        estimate: |e, c| e.uniform_rounds(ceil_log2(c.comm_size), c.total_bytes),
+    });
+    reg.register(AlgorithmSpec {
+        name: "bcast.scatter_allgather",
+        op: CollectiveOp::Bcast,
+        applicable: |c| c.comm_size > 1,
+        // Binomial scatter of halving segments + ring allgather of the
+        // p segments (van de Geijn).
+        estimate: |e, c| {
+            let p = c.comm_size;
+            e.halving_rounds(p, c.total_bytes)
+                + e.uniform_rounds(p.saturating_sub(1), c.total_bytes / p.max(1))
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "bcast.pipelined_chain",
+        op: CollectiveOp::Bcast,
+        // Never auto-selected: the chain's win depends on a segment-size
+        // parameter the case descriptor doesn't carry. Explicit dispatch
+        // (or a tuning-table row) can still name it.
+        applicable: |_| false,
+        estimate: |e, c| {
+            let seg = 8 * 1024;
+            let segs = c.total_bytes.div_ceil(seg).max(1);
+            e.uniform_rounds(segs + c.comm_size.saturating_sub(2), seg.min(c.total_bytes))
+        },
+    });
 }
 
 #[cfg(test)]

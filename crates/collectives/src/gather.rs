@@ -7,7 +7,7 @@
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
 use crate::tags;
-use crate::util::displs_of;
+use crate::util::VectorLayout;
 
 /// Binomial-tree gather of `count` elements per rank to `root`. On the
 /// root, `recv` receives p·count elements in rank order; on other ranks
@@ -96,10 +96,14 @@ pub fn linear_v<T: ShmElem>(
     let me = comm.rank();
     assert!(root < p, "gather root {root} out of range");
     assert_eq!(counts.len(), p, "one count per rank required");
-    assert_eq!(send.len(), counts[me], "send length must equal counts[rank]");
-    let displs = displs_of(counts);
+    assert_eq!(
+        send.len(),
+        counts[me],
+        "send length must equal counts[rank]"
+    );
+    let VectorLayout { displs, total, .. } = VectorLayout::new(counts.to_vec());
     if me == root {
-        assert_eq!(recv.len(), counts.iter().sum::<usize>(), "root recv must hold the total");
+        assert_eq!(recv.len(), total, "root recv must hold the total");
         recv.copy_from(displs[me], send, 0, counts[me]);
         ctx.charge_copy(counts[me] * T::SIZE);
         #[allow(clippy::needless_range_loop)] // src doubles as the message source
@@ -132,7 +136,11 @@ mod tests {
             binomial(ctx, &world, &send, &mut recv, root);
             recv.as_slice().unwrap().to_vec()
         });
-        assert_eq!(r.per_rank[root], expected_allgather(p, count), "root content");
+        assert_eq!(
+            r.per_rank[root],
+            expected_allgather(p, count),
+            "root content"
+        );
         for (rank, got) in r.per_rank.iter().enumerate() {
             if rank != root {
                 assert!(got.is_empty(), "non-root {rank} must not receive data");
@@ -189,6 +197,9 @@ mod tests {
             .makespan()
         };
         let (t4, t16) = (time(4), time(16));
-        assert!(t16 < t4 * 3.5, "binomial gather should scale ~log p: t4={t4} t16={t16}");
+        assert!(
+            t16 < t4 * 3.5,
+            "binomial gather should scale ~log p: t4={t4} t16={t16}"
+        );
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         let r = Universe::run(cfg, |ctx| {
             let world = ctx.world();
             let h = Hierarchy::build(ctx, &world);
-            (h.is_rank_contiguous(), h.node_sorted.clone(), h.sorted_pos.clone())
+            (
+                h.is_rank_contiguous(),
+                h.node_sorted.clone(),
+                h.sorted_pos.clone(),
+            )
         })
         .unwrap();
         // node0 = {0,2}, node1 = {1,3} -> node_sorted = [0,2,1,3]
@@ -161,7 +165,12 @@ mod tests {
             let sub = world.split(ctx, color, 0).unwrap();
             if ctx.rank() <= 2 {
                 let h = Hierarchy::build(ctx, &sub);
-                Some((h.num_groups(), h.group_size(0), h.group_size(1), h.is_leader()))
+                Some((
+                    h.num_groups(),
+                    h.group_size(0),
+                    h.group_size(1),
+                    h.is_leader(),
+                ))
             } else {
                 None
             }
@@ -174,11 +183,16 @@ mod tests {
 
     #[test]
     fn group_block_offsets_are_prefix_sums() {
-        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 2, 4]), CostModel::uniform_test());
+        let cfg = SimConfig::new(
+            ClusterSpec::irregular(vec![3, 2, 4]),
+            CostModel::uniform_test(),
+        );
         let r = Universe::run(cfg, |ctx| {
             let world = ctx.world();
             let h = Hierarchy::build(ctx, &world);
-            (0..h.num_groups()).map(|g| h.group_block_offset(g)).collect::<Vec<_>>()
+            (0..h.num_groups())
+                .map(|g| h.group_block_offset(g))
+                .collect::<Vec<_>>()
         })
         .unwrap();
         assert_eq!(r.per_rank[0], vec![0, 3, 5]);

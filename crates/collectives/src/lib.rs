@@ -12,8 +12,12 @@
 //! * irregular (`v`) variants, deliberately implemented with the weaker
 //!   schedules real libraries use — the effect the paper's reference [29]
 //!   describes and that drives Fig. 8;
-//! * runtime algorithm selection modeled after MPICH and OpenMPI
-//!   ([`MpiFlavor`], [`Tuning`]);
+//! * runtime algorithm selection through a trait-based registry
+//!   ([`AlgorithmRegistry`]) of named schedules and pluggable
+//!   [`SelectionPolicy`] kinds: the legacy MPICH/OpenMPI thresholds
+//!   ([`MpiFlavor`], [`Tuning`]), persisted per-cluster tuning tables
+//!   ([`TuningTable`]), and cost-model-driven autotuning, every decision
+//!   recorded in a queryable [`DecisionLog`];
 //! * SMP-aware hierarchical baselines (gather at a node leader → exchange
 //!   over the bridge communicator → intra-node broadcast), the "naive pure
 //!   MPI" approach of the paper's Fig. 3a, including a multi-leader
@@ -34,9 +38,12 @@ pub mod barrier;
 pub mod bcast;
 pub mod gather;
 pub mod hierarchy;
+pub mod json;
 pub mod op;
+pub mod policy;
 pub mod reduce;
 pub mod reduce_scatter;
+pub mod registry;
 pub mod scan;
 pub mod scatter;
 pub mod selection;
@@ -46,6 +53,11 @@ pub mod util;
 
 pub use hierarchy::Hierarchy;
 pub use op::ReduceOp;
+pub use policy::{
+    flavor_from_key, flavor_key, legacy_choice, Decision, DecisionLog, PolicyKind, SelectionPolicy,
+    TableEntry, TuningTable,
+};
+pub use registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveAlgorithm, CollectiveOp, CommCase};
 pub use selection::{MpiFlavor, Tuning};
 
 /// Test harness + analytic oracles, public so integration tests and

@@ -10,6 +10,8 @@
 use msim::{Buf, Communicator, Ctx, ShmElem};
 
 use crate::op::ReduceOp;
+use crate::policy::{legacy_choice, SelectionPolicy};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveOp, CommCase};
 use crate::selection::Tuning;
 use crate::tags;
 use crate::util::displs_of;
@@ -21,7 +23,11 @@ fn check_args<T: ShmElem>(comm: &Communicator, send: &Buf<T>, counts: &[usize], 
         counts.iter().sum::<usize>(),
         "send must hold the full vector"
     );
-    assert_eq!(recv.len(), counts[comm.rank()], "recv must hold this rank's segment");
+    assert_eq!(
+        recv.len(),
+        counts[comm.rank()],
+        "recv must hold this rank's segment"
+    );
 }
 
 /// Recursive halving (power-of-two sizes only): each round exchanges and
@@ -38,7 +44,10 @@ pub fn recursive_halving<T: ShmElem, O: ReduceOp<T>>(
     op: O,
 ) {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "recursive halving requires a power-of-two communicator");
+    assert!(
+        p.is_power_of_two(),
+        "recursive halving requires a power-of-two communicator"
+    );
     check_args(comm, send, counts, recv);
     let me = comm.rank();
     let displs = displs_of(counts);
@@ -60,7 +69,11 @@ pub fn recursive_halving<T: ShmElem, O: ReduceOp<T>>(
             ((mid, hi), (lo, mid))
         };
         let give_off = displs[give.0];
-        let give_len = if give.1 == 0 { 0 } else { displs[give.1 - 1] + counts[give.1 - 1] - give_off };
+        let give_len = if give.1 == 0 {
+            0
+        } else {
+            displs[give.1 - 1] + counts[give.1 - 1] - give_off
+        };
         let keep_off = displs[keep.0];
         ctx.send_region(comm, partner, tags::REDUCE + 16, &acc, give_off, give_len);
         let payload = ctx.recv(comm, partner, tags::REDUCE + 16);
@@ -107,7 +120,8 @@ pub fn pairwise<T: ShmElem, O: ReduceOp<T>>(
 }
 
 /// Selection: recursive halving on powers of two, pairwise otherwise.
-/// Charges the per-call collective entry fee.
+/// Charges the per-call collective entry fee. (The split is structural —
+/// `tuning` carries no reduce-scatter knob.)
 pub fn tuned<T: ShmElem, O: ReduceOp<T>>(
     ctx: &mut Ctx,
     comm: &Communicator,
@@ -119,18 +133,104 @@ pub fn tuned<T: ShmElem, O: ReduceOp<T>>(
 ) {
     let fee = ctx.cost().coll_entry_us;
     ctx.charge_time(fee);
-    let _ = tuning;
-    if comm.size() == 1 {
-        check_args(comm, send, counts, recv);
-        recv.copy_from(0, send, 0, counts[0]);
-        ctx.charge_copy(counts[0] * T::SIZE);
-        return;
+    let case = case_for::<T>(ctx, comm, counts);
+    dispatch(
+        ctx,
+        comm,
+        send,
+        counts,
+        recv,
+        op,
+        legacy_choice(tuning, &case),
+    );
+}
+
+/// The [`CommCase`] one reduce-scatter call presents to a selection
+/// policy (`total_bytes` = the full input vector).
+pub fn case_for<T: ShmElem>(ctx: &Ctx, comm: &Communicator, counts: &[usize]) -> CommCase {
+    CommCase::new(
+        CollectiveOp::ReduceScatter,
+        comm.size(),
+        CommCase::count_nodes(ctx.map(), comm.members()),
+        counts.iter().sum::<usize>() * T::SIZE,
+    )
+}
+
+/// Run the named registered algorithm.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn dispatch<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    op: O,
+    algo: &str,
+) {
+    match algo {
+        "reduce_scatter.local" => {
+            check_args(comm, send, counts, recv);
+            recv.copy_from(0, send, 0, counts[0]);
+            ctx.charge_copy(counts[0] * T::SIZE);
+        }
+        "reduce_scatter.recursive_halving" => recursive_halving(ctx, comm, send, counts, recv, op),
+        "reduce_scatter.pairwise" => pairwise(ctx, comm, send, counts, recv, op),
+        other => panic!("reduce_scatter: unknown algorithm {other:?}"),
     }
-    if comm.size().is_power_of_two() {
-        recursive_halving(ctx, comm, send, counts, recv, op);
-    } else {
-        pairwise(ctx, comm, send, counts, recv, op);
-    }
+}
+
+/// Policy-driven entry point. Charges the per-call entry fee.
+pub fn with_policy<T: ShmElem, O: ReduceOp<T>>(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    send: &Buf<T>,
+    counts: &[usize],
+    recv: &mut Buf<T>,
+    op: O,
+    policy: &SelectionPolicy,
+) {
+    let fee = ctx.cost().coll_entry_us;
+    ctx.charge_time(fee);
+    let case = case_for::<T>(ctx, comm, counts);
+    let algo = policy.choose(ctx, &case);
+    dispatch(ctx, comm, send, counts, recv, op, algo);
+}
+
+/// Register this module's algorithms. `total_bytes` is the full vector.
+pub fn register(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "reduce_scatter.local",
+        op: CollectiveOp::ReduceScatter,
+        applicable: |c| c.comm_size <= 1,
+        estimate: |e, c| e.copy(c.total_bytes),
+    });
+    reg.register(AlgorithmSpec {
+        name: "reduce_scatter.recursive_halving",
+        op: CollectiveOp::ReduceScatter,
+        applicable: |c| c.comm_size.is_power_of_two(),
+        // Full-vector staging copy, log₂ p halving exchanges + combines,
+        // own-segment copy out.
+        estimate: |e, c| {
+            e.copy(c.total_bytes)
+                + e.halving_rounds(c.comm_size, c.total_bytes)
+                + e.reduce_compute(c.total_bytes / 8, 1.0)
+                + e.copy(c.block_bytes())
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "reduce_scatter.pairwise",
+        op: CollectiveOp::ReduceScatter,
+        applicable: |_| true,
+        // p−1 single-segment exchanges, each combined on arrival.
+        estimate: |e, c| {
+            let rounds = c.comm_size.saturating_sub(1);
+            e.copy(c.block_bytes())
+                + e.uniform_rounds(rounds, c.block_bytes())
+                + rounds as f64 * e.reduce_compute(c.block_bytes() / 8, 1.0)
+        },
+    });
 }
 
 #[cfg(test)]
@@ -169,14 +269,24 @@ mod tests {
     #[test]
     fn recursive_halving_uniform() {
         for (nodes, ppn) in [(1, 2), (1, 4), (2, 4), (4, 4)] {
-            check(nodes, ppn, vec![3; nodes * ppn], recursive_halving::<f64, Sum>);
+            check(
+                nodes,
+                ppn,
+                vec![3; nodes * ppn],
+                recursive_halving::<f64, Sum>,
+            );
         }
     }
 
     #[test]
     fn recursive_halving_irregular_counts() {
         check(2, 2, vec![1, 4, 0, 2], recursive_halving::<f64, Sum>);
-        check(1, 8, vec![2, 0, 1, 3, 2, 2, 0, 1], recursive_halving::<f64, Sum>);
+        check(
+            1,
+            8,
+            vec![2, 0, 1, 3, 2, 2, 0, 1],
+            recursive_halving::<f64, Sum>,
+        );
     }
 
     #[test]
@@ -188,7 +298,8 @@ mod tests {
 
     #[test]
     fn tuned_both_paths() {
-        let t: Algo = |ctx, c, s, n, r, op| tuned(ctx, c, s, n, r, op, &crate::Tuning::cray_mpich());
+        let t: Algo =
+            |ctx, c, s, n, r, op| tuned(ctx, c, s, n, r, op, &crate::Tuning::cray_mpich());
         check(2, 2, vec![2; 4], t);
         check(1, 5, vec![1, 2, 0, 3, 1], t);
         check(1, 1, vec![4], t);

@@ -1,0 +1,508 @@
+//! The collective-algorithm registry: every named schedule in one
+//! catalog, keyed by operation.
+//!
+//! Dispatch used to be scattered across hardcoded thresholds in
+//! `selection.rs` and per-function `match` arms in each collective
+//! module. The registry turns that into data: each algorithm is a
+//! [`CollectiveAlgorithm`] entry — a name (`"allgather.ring"`), the
+//! operation it implements, an applicability predicate over the
+//! [`CommCase`] at hand, and a closed-form cost estimate used by the
+//! autotuning policy to rank candidates (`simnet::Estimator`).
+//!
+//! The registry holds *selection metadata only*. Execution stays with
+//! each operation module's `dispatch` function (collective kernels are
+//! generic over the element type, which rules out trait-object
+//! dispatch), so adding an algorithm is: write the kernel, add a
+//! `dispatch` arm, and register one [`AlgorithmSpec`] here.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use simnet::Estimator;
+
+/// Which collective operation an algorithm implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollectiveOp {
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Allgatherv`.
+    Allgatherv,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// `MPI_Reduce_scatter`.
+    ReduceScatter,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// The hybrid collectives' on-node arrive/release synchronization
+    /// (paper §6) — selected per `HybridComm`, like any other algorithm.
+    Sync,
+}
+
+impl CollectiveOp {
+    /// The stable string key (used in decision logs, tuning tables and
+    /// algorithm name prefixes).
+    pub fn key(self) -> &'static str {
+        match self {
+            CollectiveOp::Allgather => "allgather",
+            CollectiveOp::Allgatherv => "allgatherv",
+            CollectiveOp::Bcast => "bcast",
+            CollectiveOp::Allreduce => "allreduce",
+            CollectiveOp::Alltoall => "alltoall",
+            CollectiveOp::ReduceScatter => "reduce_scatter",
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::Sync => "sync",
+        }
+    }
+
+    /// Parse a string key back to the operation.
+    pub fn from_key(key: &str) -> Option<Self> {
+        Some(match key {
+            "allgather" => CollectiveOp::Allgather,
+            "allgatherv" => CollectiveOp::Allgatherv,
+            "bcast" => CollectiveOp::Bcast,
+            "allreduce" => CollectiveOp::Allreduce,
+            "alltoall" => CollectiveOp::Alltoall,
+            "reduce_scatter" => CollectiveOp::ReduceScatter,
+            "barrier" => CollectiveOp::Barrier,
+            "sync" => CollectiveOp::Sync,
+            _ => return None,
+        })
+    }
+
+    /// All operations, in catalog order.
+    pub fn all() -> [CollectiveOp; 8] {
+        [
+            CollectiveOp::Allgather,
+            CollectiveOp::Allgatherv,
+            CollectiveOp::Bcast,
+            CollectiveOp::Allreduce,
+            CollectiveOp::Alltoall,
+            CollectiveOp::ReduceScatter,
+            CollectiveOp::Barrier,
+            CollectiveOp::Sync,
+        ]
+    }
+}
+
+/// The selection situation one collective call faces: the operation, the
+/// communicator's shape, and the op-specific size measure.
+///
+/// `total_bytes` means, per operation:
+/// * allgather / allgatherv — total result bytes (sum over all blocks);
+/// * bcast / allreduce / reduce_scatter — the message/vector bytes;
+/// * alltoall — bytes of one rank-to-rank block;
+/// * barrier / sync — 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommCase {
+    /// The operation being selected for.
+    pub op: CollectiveOp,
+    /// Number of ranks in the communicator.
+    pub comm_size: usize,
+    /// Number of distinct nodes the communicator's members live on.
+    pub num_nodes: usize,
+    /// Op-specific size measure in bytes (see type docs).
+    pub total_bytes: usize,
+    /// Whether a node-shared result window exists for this call — makes
+    /// the hybrid (`hy_*`) schedules applicable.
+    pub windowed: bool,
+}
+
+impl CommCase {
+    /// A case for `op` over a communicator of `comm_size` ranks spanning
+    /// `num_nodes` nodes, moving `total_bytes` (op-specific measure).
+    pub fn new(op: CollectiveOp, comm_size: usize, num_nodes: usize, total_bytes: usize) -> Self {
+        Self {
+            op,
+            comm_size,
+            num_nodes,
+            total_bytes,
+            windowed: false,
+        }
+    }
+
+    /// Builder: mark that a node-shared window backs this call.
+    pub fn windowed(mut self) -> Self {
+        self.windowed = true;
+        self
+    }
+
+    /// Whether the communicator spans more than one node.
+    pub fn spans_nodes(&self) -> bool {
+        self.num_nodes > 1
+    }
+
+    /// Bytes of one per-rank block (`total_bytes / comm_size`, for the
+    /// block-symmetric operations).
+    pub fn block_bytes(&self) -> usize {
+        self.total_bytes / self.comm_size.max(1)
+    }
+
+    /// The number of distinct nodes hosting `members` (global ranks),
+    /// looked up through the rank map.
+    pub fn count_nodes(map: &simnet::RankMap, members: &[usize]) -> usize {
+        let mut nodes: Vec<usize> = members.iter().map(|&g| map.node_of(g)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+/// One registered collective algorithm: selection metadata for a named
+/// schedule.
+pub trait CollectiveAlgorithm: Send + Sync {
+    /// Globally unique name, `"<op>.<algorithm>"`.
+    fn name(&self) -> &'static str;
+    /// The operation this algorithm implements.
+    fn op(&self) -> CollectiveOp;
+    /// Whether the schedule can run the given case at all (e.g.
+    /// recursive doubling needs a power-of-two communicator).
+    fn applicable(&self, case: &CommCase) -> bool;
+    /// Closed-form cost estimate (µs) for ranking candidates. Only the
+    /// *ordering* matters; see `simnet::estimate`.
+    fn estimate(&self, est: &Estimator, case: &CommCase) -> f64;
+}
+
+/// A plain-function algorithm entry — the one-line registration format.
+pub struct AlgorithmSpec {
+    /// Unique `"<op>.<algorithm>"` name.
+    pub name: &'static str,
+    /// Operation implemented.
+    pub op: CollectiveOp,
+    /// Applicability predicate.
+    pub applicable: fn(&CommCase) -> bool,
+    /// Closed-form cost estimate (µs).
+    pub estimate: fn(&Estimator, &CommCase) -> f64,
+}
+
+impl CollectiveAlgorithm for AlgorithmSpec {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn op(&self) -> CollectiveOp {
+        self.op
+    }
+    fn applicable(&self, case: &CommCase) -> bool {
+        (self.applicable)(case)
+    }
+    fn estimate(&self, est: &Estimator, case: &CommCase) -> f64 {
+        (self.estimate)(est, case)
+    }
+}
+
+/// The algorithm catalog: operation → named entries.
+#[derive(Default)]
+pub struct AlgorithmRegistry {
+    by_op: BTreeMap<CollectiveOp, Vec<Box<dyn CollectiveAlgorithm>>>,
+}
+
+impl AlgorithmRegistry {
+    /// An empty registry (extend with [`AlgorithmRegistry::register`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an algorithm. Panics on duplicate names — names are the
+    /// dispatch keys, so collisions are programming errors.
+    pub fn register(&mut self, algo: impl CollectiveAlgorithm + 'static) {
+        let name = algo.name();
+        assert!(
+            self.lookup(name).is_none(),
+            "duplicate algorithm registration: {name}"
+        );
+        self.by_op
+            .entry(algo.op())
+            .or_default()
+            .push(Box::new(algo));
+    }
+
+    /// All registered candidates for `op`, in registration order.
+    pub fn candidates(&self, op: CollectiveOp) -> &[Box<dyn CollectiveAlgorithm>] {
+        self.by_op.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The candidates applicable to `case`.
+    pub fn applicable(&self, case: &CommCase) -> Vec<&dyn CollectiveAlgorithm> {
+        self.candidates(case.op)
+            .iter()
+            .map(|b| b.as_ref())
+            .filter(|a| a.applicable(case))
+            .collect()
+    }
+
+    /// Find an entry by its unique name.
+    pub fn lookup(&self, name: &str) -> Option<&dyn CollectiveAlgorithm> {
+        self.by_op
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|b| b.as_ref())
+            .find(|a| a.name() == name)
+    }
+
+    /// Total number of registered algorithms.
+    pub fn len(&self) -> usize {
+        self.by_op.values().map(Vec::len).sum()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of every registered algorithm, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .by_op
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|b| b.name())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The cheapest applicable candidate for `case` under `est`, with its
+    /// estimate. Ties break toward the earlier registration, so results
+    /// are deterministic.
+    pub fn best(
+        &self,
+        est: &Estimator,
+        case: &CommCase,
+    ) -> Option<(&dyn CollectiveAlgorithm, f64)> {
+        let mut best: Option<(&dyn CollectiveAlgorithm, f64)> = None;
+        for cand in self.applicable(case) {
+            let cost = cand.estimate(est, case);
+            match &best {
+                Some((_, c)) if cost >= *c => {}
+                _ => best = Some((cand, cost)),
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Debug for AlgorithmRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmRegistry")
+            .field("algorithms", &self.names())
+            .finish()
+    }
+}
+
+/// The global registry with every built-in algorithm. Each collective
+/// module contributes its own entries through its `register` function.
+pub fn global() -> &'static AlgorithmRegistry {
+    static REGISTRY: OnceLock<AlgorithmRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut reg = AlgorithmRegistry::new();
+        crate::allgather::register(&mut reg);
+        crate::allgatherv::register(&mut reg);
+        crate::bcast::register(&mut reg);
+        crate::allreduce::register(&mut reg);
+        crate::alltoall::register(&mut reg);
+        crate::reduce_scatter::register(&mut reg);
+        crate::barrier::register(&mut reg);
+        register_hybrid(&mut reg);
+        reg
+    })
+}
+
+/// Entries for the hybrid (`hmpi`) layer: the shared-window allgather
+/// schedule and the on-node synchronization flavors. Only metadata lives
+/// here — the implementations are in the `hmpi` crate, which reuses these
+/// names for its decisions.
+fn register_hybrid(reg: &mut AlgorithmRegistry) {
+    reg.register(AlgorithmSpec {
+        name: "allgather.hy_shared_window",
+        op: CollectiveOp::Allgather,
+        applicable: |c| c.windowed,
+        // arrive + leader-only bridge ring over node aggregates + release.
+        estimate: |e, c| {
+            let nodes = c.num_nodes.max(1);
+            let node_block = c.total_bytes / nodes;
+            let sync = {
+                let shm = Estimator::for_span(e.cost(), false);
+                let ppn = c.comm_size.div_ceil(nodes);
+                2.0 * shm.barrier(ppn)
+            };
+            if nodes == 1 {
+                return sync / 2.0;
+            }
+            sync + e.uniform_rounds(nodes - 1, node_block)
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "sync.barrier",
+        op: CollectiveOp::Sync,
+        applicable: |_| true,
+        // arrive + release are each a full MPI_Barrier: entry fee plus a
+        // flag-dissemination round ladder.
+        estimate: |e, c| 2.0 * (e.cost().barrier_entry_us + e.barrier(c.comm_size)),
+    });
+    reg.register(AlgorithmSpec {
+        name: "sync.shared_flags",
+        op: CollectiveOp::Sync,
+        applicable: |_| true,
+        // Fan-in: children post one flag each, leader polls s−1 flags;
+        // fan-out: one multicast flag, each child polls once.
+        estimate: |e, c| {
+            let s = c.comm_size;
+            if s <= 1 {
+                return 0.0;
+            }
+            let m = e.cost();
+            let arrive = m.flag_post_us + m.flag_latency_us + (s - 1) as f64 * m.flag_poll_us;
+            let release = m.flag_post_us + m.flag_latency_us + m.flag_poll_us;
+            arrive + release
+        },
+    });
+    reg.register(AlgorithmSpec {
+        name: "sync.p2p",
+        op: CollectiveOp::Sync,
+        applicable: |_| true,
+        // Zero-byte message pairs through the MPI stack, serialized at
+        // the leader in both directions.
+        estimate: |e, c| {
+            let s = c.comm_size;
+            if s <= 1 {
+                return 0.0;
+            }
+            2.0 * (s - 1) as f64 * e.msg(0)
+        },
+    });
+}
+
+/// Number of ⌈log₂ p⌉ rounds (0 for p ≤ 1) — shared by the per-module
+/// estimate functions.
+pub fn ceil_log2(p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        p.next_power_of_two().trailing_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{CostModel, LinkClass};
+
+    #[test]
+    fn global_registry_has_every_builtin() {
+        let reg = global();
+        for name in [
+            "allgather.recursive_doubling",
+            "allgather.bruck",
+            "allgather.ring",
+            "allgather.local",
+            "allgather.hy_shared_window",
+            "allgatherv.bruck",
+            "allgatherv.ring",
+            "allgatherv.local",
+            "bcast.binomial",
+            "bcast.scatter_allgather",
+            "allreduce.recursive_doubling",
+            "allreduce.rabenseifner",
+            "alltoall.bruck",
+            "alltoall.pairwise",
+            "reduce_scatter.recursive_halving",
+            "reduce_scatter.pairwise",
+            "reduce_scatter.local",
+            "barrier.dissemination",
+            "barrier.shm_dissemination",
+            "sync.barrier",
+            "sync.shared_flags",
+            "sync.p2p",
+        ] {
+            assert!(reg.lookup(name).is_some(), "missing registration: {name}");
+        }
+    }
+
+    #[test]
+    fn op_keys_round_trip() {
+        for op in CollectiveOp::all() {
+            assert_eq!(CollectiveOp::from_key(op.key()), Some(op));
+        }
+        assert_eq!(CollectiveOp::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn applicability_respects_power_of_two() {
+        let reg = global();
+        let rd = reg.lookup("allgather.recursive_doubling").unwrap();
+        let pow2 = CommCase::new(CollectiveOp::Allgather, 8, 2, 1024);
+        let odd = CommCase::new(CollectiveOp::Allgather, 6, 2, 1024);
+        assert!(rd.applicable(&pow2));
+        assert!(!rd.applicable(&odd));
+    }
+
+    #[test]
+    fn windowed_gates_hybrid_schedule() {
+        let reg = global();
+        let hy = reg.lookup("allgather.hy_shared_window").unwrap();
+        let case = CommCase::new(CollectiveOp::Allgather, 8, 2, 1024);
+        assert!(!hy.applicable(&case));
+        assert!(hy.applicable(&case.windowed()));
+    }
+
+    #[test]
+    fn best_is_deterministic_and_applicable() {
+        let m = CostModel::cray_aries();
+        let est = Estimator::new(&m, LinkClass::Network);
+        let case = CommCase::new(CollectiveOp::Allgather, 6, 6, 48 * 1024);
+        let (a, cost) = global().best(&est, &case).unwrap();
+        assert!(a.applicable(&case));
+        assert!(cost.is_finite() && cost > 0.0);
+        let (b, _) = global().best(&est, &case).unwrap();
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn shared_flags_estimate_undercuts_barrier() {
+        // The autotuner's strict-win lever: for any on-node group size,
+        // flag sync must rank cheaper than two full barriers (proven
+        // against the simulator in hmpi's flags_are_cheaper_than_barrier).
+        for model in [CostModel::cray_aries(), CostModel::nec_infiniband()] {
+            let est = Estimator::new(&model, LinkClass::SharedMem);
+            for s in [2usize, 3, 6, 12, 16, 24] {
+                let case = CommCase::new(CollectiveOp::Sync, s, 1, 0);
+                let flags = global()
+                    .lookup("sync.shared_flags")
+                    .unwrap()
+                    .estimate(&est, &case);
+                let barrier = global()
+                    .lookup("sync.barrier")
+                    .unwrap()
+                    .estimate(&est, &case);
+                assert!(flags < barrier, "s={s}: flags {flags} vs barrier {barrier}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_panics() {
+        let mut reg = AlgorithmRegistry::new();
+        let spec = || AlgorithmSpec {
+            name: "allgather.test_dup",
+            op: CollectiveOp::Allgather,
+            applicable: |_| true,
+            estimate: |_, _| 1.0,
+        };
+        reg.register(spec());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.register(spec());
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(24), 5);
+    }
+}

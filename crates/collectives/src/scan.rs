@@ -122,7 +122,10 @@ mod tests {
             exclusive(ctx, &world, &send, &mut recv, Sum);
             recv.get(0)
         });
-        assert_eq!(r.per_rank[0], 0.0, "rank 0 output untouched (zero-initialized)");
+        assert_eq!(
+            r.per_rank[0], 0.0,
+            "rank 0 output untouched (zero-initialized)"
+        );
         for rank in 1..6 {
             let pref: f64 = (0..rank).map(|x| (x + 1) as f64).sum();
             assert_eq!(r.per_rank[rank], pref, "rank {rank}");
@@ -140,10 +143,7 @@ mod tests {
             inclusive(ctx, &world, &send, &mut recv, Max);
             recv.get(0)
         });
-        assert_eq!(
-            r.per_rank,
-            vec![3.0, 3.0, 4.0, 4.0, 5.0, 5.0]
-        );
+        assert_eq!(r.per_rank, vec![3.0, 3.0, 4.0, 4.0, 5.0, 5.0]);
     }
 
     #[test]
@@ -159,6 +159,9 @@ mod tests {
             .makespan()
         };
         let (t4, t16) = (time(4), time(16));
-        assert!(t16 < t4 * 3.0, "doubling scan should scale ~log p: {t4} -> {t16}");
+        assert!(
+            t16 < t4 * 3.0,
+            "doubling scan should scale ~log p: {t4} -> {t16}"
+        );
     }
 }

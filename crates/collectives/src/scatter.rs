@@ -79,7 +79,14 @@ pub fn binomial<T: ShmElem>(
         if child_rr < p {
             let child_blocks = m.min(p - child_rr);
             let child = (child_rr + root) % p;
-            ctx.send_region(comm, child, tags::SCATTER, &tmp, m * count, child_blocks * count);
+            ctx.send_region(
+                comm,
+                child,
+                tags::SCATTER,
+                &tmp,
+                m * count,
+                child_blocks * count,
+            );
         }
         if m == 1 {
             break;
@@ -105,10 +112,18 @@ pub fn linear_v<T: ShmElem>(
     let me = comm.rank();
     assert!(root < p, "scatter root {root} out of range");
     assert_eq!(counts.len(), p, "one count per rank required");
-    assert_eq!(recv.len(), counts[me], "recv length must equal counts[rank]");
+    assert_eq!(
+        recv.len(),
+        counts[me],
+        "recv length must equal counts[rank]"
+    );
     let displs = displs_of(counts);
     if me == root {
-        assert_eq!(send.len(), counts.iter().sum::<usize>(), "root send must hold the total");
+        assert_eq!(
+            send.len(),
+            counts.iter().sum::<usize>(),
+            "root send must hold the total"
+        );
         for dst in 0..p {
             if dst != root {
                 ctx.send_region(comm, dst, tags::SCATTER + 1, send, displs[dst], counts[dst]);

@@ -6,7 +6,6 @@
 //! thresholds are one reason the paper's OpenMPI and Cray MPI curves
 //! differ. [`Tuning`] captures those thresholds.
 
-
 /// Which MPI library's selection behavior to imitate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MpiFlavor {
@@ -88,7 +87,10 @@ mod tests {
     #[test]
     fn flavors_have_distinct_tunings() {
         assert_ne!(Tuning::cray_mpich(), Tuning::open_mpi());
-        assert_eq!(Tuning::for_flavor(MpiFlavor::OpenMpi).flavor, MpiFlavor::OpenMpi);
+        assert_eq!(
+            Tuning::for_flavor(MpiFlavor::OpenMpi).flavor,
+            MpiFlavor::OpenMpi
+        );
         assert_eq!(
             Tuning::for_flavor(MpiFlavor::CrayMpich).flavor,
             MpiFlavor::CrayMpich

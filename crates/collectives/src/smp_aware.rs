@@ -132,7 +132,14 @@ impl SmpAware {
         // Hop 1: root hands the message to its node leader (intra-node).
         if root != root_leader {
             if me == root {
-                ctx.send_region(&self.comm, root_leader, crate::tags::BCAST + 16, buf, 0, len);
+                ctx.send_region(
+                    &self.comm,
+                    root_leader,
+                    crate::tags::BCAST + 16,
+                    buf,
+                    0,
+                    len,
+                );
             } else if me == root_leader {
                 let payload = ctx.recv(&self.comm, root, crate::tags::BCAST + 16);
                 buf.write_payload(0, &payload);
@@ -254,7 +261,12 @@ fn sub_group_counts(ctx: &mut Ctx, mb: &Communicator, my_count: usize) -> Vec<us
     let mut recv = ctx.buf_zeroed::<u64>(mb.size());
     allgather::ring(ctx, mb, &send, &mut recv);
     match ctx.mode() {
-        msim::DataMode::Real => recv.as_slice().unwrap().iter().map(|&c| c as usize).collect(),
+        msim::DataMode::Real => recv
+            .as_slice()
+            .unwrap()
+            .iter()
+            .map(|&c| c as usize)
+            .collect(),
         // Phantom runs cannot read data back; recompute deterministically
         // is impossible here, so phantom callers must have equal counts.
         msim::DataMode::Phantom => vec![my_count; mb.size()],

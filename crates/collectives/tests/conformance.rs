@@ -57,7 +57,10 @@ fn run_under(spec: ClusterSpec, fault: FaultPlan, traced: bool, prog: Prog) -> S
 }
 
 fn check_family(name: &str, prog: Prog, oracle: Oracle) {
-    for spec in [ClusterSpec::regular(4, 6), ClusterSpec::irregular(vec![1, 3, 4])] {
+    for spec in [
+        ClusterSpec::regular(4, 6),
+        ClusterSpec::irregular(vec![1, 3, 4]),
+    ] {
         let p = spec.total_cores();
         let base = run_under(spec.clone(), FaultPlan::none(), false, prog);
         for rank in 0..p {
@@ -87,9 +90,16 @@ fn check_family(name: &str, prog: Prog, oracle: Oracle) {
     let p = spec.total_cores();
     let a = run_under(spec.clone(), FaultPlan::from_seed(SEEDS[0], p), true, prog);
     let b = run_under(spec, FaultPlan::from_seed(SEEDS[0], p), true, prog);
-    assert_eq!(a.per_rank, b.per_rank, "{name}: same seed, different results");
+    assert_eq!(
+        a.per_rank, b.per_rank,
+        "{name}: same seed, different results"
+    );
     assert_eq!(a.clocks, b.clocks, "{name}: same seed, different clocks");
-    assert_eq!(a.tracer.events(), b.tracer.events(), "{name}: same seed, different trace");
+    assert_eq!(
+        a.tracer.events(),
+        b.tracer.events(),
+        "{name}: same seed, different trace"
+    );
 }
 
 fn kill_cfg() -> SimConfig {
@@ -127,7 +137,9 @@ fn expect_kill_loose(prog: Prog) {
 fn expect_delay_determinism(name: &str, prog: Prog, oracle: Oracle) {
     let spec = ClusterSpec::regular(2, 3);
     let p = spec.total_cores();
-    let perturb = Perturbation::none().with_delayed_rank(2, 9.0).with_message_jitter(1.5);
+    let perturb = Perturbation::none()
+        .with_delayed_rank(2, 9.0)
+        .with_message_jitter(1.5);
     let nominal = run_under(spec.clone(), FaultPlan::none(), false, prog);
     let run = || {
         run_under(
@@ -139,10 +151,17 @@ fn expect_delay_determinism(name: &str, prog: Prog, oracle: Oracle) {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.clocks, b.clocks, "{name}: same perturbation, different clocks");
+    assert_eq!(
+        a.clocks, b.clocks,
+        "{name}: same perturbation, different clocks"
+    );
     assert_eq!(a.per_rank, nominal.per_rank, "{name}: delays changed data");
     for rank in 0..p {
-        assert_close(&a.per_rank[rank], &oracle(rank, p), &format!("{name}: delayed, rank {rank}"));
+        assert_close(
+            &a.per_rank[rank],
+            &oracle(rank, p),
+            &format!("{name}: delayed, rank {rank}"),
+        );
     }
     assert!(
         a.clocks.iter().zip(&nominal.clocks).all(|(d, n)| d >= n),
@@ -225,7 +244,13 @@ fn reduce_scatter_prog(ctx: &mut Ctx) -> Vec<f64> {
     let send = ctx.buf_from_fn(total, |i| datum(ctx.rank(), i));
     let mut recv = ctx.buf_zeroed(counts[ctx.rank()]);
     collectives::reduce_scatter::tuned(
-        ctx, &world, &send, &counts, &mut recv, Sum, &Tuning::cray_mpich(),
+        ctx,
+        &world,
+        &send,
+        &counts,
+        &mut recv,
+        Sum,
+        &Tuning::cray_mpich(),
     );
     recv.as_slice().unwrap().to_vec()
 }
@@ -390,18 +415,63 @@ macro_rules! family {
     };
 }
 
-family!(allgather, allgather_prog, allgather_oracle, kill = expect_kill);
-family!(allgatherv, allgatherv_prog, allgatherv_oracle, kill = expect_kill);
+family!(
+    allgather,
+    allgather_prog,
+    allgather_oracle,
+    kill = expect_kill
+);
+family!(
+    allgatherv,
+    allgatherv_prog,
+    allgatherv_oracle,
+    kill = expect_kill
+);
 family!(bcast, bcast_prog, bcast_oracle, kill = expect_kill);
-family!(allreduce, allreduce_prog, allreduce_oracle, kill = expect_kill);
+family!(
+    allreduce,
+    allreduce_prog,
+    allreduce_oracle,
+    kill = expect_kill
+);
 family!(alltoall, alltoall_prog, alltoall_oracle, kill = expect_kill);
-family!(reduce_scatter, reduce_scatter_prog, reduce_scatter_oracle, kill = expect_kill);
-family!(scan_inclusive, scan_inclusive_prog, scan_inclusive_oracle, kill = expect_kill);
-family!(scan_exclusive, scan_exclusive_prog, scan_exclusive_oracle, kill = expect_kill);
+family!(
+    reduce_scatter,
+    reduce_scatter_prog,
+    reduce_scatter_oracle,
+    kill = expect_kill
+);
+family!(
+    scan_inclusive,
+    scan_inclusive_prog,
+    scan_inclusive_oracle,
+    kill = expect_kill
+);
+family!(
+    scan_exclusive,
+    scan_exclusive_prog,
+    scan_exclusive_oracle,
+    kill = expect_kill
+);
 family!(scatter, scatter_prog, scatter_oracle, kill = expect_kill);
 family!(gather, gather_prog, gather_oracle, kill = expect_kill);
 family!(reduce, reduce_prog, reduce_oracle, kill = expect_kill);
 family!(barrier, barrier_prog, barrier_oracle, kill = expect_kill);
-family!(smp_allgather, smp_allgather_prog, allgather_oracle, kill = expect_kill_loose);
-family!(smp_bcast, smp_bcast_prog, bcast_oracle, kill = expect_kill_loose);
-family!(smp_allreduce, smp_allreduce_prog, allreduce_oracle, kill = expect_kill_loose);
+family!(
+    smp_allgather,
+    smp_allgather_prog,
+    allgather_oracle,
+    kill = expect_kill_loose
+);
+family!(
+    smp_bcast,
+    smp_bcast_prog,
+    bcast_oracle,
+    kill = expect_kill_loose
+);
+family!(
+    smp_allreduce,
+    smp_allreduce_prog,
+    allreduce_oracle,
+    kill = expect_kill_loose
+);

@@ -1,0 +1,255 @@
+//! Satellite property test for the registry refactor: the `Legacy`
+//! selection policy must pick **exactly** the algorithm the pre-refactor
+//! `Tuning` threshold code picked, for every flavor, communicator size,
+//! ppn and message size — and routing a collective through
+//! `with_policy(legacy)` must charge the same virtual time as the
+//! original `tuned` entry point, down to the last bit.
+
+use collectives::testutil::datum;
+use collectives::{
+    allgather, allgatherv, legacy_choice, CollectiveOp, CommCase, MpiFlavor, SelectionPolicy,
+    Tuning,
+};
+use msim::{Ctx, SimConfig, Universe};
+use simnet::rng::{check_cases, Rng64};
+use simnet::{ClusterSpec, CostModel};
+
+/// The pre-refactor selection logic, restated from the threshold tables
+/// as an independent oracle (NOT calling [`legacy_choice`]): MPICH-style
+/// allgather (recursive doubling below the threshold on powers of two,
+/// Bruck below its threshold otherwise, ring above), Bruck/ring split for
+/// allgatherv, binomial/scatter-allgather split for bcast, recursive
+/// doubling/Rabenseifner split for allreduce.
+fn oracle(t: &Tuning, op: CollectiveOp, p: usize, bytes: usize) -> &'static str {
+    match op {
+        CollectiveOp::Allgather => {
+            if p <= 1 {
+                "allgather.local"
+            } else if p.is_power_of_two() {
+                if bytes < t.allgather_rd_threshold {
+                    "allgather.recursive_doubling"
+                } else {
+                    "allgather.ring"
+                }
+            } else if bytes < t.allgather_bruck_threshold {
+                "allgather.bruck"
+            } else {
+                "allgather.ring"
+            }
+        }
+        CollectiveOp::Allgatherv => {
+            if p <= 1 {
+                "allgatherv.local"
+            } else if bytes < t.allgatherv_bruck_threshold {
+                "allgatherv.bruck"
+            } else {
+                "allgatherv.ring"
+            }
+        }
+        CollectiveOp::Bcast => {
+            if bytes >= t.bcast_long_threshold && p >= t.bcast_min_ranks_for_long {
+                "bcast.scatter_allgather"
+            } else {
+                "bcast.binomial"
+            }
+        }
+        CollectiveOp::Allreduce => {
+            if bytes >= t.allreduce_rabenseifner_threshold {
+                "allreduce.rabenseifner"
+            } else {
+                "allreduce.recursive_doubling"
+            }
+        }
+        _ => unreachable!("oracle covers the threshold-driven ops"),
+    }
+}
+
+/// Byte sizes that probe every threshold from both sides, for both
+/// flavors, plus a few in-between points.
+fn boundary_sizes(t: &Tuning) -> Vec<usize> {
+    let mut v = vec![0, 1, 8, 256, 4096];
+    for th in [
+        t.allgather_rd_threshold,
+        t.allgather_bruck_threshold,
+        t.allgatherv_bruck_threshold,
+        t.bcast_long_threshold,
+        t.allreduce_rabenseifner_threshold,
+    ] {
+        v.extend([th.saturating_sub(1), th, th + 1]);
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn legacy_policy_matches_pre_refactor_thresholds_exhaustively() {
+    for flavor in [MpiFlavor::CrayMpich, MpiFlavor::OpenMpi] {
+        let t = Tuning::for_flavor(flavor);
+        let policy = SelectionPolicy::legacy(t.clone());
+        let cost = CostModel::cray_aries();
+        for op in [
+            CollectiveOp::Allgather,
+            CollectiveOp::Allgatherv,
+            CollectiveOp::Bcast,
+            CollectiveOp::Allreduce,
+        ] {
+            for p in 1..=64usize {
+                for ppn in [1, 3, 8, 24] {
+                    let nodes = p.div_ceil(ppn);
+                    for &bytes in &boundary_sizes(&t) {
+                        let case = CommCase::new(op, p, nodes, bytes);
+                        let want = oracle(&t, op, p, bytes);
+                        assert_eq!(
+                            policy.choose_offline(&cost, &case),
+                            want,
+                            "{flavor:?} {op:?} p={p} ppn={ppn} bytes={bytes}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_policy_matches_thresholds_on_seeded_sweep() {
+    check_cases(0xA6_0002, 48, |rng: &mut Rng64| {
+        let flavor = *rng.pick(&[MpiFlavor::CrayMpich, MpiFlavor::OpenMpi]);
+        let t = Tuning::for_flavor(flavor);
+        let policy = SelectionPolicy::legacy(t.clone());
+        let cost = CostModel::nec_infiniband();
+        let p = rng.usize_in(1, 2049);
+        let ppn = rng.usize_in(1, 25);
+        let bytes = 1usize << rng.usize_in(0, 24);
+        for op in [
+            CollectiveOp::Allgather,
+            CollectiveOp::Allgatherv,
+            CollectiveOp::Bcast,
+            CollectiveOp::Allreduce,
+        ] {
+            let case = CommCase::new(op, p, p.div_ceil(ppn), bytes);
+            assert_eq!(
+                policy.choose_offline(&cost, &case),
+                oracle(&t, op, p, bytes),
+                "{flavor:?} {op:?} p={p} ppn={ppn} bytes={bytes}"
+            );
+        }
+    });
+}
+
+/// `legacy_choice` itself is pinned to the same oracle — the function the
+/// collective `tuned` entry points and the policy both route through.
+#[test]
+fn legacy_choice_function_agrees_with_oracle() {
+    for flavor in [MpiFlavor::CrayMpich, MpiFlavor::OpenMpi] {
+        let t = Tuning::for_flavor(flavor);
+        for op in [
+            CollectiveOp::Allgather,
+            CollectiveOp::Allgatherv,
+            CollectiveOp::Bcast,
+            CollectiveOp::Allreduce,
+        ] {
+            for p in [1usize, 2, 3, 6, 8, 12, 16, 24, 64, 100] {
+                for &bytes in &boundary_sizes(&t) {
+                    let case = CommCase::new(op, p, p.div_ceil(4), bytes);
+                    assert_eq!(legacy_choice(&t, &case), oracle(&t, op, p, bytes));
+                }
+            }
+        }
+    }
+}
+
+fn run_times(cores: Vec<usize>, f: impl Fn(&mut Ctx) -> Vec<f64> + Send + Sync) -> Vec<f64> {
+    let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::cray_aries());
+    let r = Universe::run(cfg, move |ctx| {
+        let out = f(ctx);
+        (out, ctx.now())
+    })
+    .expect("universe must not fail");
+    // Check content equality across entry points via the returned data;
+    // times are the bit-identity witness.
+    let mut times: Vec<f64> = r.per_rank.iter().map(|(_, t)| *t).collect();
+    let data: Vec<&Vec<f64>> = r.per_rank.iter().map(|(d, _)| d).collect();
+    for w in data.windows(2) {
+        assert_eq!(w[0].len(), w[1].len());
+    }
+    times.sort_by(f64::total_cmp);
+    times
+}
+
+/// On the irregular `[1, 3, 4]` cluster — the shape that exercises the
+/// non-power-of-two paths — `with_policy(legacy)` must be virtual-time
+/// bit-identical to the pre-refactor `tuned` entry point, across the
+/// allgatherv ring/Bruck boundary.
+#[test]
+fn with_policy_legacy_is_bit_identical_to_tuned_on_irregular_cluster() {
+    let t = Tuning::cray_mpich();
+    // Straddle the allgatherv Bruck→ring boundary: total bytes is
+    // (8·count)·8, so count = threshold/64 flips the algorithm.
+    let boundary_count = t.allgatherv_bruck_threshold / 64;
+    for count in [
+        1usize,
+        64,
+        boundary_count - 1,
+        boundary_count,
+        boundary_count + 1,
+    ] {
+        let counts: Vec<usize> = (0..8).map(|r| count + r % 3).collect();
+        let tuned_times = {
+            let counts = counts.clone();
+            let t = t.clone();
+            run_times(vec![1, 3, 4], move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(counts[ctx.rank()], |i| datum(ctx.rank(), i));
+                let total: usize = counts.iter().sum();
+                let mut recv = ctx.buf_zeroed::<f64>(total);
+                allgatherv::tuned(ctx, &world, &send, &counts, &mut recv, &t);
+                recv.as_slice().unwrap().to_vec()
+            })
+        };
+        let policy_times = {
+            let counts = counts.clone();
+            let policy = SelectionPolicy::legacy(t.clone());
+            run_times(vec![1, 3, 4], move |ctx| {
+                let world = ctx.world();
+                let send = ctx.buf_from_fn(counts[ctx.rank()], |i| datum(ctx.rank(), i));
+                let total: usize = counts.iter().sum();
+                let mut recv = ctx.buf_zeroed::<f64>(total);
+                allgatherv::with_policy(ctx, &world, &send, &counts, &mut recv, &policy);
+                recv.as_slice().unwrap().to_vec()
+            })
+        };
+        assert_eq!(tuned_times, policy_times, "allgatherv count={count}");
+    }
+}
+
+#[test]
+fn with_policy_legacy_allgather_bit_identical_across_shapes() {
+    for cores in [vec![1, 3, 4], vec![4, 4], vec![2, 2, 2, 2], vec![5]] {
+        for count in [1usize, 512, 4096] {
+            let tuned_times = {
+                let cores = cores.clone();
+                run_times(cores, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    allgather::tuned(ctx, &world, &send, &mut recv, &Tuning::open_mpi());
+                    recv.as_slice().unwrap().to_vec()
+                })
+            };
+            let policy_times = {
+                let cores = cores.clone();
+                let policy = SelectionPolicy::legacy(Tuning::open_mpi());
+                run_times(cores, move |ctx| {
+                    let world = ctx.world();
+                    let send = ctx.buf_from_fn(count, |i| datum(ctx.rank(), i));
+                    let mut recv = ctx.buf_zeroed::<f64>(count * world.size());
+                    allgather::with_policy(ctx, &world, &send, &mut recv, &policy);
+                    recv.as_slice().unwrap().to_vec()
+                })
+            };
+            assert_eq!(tuned_times, policy_times, "cores={cores:?} count={count}");
+        }
+    }
+}

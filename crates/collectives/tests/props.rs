@@ -18,7 +18,9 @@ const CASES: usize = 24;
 
 fn run_cluster<T: Send>(cores: Vec<usize>, f: impl Fn(&mut Ctx) -> T + Send + Sync) -> Vec<T> {
     let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
-    Universe::run(cfg, f).expect("universe must not fail").per_rank
+    Universe::run(cfg, f)
+        .expect("universe must not fail")
+        .per_rank
 }
 
 /// Arbitrary small cluster: 1–3 nodes of 1–4 cores.
@@ -170,7 +172,13 @@ fn reduce_scatter_matches_oracle() {
             let send = ctx.buf_from_fn(total, |i| datum(ctx.rank(), i));
             let mut recv = ctx.buf_zeroed(counts2[ctx.rank()]);
             collectives::reduce_scatter::tuned(
-                ctx, &world, &send, &counts2, &mut recv, Sum, &Tuning::cray_mpich(),
+                ctx,
+                &world,
+                &send,
+                &counts2,
+                &mut recv,
+                Sum,
+                &Tuning::cray_mpich(),
             );
             recv.as_slice().unwrap().to_vec()
         });

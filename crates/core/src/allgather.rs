@@ -20,8 +20,8 @@
 //! for readers.
 
 use collectives::allgatherv;
-use collectives::util::displs_of;
-use msim::{Buf, Ctx, ShmElem, SharedWindow};
+use collectives::util::VectorLayout;
+use msim::{Buf, Ctx, SharedWindow, ShmElem};
 
 use crate::hybrid::HybridComm;
 
@@ -46,17 +46,17 @@ impl<T: ShmElem> HyAllgatherv<T> {
         let p = hc.comm().size();
         assert_eq!(counts.len(), p, "one count per rank required");
         let h = hc.hierarchy();
-        let total: usize = counts.iter().sum();
+
+        // Window layout: blocks in node-sorted parent-rank order.
+        let layout = VectorLayout::new(h.node_sorted.iter().map(|&r| counts[r]).collect());
+        let total = layout.total;
 
         let my_len = if hc.is_leader() { total } else { 0 };
         let win = SharedWindow::allocate(ctx, &h.shm, my_len);
 
-        // Window layout: blocks in node-sorted parent-rank order.
-        let sorted_counts: Vec<usize> = h.node_sorted.iter().map(|&r| counts[r]).collect();
-        let sorted_displs = displs_of(&sorted_counts);
         let mut offsets = vec![0usize; p];
         for (pos, &parent_rank) in h.node_sorted.iter().enumerate() {
-            offsets[parent_rank] = sorted_displs[pos];
+            offsets[parent_rank] = layout.displs[pos];
         }
         let bridge_counts: Vec<usize> = h
             .group_members
@@ -123,7 +123,24 @@ impl<T: ShmElem> HyAllgatherv<T> {
         sync.arrive(ctx, &h.shm);
         if let Some(bridge) = &h.bridge {
             let mut view = Buf::Shared(self.win.clone());
-            allgatherv::tuned_in_place(ctx, bridge, &self.bridge_counts, &mut view, self.hc.tuning());
+            // Same fees either way; a policy additionally gets to pick the
+            // bridge algorithm (and records why).
+            match self.hc.policy() {
+                Some(policy) => allgatherv::with_policy_in_place(
+                    ctx,
+                    bridge,
+                    &self.bridge_counts,
+                    &mut view,
+                    policy,
+                ),
+                None => allgatherv::tuned_in_place(
+                    ctx,
+                    bridge,
+                    &self.bridge_counts,
+                    &mut view,
+                    self.hc.tuning(),
+                ),
+            }
         }
         sync.release(ctx, &h.shm);
     }
@@ -204,7 +221,9 @@ mod tests {
                 .collect::<Vec<f64>>()
         })
         .unwrap();
-        let expected: Vec<f64> = (0..p).flat_map(|rk| (0..count).map(move |i| datum(rk, i))).collect();
+        let expected: Vec<f64> = (0..p)
+            .flat_map(|rk| (0..count).map(move |i| datum(rk, i)))
+            .collect();
         for (rank, got) in r.per_rank.iter().enumerate() {
             assert_eq!(got, &expected, "rank {rank}");
         }
@@ -220,7 +239,10 @@ mod tests {
 
     #[test]
     fn correct_on_irregular_cluster() {
-        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 1, 4]), CostModel::uniform_test());
+        let cfg = SimConfig::new(
+            ClusterSpec::irregular(vec![3, 1, 4]),
+            CostModel::uniform_test(),
+        );
         check_allgather(cfg, 3);
     }
 
@@ -240,10 +262,14 @@ mod tests {
             let world = ctx.world();
             let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
             let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts2);
-            let mine: Vec<f64> = (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+            let mine: Vec<f64> = (0..counts2[ctx.rank()])
+                .map(|i| datum(ctx.rank(), i))
+                .collect();
             ag.write_my_block(ctx, &mine);
             ag.execute(ctx);
-            (0..ctx.nranks()).flat_map(|rk| ag.read_block(rk)).collect::<Vec<f64>>()
+            (0..ctx.nranks())
+                .flat_map(|rk| ag.read_block(rk))
+                .collect::<Vec<f64>>()
         })
         .unwrap();
         let expected: Vec<f64> = counts
@@ -274,11 +300,16 @@ mod tests {
         let intra_payload_bytes: usize = events
             .iter()
             .filter_map(|e| match e.kind {
-                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                simnet::EventKind::Send {
+                    bytes, intra: true, ..
+                } => Some(bytes),
                 _ => None,
             })
             .sum();
-        assert_eq!(intra_payload_bytes, 0, "hybrid allgather must not move data intra-node");
+        assert_eq!(
+            intra_payload_bytes, 0,
+            "hybrid allgather must not move data intra-node"
+        );
         // The only permitted copies are the bridge library's internal ones
         // (Bruck rotation at the leaders); children — the 6 non-leader
         // ranks — must perform none. The aggregation/broadcast copies of
@@ -337,7 +368,10 @@ mod tests {
         // 3 rounds * (o_send + o_recv + alpha) = 3 * 3 = 9 µs; allow wait
         // skew, but nothing near a data-size-dependent cost (4096 elems).
         for (rank, &dt) in r.per_rank.iter().enumerate() {
-            assert!(dt <= 9.0 + 1e-9, "rank {rank}: {dt} µs — too slow for one barrier");
+            assert!(
+                dt <= 9.0 + 1e-9,
+                "rank {rank}: {dt} µs — too slow for one barrier"
+            );
         }
     }
 
@@ -361,6 +395,10 @@ mod tests {
             .unwrap()
             .clocks
         };
-        assert_eq!(run_mode(false), run_mode(true), "virtual time must be mode-invariant");
+        assert_eq!(
+            run_mode(false),
+            run_mode(true),
+            "virtual time must be mode-invariant"
+        );
     }
 }

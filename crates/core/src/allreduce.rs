@@ -11,7 +11,7 @@
 
 use collectives::op::ReduceOp;
 use collectives::{allreduce as coll_allreduce, reduce as coll_reduce};
-use msim::{Buf, Ctx, ShmElem, SharedWindow};
+use msim::{Buf, Ctx, SharedWindow, ShmElem};
 
 use crate::hybrid::HybridComm;
 
@@ -58,7 +58,11 @@ impl<T: ShmElem> HyAllreduce<T> {
     /// intra-node reduce to the leader, leader allreduce over the bridge
     /// straight into the shared window, one barrier to release readers.
     pub fn execute<O: ReduceOp<T>>(&self, ctx: &mut Ctx, contribution: &Buf<T>, op: O) {
-        assert_eq!(contribution.len(), self.count, "contribution length mismatch");
+        assert_eq!(
+            contribution.len(),
+            self.count,
+            "contribution length mismatch"
+        );
         let h = self.hc.hierarchy();
         let sync = self.hc.sync();
 

@@ -14,7 +14,7 @@
 //! contiguous region and the leaders never pack.
 
 use collectives::tags;
-use msim::{Ctx, Payload, ShmElem, SharedWindow};
+use msim::{Ctx, Payload, SharedWindow, ShmElem};
 
 use crate::hybrid::HybridComm;
 
@@ -104,7 +104,8 @@ impl<T: ShmElem> HyAlltoall<T> {
     pub fn write_block(&self, ctx: &Ctx, dest: usize, data: &[T]) {
         assert_eq!(data.len(), self.count, "block must hold `count` elements");
         let s_local = self.hc.hierarchy().shm.rank();
-        self.send_win.write_from(self.send_offset(s_local, dest), data);
+        self.send_win
+            .write_from(self.send_offset(s_local, dest), data);
         let _ = ctx;
     }
 
@@ -135,8 +136,7 @@ impl<T: ShmElem> HyAlltoall<T> {
                 .expect("src in its group");
             let d_local = h.shm.rank();
             let my_size = h.shm.size();
-            let off = self.recv_group_offs[src_group]
-                + (s_in_g * my_size + d_local) * self.count;
+            let off = self.recv_group_offs[src_group] + (s_in_g * my_size + d_local) * self.count;
             self.recv_win.read_into(off, &mut out);
         }
         out
@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn correct_on_irregular_cluster_and_round_robin() {
-        let cfg = SimConfig::new(ClusterSpec::irregular(vec![3, 1, 4]), CostModel::uniform_test());
+        let cfg = SimConfig::new(
+            ClusterSpec::irregular(vec![3, 1, 4]),
+            CostModel::uniform_test(),
+        );
         check(cfg, 2);
         let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test())
             .with_placement(Placement::RoundRobin);
@@ -261,7 +264,9 @@ mod tests {
             .events()
             .iter()
             .filter_map(|e| match e.kind {
-                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                simnet::EventKind::Send {
+                    bytes, intra: true, ..
+                } => Some(bytes),
                 _ => None,
             })
             .sum();
@@ -272,8 +277,7 @@ mod tests {
     fn beats_flat_alltoall_on_multi_core_nodes() {
         let count = 256usize;
         let hy = {
-            let cfg =
-                SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
+            let cfg = SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
             Universe::run(cfg, move |ctx| {
                 let world = ctx.world();
                 let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
@@ -289,8 +293,7 @@ mod tests {
             .fold(0.0f64, f64::max)
         };
         let flat = {
-            let cfg =
-                SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
+            let cfg = SimConfig::new(ClusterSpec::regular(4, 8), CostModel::cray_aries()).phantom();
             Universe::run(cfg, move |ctx| {
                 let world = ctx.world();
                 let send = ctx.buf_zeroed::<f64>(count * world.size());
@@ -298,7 +301,12 @@ mod tests {
                 collectives::barrier::tuned(ctx, &world);
                 let t0 = ctx.now();
                 collectives::alltoall::tuned(
-                    ctx, &world, &send, &mut recv, count, &Tuning::cray_mpich(),
+                    ctx,
+                    &world,
+                    &send,
+                    &mut recv,
+                    count,
+                    &Tuning::cray_mpich(),
                 );
                 ctx.now() - t0
             })
@@ -307,6 +315,9 @@ mod tests {
             .into_iter()
             .fold(0.0f64, f64::max)
         };
-        assert!(hy < flat, "hybrid all-to-all ({hy}) must beat flat ({flat})");
+        assert!(
+            hy < flat,
+            "hybrid all-to-all ({hy}) must beat flat ({flat})"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! copy of the message — here the node owns one.
 
 use collectives::bcast as coll_bcast;
-use msim::{Buf, Ctx, ShmElem, SharedWindow};
+use msim::{Buf, Ctx, SharedWindow, ShmElem};
 
 use crate::hybrid::HybridComm;
 
@@ -98,7 +98,12 @@ impl<T: ShmElem> HyBcast<T> {
                 .position(|&r| r == root)
                 .expect("root is in its own group");
             if self.hc.comm().rank() == root {
-                ctx.send(&h.shm, 0, collectives::tags::FLAG + 8, msim::Payload::empty());
+                ctx.send(
+                    &h.shm,
+                    0,
+                    collectives::tags::FLAG + 8,
+                    msim::Payload::empty(),
+                );
             } else if h.shm.rank() == 0 {
                 ctx.recv(&h.shm, root_local, collectives::tags::FLAG + 8);
             }
@@ -159,7 +164,10 @@ mod tests {
 
     #[test]
     fn correct_irregular_and_round_robin() {
-        let cfg = SimConfig::new(ClusterSpec::irregular(vec![1, 3, 2]), CostModel::uniform_test());
+        let cfg = SimConfig::new(
+            ClusterSpec::irregular(vec![1, 3, 2]),
+            CostModel::uniform_test(),
+        );
         check_bcast(cfg, 4, 2);
         let cfg = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test())
             .with_placement(Placement::RoundRobin);
@@ -184,11 +192,16 @@ mod tests {
             .events()
             .iter()
             .filter_map(|e| match e.kind {
-                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                simnet::EventKind::Send {
+                    bytes, intra: true, ..
+                } => Some(bytes),
                 _ => None,
             })
             .sum();
-        assert_eq!(intra_payload, 0, "hybrid bcast must not move data intra-node");
+        assert_eq!(
+            intra_payload, 0,
+            "hybrid bcast must not move data intra-node"
+        );
     }
 
     #[test]
@@ -200,7 +213,11 @@ mod tests {
             let _bc = HyBcast::<f64>::new(ctx, &hc, 100);
         })
         .unwrap();
-        assert_eq!(r.tracer.total_window_bytes(), 3 * 100 * 8, "one window per node");
+        assert_eq!(
+            r.tracer.total_window_bytes(),
+            3 * 100 * 8,
+            "one window per node"
+        );
     }
 
     #[test]

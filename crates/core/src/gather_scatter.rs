@@ -13,7 +13,7 @@
 
 use collectives::tags;
 use collectives::util::displs_of;
-use msim::{Ctx, ShmElem, SharedWindow};
+use msim::{Ctx, SharedWindow, ShmElem};
 
 use crate::hybrid::HybridComm;
 
@@ -306,7 +306,13 @@ mod tests {
 
     #[test]
     fn gather_correct_various_clusters_and_roots() {
-        for (cores, root) in [(vec![4], 0), (vec![4], 3), (vec![3, 2], 0), (vec![3, 2], 4), (vec![2, 2, 3], 5)] {
+        for (cores, root) in [
+            (vec![4], 0),
+            (vec![4], 3),
+            (vec![3, 2], 0),
+            (vec![3, 2], 4),
+            (vec![2, 2, 3], 5),
+        ] {
             let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
             check_gather(cfg, 3, root);
         }
@@ -314,7 +320,13 @@ mod tests {
 
     #[test]
     fn scatter_correct_various_clusters_and_roots() {
-        for (cores, root) in [(vec![4], 0), (vec![4], 2), (vec![3, 2], 0), (vec![3, 2], 3), (vec![2, 2, 3], 6)] {
+        for (cores, root) in [
+            (vec![4], 0),
+            (vec![4], 2),
+            (vec![3, 2], 0),
+            (vec![3, 2], 3),
+            (vec![2, 2, 3], 6),
+        ] {
             let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test());
             check_scatter(cfg, 2, root);
         }

@@ -3,7 +3,7 @@
 //! "the hierarchical communicator splitting and the allocation of the
 //! shared-memory segment are one-offs").
 
-use collectives::{Hierarchy, Tuning};
+use collectives::{CollectiveOp, CommCase, Hierarchy, SelectionPolicy, Tuning};
 use msim::{Communicator, Ctx};
 
 use crate::sync::SyncMethod;
@@ -12,13 +12,17 @@ use crate::sync::SyncMethod;
 ///
 /// Holds the two-level communicator hierarchy (shared-memory + bridge) of
 /// the paper's Figs. 1–2, the MPI-library tuning used for the bridge
-/// exchanges, and the on-node synchronization method.
+/// exchanges, and the on-node synchronization method. Built through
+/// [`HybridComm::with_policy`], it additionally carries a
+/// [`SelectionPolicy`] that picked the sync flavor and that the hybrid
+/// collectives consult for their bridge algorithms.
 #[derive(Debug, Clone)]
 pub struct HybridComm {
     comm: Communicator,
     h: Hierarchy,
     tuning: Tuning,
     sync: SyncMethod,
+    policy: Option<SelectionPolicy>,
 }
 
 impl HybridComm {
@@ -29,18 +33,61 @@ impl HybridComm {
     }
 
     /// Collectively build with an explicit synchronization flavor.
-    pub fn with_sync(
-        ctx: &mut Ctx,
-        comm: &Communicator,
-        tuning: Tuning,
-        sync: SyncMethod,
-    ) -> Self {
+    pub fn with_sync(ctx: &mut Ctx, comm: &Communicator, tuning: Tuning, sync: SyncMethod) -> Self {
         let h = Hierarchy::build(ctx, comm);
         Self {
             comm: comm.clone(),
             h,
             tuning,
             sync,
+            policy: None,
+        }
+    }
+
+    /// Collectively build with a [`SelectionPolicy`]: the policy picks the
+    /// on-node synchronization flavor here (one decision per communicator,
+    /// the paper's one-off setup) and is consulted again by each hybrid
+    /// collective for its bridge algorithm.
+    pub fn with_policy(ctx: &mut Ctx, comm: &Communicator, policy: SelectionPolicy) -> Self {
+        let h = Hierarchy::build(ctx, comm);
+        let case = CommCase::new(CollectiveOp::Sync, h.shm.size(), 1, 0);
+        let sync = match policy.choose(ctx, &case) {
+            "sync.shared_flags" => SyncMethod::SharedFlags,
+            "sync.p2p" => SyncMethod::P2p,
+            _ => SyncMethod::Barrier,
+        };
+        Self {
+            comm: comm.clone(),
+            h,
+            tuning: policy.tuning().clone(),
+            sync,
+            policy: Some(policy),
+        }
+    }
+
+    /// The selection policy, when built through
+    /// [`HybridComm::with_policy`].
+    pub fn policy(&self) -> Option<&SelectionPolicy> {
+        self.policy.as_ref()
+    }
+
+    /// Policy-driven hybrid-vs-flat choice for an allgather of
+    /// `total_bytes` result bytes over this communicator: presents the
+    /// *windowed* case (shared-window schedule applicable) and reports
+    /// whether the policy picked it over the flat algorithms. Without a
+    /// policy the legacy behavior applies — a window, once available, is
+    /// always used.
+    pub fn use_windowed_allgather(&self, ctx: &mut Ctx, total_bytes: usize) -> bool {
+        let case = CommCase::new(
+            CollectiveOp::Allgather,
+            self.comm.size(),
+            self.h.num_groups(),
+            total_bytes,
+        )
+        .windowed();
+        match &self.policy {
+            Some(policy) => policy.choose(ctx, &case) == "allgather.hy_shared_window",
+            None => true,
         }
     }
 
@@ -132,12 +179,8 @@ mod tests {
                 ctx.compute(1000.0);
             }
             let world = ctx.world();
-            let hc = HybridComm::with_sync(
-                ctx,
-                &world,
-                Tuning::cray_mpich(),
-                SyncMethod::SharedFlags,
-            );
+            let hc =
+                HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), SyncMethod::SharedFlags);
             hc.barrier(ctx);
             ctx.now()
         })
@@ -165,18 +208,63 @@ mod tests {
         .makespan();
         let hier = Universe::run(cfg(), |ctx| {
             let world = ctx.world();
-            let hc = HybridComm::with_sync(
-                ctx,
-                &world,
-                Tuning::cray_mpich(),
-                SyncMethod::SharedFlags,
-            );
+            let hc =
+                HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), SyncMethod::SharedFlags);
             hc.barrier(ctx);
             ctx.now()
         })
         .unwrap()
         .makespan();
-        assert!(hier < flat, "hierarchical barrier ({hier}) vs flat ({flat})");
+        assert!(
+            hier < flat,
+            "hierarchical barrier ({hier}) vs flat ({flat})"
+        );
+    }
+
+    #[test]
+    fn policy_steers_hybrid_vs_flat_choice() {
+        use collectives::{SelectionPolicy, TableEntry, TuningTable};
+        let cfg = || SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries()).phantom();
+        // Autotune: the windowed schedule's estimate (two on-node
+        // synchronizations plus the bridge rounds) undercuts every flat
+        // algorithm, so the policy keeps the hybrid path.
+        let r = Universe::run(cfg(), |ctx| {
+            let world = ctx.world();
+            let hc = HybridComm::with_policy(
+                ctx,
+                &world,
+                SelectionPolicy::autotune(Tuning::cray_mpich()),
+            );
+            hc.use_windowed_allgather(ctx, 4096)
+        })
+        .unwrap();
+        assert!(
+            r.per_rank.iter().all(|&w| w),
+            "autotune should keep the windowed schedule"
+        );
+        // A table pinning allgather to the flat ring overrides it — the
+        // hybrid-vs-flat decision flows through the same policy interface.
+        let r = Universe::run(cfg(), |ctx| {
+            let world = ctx.world();
+            let mut table = TuningTable::new("pin-flat");
+            table.entries.push(TableEntry {
+                op: CollectiveOp::Allgather,
+                comm_le: usize::MAX,
+                bytes_le: usize::MAX,
+                algo: "allgather.ring".to_string(),
+            });
+            let hc = HybridComm::with_policy(
+                ctx,
+                &world,
+                SelectionPolicy::table(Tuning::cray_mpich(), table),
+            );
+            hc.use_windowed_allgather(ctx, 4096)
+        })
+        .unwrap();
+        assert!(
+            r.per_rank.iter().all(|&w| !w),
+            "table row must force the flat algorithm"
+        );
     }
 
     #[test]

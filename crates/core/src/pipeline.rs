@@ -95,7 +95,11 @@ pub fn pipelined_ring_in_place<T: ShmElem>(
     let p = comm.size();
     let me = comm.rank();
     assert_eq!(counts.len(), p, "one count per rank required");
-    assert_eq!(recv.len(), counts.iter().sum::<usize>(), "recv must hold the full result");
+    assert_eq!(
+        recv.len(),
+        counts.iter().sum::<usize>(),
+        "recv must hold the full result"
+    );
     assert!(segment_elems > 0, "segment size must be positive");
     if p == 1 {
         return;
@@ -117,7 +121,9 @@ pub fn pipelined_ring_in_place<T: ShmElem>(
     // of slot s (which would serialize the pipeline around the ring).
     for slot in 0..(p - 1) + (max_nseg - 1) {
         for r in 0..p - 1 {
-            let Some(k) = slot.checked_sub(r) else { continue };
+            let Some(k) = slot.checked_sub(r) else {
+                continue;
+            };
             let send_block = (me + p - r) % p;
             if k < nseg(send_block) {
                 let off = displs[send_block] + k * segment_elems;
@@ -126,7 +132,9 @@ pub fn pipelined_ring_in_place<T: ShmElem>(
             }
         }
         for r in 0..p - 1 {
-            let Some(k) = slot.checked_sub(r) else { continue };
+            let Some(k) = slot.checked_sub(r) else {
+                continue;
+            };
             let recv_block = (me + p - r - 1) % p;
             if k < nseg(recv_block) {
                 let payload = ctx.recv(comm, left, tags::ALLGATHERV + 8);
@@ -154,7 +162,9 @@ mod tests {
             let mine: Vec<f64> = (0..count).map(|i| (ctx.rank() * 1000 + i) as f64).collect();
             ag.write_my_block(ctx, &mine);
             ag.execute(ctx);
-            (0..ctx.nranks()).flat_map(|rk| ag.read_block(rk)).collect::<Vec<f64>>()
+            (0..ctx.nranks())
+                .flat_map(|rk| ag.read_block(rk))
+                .collect::<Vec<f64>>()
         })
         .unwrap();
         let expected: Vec<f64> = (0..p)
@@ -181,8 +191,8 @@ mod tests {
         let count = 1 << 15;
         let nodes = 8;
         let time_pipelined = {
-            let cfg = SimConfig::new(ClusterSpec::regular(nodes, 1), CostModel::cray_aries())
-                .phantom();
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(nodes, 1), CostModel::cray_aries()).phantom();
             Universe::run(cfg, move |ctx| {
                 let world = ctx.world();
                 let counts = vec![count; world.size()];
@@ -194,8 +204,8 @@ mod tests {
             .makespan()
         };
         let time_plain = {
-            let cfg = SimConfig::new(ClusterSpec::regular(nodes, 1), CostModel::cray_aries())
-                .phantom();
+            let cfg =
+                SimConfig::new(ClusterSpec::regular(nodes, 1), CostModel::cray_aries()).phantom();
             Universe::run(cfg, move |ctx| {
                 let world = ctx.world();
                 let counts = vec![count; world.size()];

@@ -142,7 +142,10 @@ mod tests {
             (shm.rank(), ctx.now())
         });
         let leader_exit = out.iter().find(|(r, _)| *r == 0).unwrap().1;
-        assert!(leader_exit >= 500.0, "{method:?}: leader left at {leader_exit}");
+        assert!(
+            leader_exit >= 500.0,
+            "{method:?}: leader left at {leader_exit}"
+        );
     }
 
     /// Children must not pass `release` before the leader released.
@@ -161,14 +164,22 @@ mod tests {
 
     #[test]
     fn all_methods_order_arrive() {
-        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+        for m in [
+            SyncMethod::Barrier,
+            SyncMethod::SharedFlags,
+            SyncMethod::P2p,
+        ] {
             check_arrive_orders(m);
         }
     }
 
     #[test]
     fn all_methods_order_release() {
-        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+        for m in [
+            SyncMethod::Barrier,
+            SyncMethod::SharedFlags,
+            SyncMethod::P2p,
+        ] {
             check_release_orders(m);
         }
     }
@@ -197,14 +208,22 @@ mod tests {
         // barrier flavor still pays MPI_Barrier's per-call entry fee
         // (three calls here), but never a message.
         let entry = simnet::CostModel::uniform_test().barrier_entry_us;
-        for m in [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p] {
+        for m in [
+            SyncMethod::Barrier,
+            SyncMethod::SharedFlags,
+            SyncMethod::P2p,
+        ] {
             let out = run_sync(1, move |ctx, shm| {
                 m.arrive(ctx, shm);
                 m.release(ctx, shm);
                 m.full(ctx, shm);
                 ctx.now()
             });
-            let expected = if m == SyncMethod::Barrier { 3.0 * entry } else { 0.0 };
+            let expected = if m == SyncMethod::Barrier {
+                3.0 * entry
+            } else {
+                0.0
+            };
             assert_eq!(out[0], expected, "{m:?}");
         }
     }
@@ -224,6 +243,9 @@ mod tests {
         })
         .into_iter()
         .fold(0.0f64, f64::max);
-        assert!(t_full < t_two, "full ({t_full}) vs arrive+release ({t_two})");
+        assert!(
+            t_full < t_two,
+            "full ({t_full}) vs arrive+release ({t_two})"
+        );
     }
 }

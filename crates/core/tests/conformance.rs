@@ -31,7 +31,11 @@ use simnet::{ClusterSpec, CostModel, Perturbation};
 const COUNT: usize = 5;
 const ROOT: usize = 1;
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
-const SYNCS: [SyncMethod; 3] = [SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p];
+const SYNCS: [SyncMethod; 3] = [
+    SyncMethod::Barrier,
+    SyncMethod::SharedFlags,
+    SyncMethod::P2p,
+];
 
 type Prog = fn(&mut Ctx, SyncMethod) -> Vec<f64>;
 type Oracle = fn(usize, usize) -> Vec<f64>;
@@ -56,7 +60,10 @@ fn run_under(
 
 fn check_family(name: &str, prog: Prog, oracle: Oracle) {
     for sync in SYNCS {
-        for spec in [ClusterSpec::regular(4, 6), ClusterSpec::irregular(vec![1, 3, 4])] {
+        for spec in [
+            ClusterSpec::regular(4, 6),
+            ClusterSpec::irregular(vec![1, 3, 4]),
+        ] {
             let p = spec.total_cores();
             let base = run_under(spec.clone(), FaultPlan::none(), false, sync, prog);
             for rank in 0..p {
@@ -67,8 +74,13 @@ fn check_family(name: &str, prog: Prog, oracle: Oracle) {
                 );
             }
             for seed in SEEDS {
-                let fuzzed =
-                    run_under(spec.clone(), FaultPlan::from_seed(seed, p), false, sync, prog);
+                let fuzzed = run_under(
+                    spec.clone(),
+                    FaultPlan::from_seed(seed, p),
+                    false,
+                    sync,
+                    prog,
+                );
                 for rank in 0..p {
                     assert_close(
                         &fuzzed.per_rank[rank],
@@ -89,9 +101,16 @@ fn check_family(name: &str, prog: Prog, oracle: Oracle) {
     let plan = || FaultPlan::from_seed(SEEDS[0], p);
     let a = run_under(spec.clone(), plan(), true, SyncMethod::SharedFlags, prog);
     let b = run_under(spec, plan(), true, SyncMethod::SharedFlags, prog);
-    assert_eq!(a.per_rank, b.per_rank, "{name}: same seed, different results");
+    assert_eq!(
+        a.per_rank, b.per_rank,
+        "{name}: same seed, different results"
+    );
     assert_eq!(a.clocks, b.clocks, "{name}: same seed, different clocks");
-    assert_eq!(a.tracer.events(), b.tracer.events(), "{name}: same seed, different trace");
+    assert_eq!(
+        a.tracer.events(),
+        b.tracer.events(),
+        "{name}: same seed, different trace"
+    );
 }
 
 /// Kill a rank mid-collective: the run must error out promptly (any of
@@ -111,8 +130,16 @@ fn expect_kill(prog: Prog) {
 fn expect_delay_determinism(name: &str, prog: Prog, oracle: Oracle) {
     let spec = ClusterSpec::regular(2, 3);
     let p = spec.total_cores();
-    let perturb = Perturbation::none().with_delayed_rank(2, 9.0).with_message_jitter(1.5);
-    let nominal = run_under(spec.clone(), FaultPlan::none(), false, SyncMethod::SharedFlags, prog);
+    let perturb = Perturbation::none()
+        .with_delayed_rank(2, 9.0)
+        .with_message_jitter(1.5);
+    let nominal = run_under(
+        spec.clone(),
+        FaultPlan::none(),
+        false,
+        SyncMethod::SharedFlags,
+        prog,
+    );
     let run = || {
         run_under(
             spec.clone(),
@@ -124,10 +151,17 @@ fn expect_delay_determinism(name: &str, prog: Prog, oracle: Oracle) {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.clocks, b.clocks, "{name}: same perturbation, different clocks");
+    assert_eq!(
+        a.clocks, b.clocks,
+        "{name}: same perturbation, different clocks"
+    );
     assert_eq!(a.per_rank, nominal.per_rank, "{name}: delays changed data");
     for rank in 0..p {
-        assert_close(&a.per_rank[rank], &oracle(rank, p), &format!("{name}: delayed, rank {rank}"));
+        assert_close(
+            &a.per_rank[rank],
+            &oracle(rank, p),
+            &format!("{name}: delayed, rank {rank}"),
+        );
     }
     assert!(
         a.clocks.iter().zip(&nominal.clocks).all(|(d, n)| d >= n),
@@ -156,7 +190,9 @@ fn hy_allgatherv_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
     let counts = vcounts(world.size());
     let hc = HybridComm::with_sync(ctx, &world, Tuning::open_mpi(), sync);
     let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts);
-    let mine: Vec<f64> = (0..counts[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+    let mine: Vec<f64> = (0..counts[ctx.rank()])
+        .map(|i| datum(ctx.rank(), i))
+        .collect();
     ag.write_my_block(ctx, &mine);
     ag.execute(ctx);
     (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect()
@@ -205,7 +241,9 @@ fn hy_alltoall_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
         a2a.write_block(ctx, dest, &data);
     }
     a2a.execute(ctx);
-    (0..world.size()).flat_map(|src| a2a.read_block(src)).collect()
+    (0..world.size())
+        .flat_map(|src| a2a.read_block(src))
+        .collect()
 }
 
 fn hy_alltoall_oracle(rank: usize, p: usize) -> Vec<f64> {

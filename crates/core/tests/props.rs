@@ -22,15 +22,22 @@ fn cluster(rng: &mut Rng64) -> Vec<usize> {
 }
 
 fn placement(rng: &mut Rng64) -> Placement {
-    rng.pick(&[Placement::SmpBlock, Placement::RoundRobin]).clone()
+    rng.pick(&[Placement::SmpBlock, Placement::RoundRobin])
+        .clone()
 }
 
 fn sync(rng: &mut Rng64) -> SyncMethod {
-    *rng.pick(&[SyncMethod::Barrier, SyncMethod::SharedFlags, SyncMethod::P2p])
+    *rng.pick(&[
+        SyncMethod::Barrier,
+        SyncMethod::SharedFlags,
+        SyncMethod::P2p,
+    ])
 }
 
 fn run_cfg<T: Send>(cfg: SimConfig, f: impl Fn(&mut Ctx) -> T + Send + Sync) -> Vec<T> {
-    Universe::run(cfg, f).expect("universe must not fail").per_rank
+    Universe::run(cfg, f)
+        .expect("universe must not fail")
+        .per_rank
 }
 
 #[test]
@@ -40,8 +47,9 @@ fn hybrid_allgather_correct_everywhere() {
         let count = rng.usize_in(0, 24);
         let sync = sync(rng);
         let p: usize = cores.iter().sum();
-        let expected: Vec<f64> =
-            (0..p).flat_map(|r| (0..count).map(move |i| datum(r, i))).collect();
+        let expected: Vec<f64> = (0..p)
+            .flat_map(|r| (0..count).map(move |i| datum(r, i)))
+            .collect();
         let cfg = SimConfig::new(ClusterSpec::irregular(cores), CostModel::uniform_test())
             .with_placement(placement(rng));
         let out = run_cfg(cfg, move |ctx| {
@@ -51,7 +59,9 @@ fn hybrid_allgather_correct_everywhere() {
             let mine: Vec<f64> = (0..count).map(|i| datum(ctx.rank(), i)).collect();
             ag.write_my_block(ctx, &mine);
             ag.execute(ctx);
-            (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
+            (0..ctx.nranks())
+                .flat_map(|r| ag.read_block(r))
+                .collect::<Vec<f64>>()
         });
         for got in out {
             assert_eq!(got, expected);
@@ -76,11 +86,14 @@ fn hybrid_allgatherv_correct_for_arbitrary_counts() {
             let world = ctx.world();
             let hc = HybridComm::new(ctx, &world, Tuning::open_mpi());
             let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts2);
-            let mine: Vec<f64> =
-                (0..counts2[ctx.rank()]).map(|i| datum(ctx.rank(), i)).collect();
+            let mine: Vec<f64> = (0..counts2[ctx.rank()])
+                .map(|i| datum(ctx.rank(), i))
+                .collect();
             ag.write_my_block(ctx, &mine);
             ag.execute(ctx);
-            (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect::<Vec<f64>>()
+            (0..ctx.nranks())
+                .flat_map(|r| ag.read_block(r))
+                .collect::<Vec<f64>>()
         });
         for got in out {
             assert_eq!(got, expected);
@@ -136,7 +149,9 @@ fn hybrid_never_moves_payload_bytes_intra_node() {
             .events()
             .iter()
             .filter_map(|e| match e.kind {
-                simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+                simnet::EventKind::Send {
+                    bytes, intra: true, ..
+                } => Some(bytes),
                 _ => None,
             })
             .sum();
@@ -178,12 +193,15 @@ fn hybrid_alltoall_correct_everywhere() {
             let a2a = hmpi::HyAlltoall::<f64>::new(ctx, &hc, count);
             let me = ctx.rank();
             for dest in 0..world.size() {
-                let data: Vec<f64> =
-                    (0..count).map(|k| (me * 100 + dest) as f64 + k as f64 / 8.0).collect();
+                let data: Vec<f64> = (0..count)
+                    .map(|k| (me * 100 + dest) as f64 + k as f64 / 8.0)
+                    .collect();
                 a2a.write_block(ctx, dest, &data);
             }
             a2a.execute(ctx);
-            (0..world.size()).flat_map(|src| a2a.read_block(src)).collect::<Vec<f64>>()
+            (0..world.size())
+                .flat_map(|src| a2a.read_block(src))
+                .collect::<Vec<f64>>()
         });
         for (rank, got) in out.iter().enumerate() {
             let expected: Vec<f64> = (0..p)

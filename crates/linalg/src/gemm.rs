@@ -90,7 +90,13 @@ mod tests {
 
     #[test]
     fn matches_naive_on_odd_shapes() {
-        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (65, 17, 70), (64, 64, 64), (100, 1, 100)] {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (65, 17, 70),
+            (64, 64, 64),
+            (100, 1, 100),
+        ] {
             let a = Mat::from_fn(m, k, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0);
             let b = Mat::from_fn(k, n, |r, c| ((r * 5 + c * 2) % 13) as f64 - 6.0);
             let c = matmul(&a, &b);

@@ -156,7 +156,10 @@ impl Index<(usize, usize)> for Mat {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[c * self.rows + r]
     }
 }
@@ -164,7 +167,10 @@ impl Index<(usize, usize)> for Mat {
 impl IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[c * self.rows + r]
     }
 }
@@ -172,7 +178,11 @@ impl IndexMut<(usize, usize)> for Mat {
 impl Add for &Mat {
     type Output = Mat;
     fn add(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a += b;
@@ -184,7 +194,11 @@ impl Add for &Mat {
 impl Sub for &Mat {
     type Output = Mat;
     fn sub(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a -= b;

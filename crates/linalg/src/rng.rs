@@ -48,7 +48,10 @@ pub trait Rng {
     /// # Panics
     /// Panics if the range is empty.
     fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
-        assert!(range.start < range.end, "gen_range called with an empty range");
+        assert!(
+            range.start < range.end,
+            "gen_range called with an empty range"
+        );
         T::sample_uniform(self, range.start, range.end)
     }
 }

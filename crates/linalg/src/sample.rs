@@ -31,7 +31,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 /// Panics if `alpha <= 0` or `theta <= 0`.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64, theta: f64) -> f64 {
-    assert!(alpha > 0.0 && theta > 0.0, "gamma parameters must be positive");
+    assert!(
+        alpha > 0.0 && theta > 0.0,
+        "gamma parameters must be positive"
+    );
     if alpha < 1.0 {
         // Boost: Gamma(α) = Gamma(α+1) · U^(1/α).
         let u: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);

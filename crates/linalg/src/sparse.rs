@@ -21,7 +21,10 @@ impl Csr {
     /// Panics on out-of-range coordinates.
     pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, f64)>) -> Self {
         for &(r, c, _) in &triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range ({rows}x{cols})");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of range ({rows}x{cols})"
+            );
         }
         triplets.sort_by_key(|&(r, c, _)| (r, c));
         triplets.dedup_by(|later, earlier| {

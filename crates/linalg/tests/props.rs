@@ -17,7 +17,9 @@ fn check_cases(seed: u64, cases: usize, f: impl Fn(&mut SmallRng)) {
 }
 
 fn small_mat(rng: &mut SmallRng, rows: usize, cols: usize) -> Mat {
-    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-10.0..10.0))
+        .collect();
     Mat::from_col_major(rows, cols, data)
 }
 

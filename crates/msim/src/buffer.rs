@@ -5,10 +5,10 @@
 //! (size-only). Any operation that would move data is a no-op on phantom
 //! buffers but still participates in cost accounting at the call site.
 
+use crate::bytes::Bytes;
 use crate::elem::{bytes_to_slice, slice_to_bytes, ShmElem};
 use crate::msg::Payload;
 use crate::window::SharedWindow;
-use crate::bytes::Bytes;
 
 /// A typed buffer of `T` that is either materialized, size-only, or a view
 /// of a node-shared window.
@@ -76,7 +76,11 @@ impl<T: ShmElem> Buf<T> {
     /// # Panics
     /// Panics if `idx` is out of bounds.
     pub fn get(&self, idx: usize) -> T {
-        assert!(idx < self.len(), "index {idx} out of bounds (len {})", self.len());
+        assert!(
+            idx < self.len(),
+            "index {idx} out of bounds (len {})",
+            self.len()
+        );
         match self {
             Buf::Real(v) => v[idx],
             Buf::Phantom(_) => T::default(),
@@ -134,7 +138,10 @@ impl<T: ShmElem> Buf<T> {
                 bytes_to_slice(b, &mut v[off..off + elems]);
             }
             (Buf::Real(_), Payload::Phantom(n)) => {
-                assert_eq!(*n, 0, "non-empty phantom payload into a real buffer (mixed data modes?)");
+                assert_eq!(
+                    *n, 0,
+                    "non-empty phantom payload into a real buffer (mixed data modes?)"
+                );
             }
             (Buf::Shared(w), p) => w.write_payload(off, p),
             (Buf::Phantom(_), _) => {}
@@ -148,7 +155,10 @@ impl<T: ShmElem> Buf<T> {
     /// Panics if either region is out of bounds.
     pub fn copy_from(&mut self, dst_off: usize, src: &Buf<T>, src_off: usize, len: usize) {
         assert!(src_off + len <= src.len(), "source region out of bounds");
-        assert!(dst_off + len <= self.len(), "destination region out of bounds");
+        assert!(
+            dst_off + len <= self.len(),
+            "destination region out of bounds"
+        );
         match (&mut *self, src) {
             (Buf::Real(dst), Buf::Real(s)) => {
                 dst[dst_off..dst_off + len].copy_from_slice(&s[src_off..src_off + len]);
@@ -175,7 +185,10 @@ impl<T: ShmElem> Buf<T> {
     /// Panics on out-of-bounds or overlapping regions.
     pub fn copy_within(&mut self, src_off: usize, dst_off: usize, len: usize) {
         assert!(src_off + len <= self.len(), "source region out of bounds");
-        assert!(dst_off + len <= self.len(), "destination region out of bounds");
+        assert!(
+            dst_off + len <= self.len(),
+            "destination region out of bounds"
+        );
         assert!(
             src_off + len <= dst_off || dst_off + len <= src_off || src_off == dst_off,
             "overlapping copy_within regions"

@@ -46,7 +46,11 @@ impl Bytes {
     /// Panics if the range is out of bounds or inverted.
     pub fn slice(&self, range: Range<usize>) -> Bytes {
         assert!(range.start <= range.end, "inverted byte range");
-        assert!(range.end <= self.len, "byte range {range:?} out of bounds (len {})", self.len);
+        assert!(
+            range.end <= self.len,
+            "byte range {range:?} out of bounds (len {})",
+            self.len
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,
@@ -58,7 +62,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Self { data: v.into(), start: 0, len }
+        Self {
+            data: v.into(),
+            start: 0,
+            len,
+        }
     }
 }
 

@@ -22,12 +22,12 @@ pub(crate) struct CommInner {
 
 impl CommInner {
     pub(crate) fn new(id: u32, members: Vec<usize>) -> Self {
-        let local_of = members
-            .iter()
-            .enumerate()
-            .map(|(l, &g)| (g, l))
-            .collect();
-        Self { id, members, local_of }
+        let local_of = members.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+        Self {
+            id,
+            members,
+            local_of,
+        }
     }
 }
 
@@ -95,7 +95,10 @@ impl Communicator {
                 let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
                 for (parent_local, (global, color, key)) in deposits {
                     if let Some(c) = color {
-                        by_color.entry(c).or_default().push((key, parent_local, global));
+                        by_color
+                            .entry(c)
+                            .or_default()
+                            .push((key, parent_local, global));
                     }
                 }
                 let mut colors: Vec<i64> = by_color.keys().copied().collect();

@@ -74,7 +74,10 @@ impl Ctx {
         let seq = self.send_seqs.entry(global_dst).or_insert(0);
         let s = *seq;
         *seq += 1;
-        self.shared.fault.perturb.message_extra(self.global_rank, global_dst, s)
+        self.shared
+            .fault
+            .perturb
+            .message_extra(self.global_rank, global_dst, s)
     }
 
     /// Global rank (position in `MPI_COMM_WORLD`).
@@ -136,12 +139,14 @@ impl Ctx {
     /// (modeling a slow core).
     pub fn compute(&mut self, flops: f64) {
         self.fault_step(false);
-        let dt =
-            self.shared.cost.compute(flops) * self.shared.fault.perturb.compute_scale_of(self.global_rank);
+        let dt = self.shared.cost.compute(flops)
+            * self.shared.fault.perturb.compute_scale_of(self.global_rank);
         self.clock.advance(dt);
-        self.shared
-            .tracer
-            .record(self.global_rank, self.clock.now(), EventKind::Compute { flops });
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Compute { flops },
+        );
     }
 
     /// Charge a raw amount of CPU time (µs) — for software overheads that
@@ -155,9 +160,11 @@ impl Ctx {
     pub fn charge_copy(&mut self, bytes: usize) {
         let dt = self.shared.cost.copy(bytes);
         self.clock.advance(dt);
-        self.shared
-            .tracer
-            .record(self.global_rank, self.clock.now(), EventKind::Copy { bytes });
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Copy { bytes },
+        );
     }
 
     /// A zero-initialized buffer respecting the universe's data mode.
@@ -253,16 +260,16 @@ impl Ctx {
             comm.size()
         );
         let key = (comm.id(), src, tag);
-        let packet = match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout)
-        {
-            Some(p) => p,
-            None => std::panic::panic_any(SimError::DeadlockSuspected {
-                rank: self.global_rank,
-                comm: comm.id(),
-                src,
-                tag,
-            }),
-        };
+        let packet =
+            match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout) {
+                Some(p) => p,
+                None => std::panic::panic_any(SimError::DeadlockSuspected {
+                    rank: self.global_rank,
+                    comm: comm.id(),
+                    src,
+                    tag,
+                }),
+            };
         self.clock.advance(self.shared.cost.o_recv);
         self.clock.advance_to(packet.arrival);
         let global_src = comm.global_of(src);
@@ -325,7 +332,11 @@ impl Ctx {
         self.shared.tracer.record(
             self.global_rank,
             self.clock.now(),
-            EventKind::Send { to: global_dst, bytes: 0, intra: true },
+            EventKind::Send {
+                to: global_dst,
+                bytes: 0,
+                intra: true,
+            },
         );
         self.shared.mailboxes[global_dst].push(
             (comm.id(), comm.rank(), tag),
@@ -364,7 +375,11 @@ impl Ctx {
             self.shared.tracer.record(
                 self.global_rank,
                 self.clock.now(),
-                EventKind::Send { to: global_dst, bytes: 0, intra: true },
+                EventKind::Send {
+                    to: global_dst,
+                    bytes: 0,
+                    intra: true,
+                },
             );
             self.shared.mailboxes[global_dst].push(
                 (comm.id(), comm.rank(), tag),
@@ -382,23 +397,27 @@ impl Ctx {
     pub fn wait_flag(&mut self, comm: &Communicator, src: usize, tag: u32) {
         self.fault_step(true);
         let key = (comm.id(), src, tag);
-        let packet = match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout)
-        {
-            Some(p) => p,
-            None => std::panic::panic_any(SimError::DeadlockSuspected {
-                rank: self.global_rank,
-                comm: comm.id(),
-                src,
-                tag,
-            }),
-        };
+        let packet =
+            match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout) {
+                Some(p) => p,
+                None => std::panic::panic_any(SimError::DeadlockSuspected {
+                    rank: self.global_rank,
+                    comm: comm.id(),
+                    src,
+                    tag,
+                }),
+            };
         self.clock.advance(self.shared.cost.flag_poll_us);
         self.clock.advance_to(packet.arrival);
         let global_src = comm.global_of(src);
         self.shared.tracer.record(
             self.global_rank,
             self.clock.now(),
-            EventKind::Recv { from: global_src, bytes: 0, intra: true },
+            EventKind::Recv {
+                from: global_src,
+                bytes: 0,
+                intra: true,
+            },
         );
     }
 
@@ -486,11 +505,27 @@ impl Ctx {
             .record(self.global_rank, self.clock.now(), EventKind::Barrier);
     }
 
+    /// Record an algorithm-selection decision (policy layer). Charges no
+    /// virtual time — selection is free, only the chosen schedule costs.
+    pub fn trace_decision(&self, op: &str, algo: &str, why: &str) {
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Decision {
+                op: op.to_string(),
+                algo: algo.to_string(),
+                why: why.to_string(),
+            },
+        );
+    }
+
     /// Record a shared-window allocation of `bytes` by this rank.
     pub(crate) fn trace_win_alloc(&self, bytes: usize) {
-        self.shared
-            .tracer
-            .record(self.global_rank, self.clock.now(), EventKind::WinAlloc { bytes });
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::WinAlloc { bytes },
+        );
     }
 
     /// Next out-of-band sequence number for setup collectives on the given

@@ -47,7 +47,9 @@ impl Layout {
     pub fn total_elems(&self) -> usize {
         match self {
             Layout::Contiguous { count } => *count,
-            Layout::Vector { count, block_len, .. } => count * block_len,
+            Layout::Vector {
+                count, block_len, ..
+            } => count * block_len,
             Layout::Indexed { block_lens, .. } => block_lens.iter().sum(),
         }
     }
@@ -57,7 +59,11 @@ impl Layout {
     pub fn extent(&self) -> usize {
         match self {
             Layout::Contiguous { count } => *count,
-            Layout::Vector { count, block_len, stride } => {
+            Layout::Vector {
+                count,
+                block_len,
+                stride,
+            } => {
                 if *count == 0 {
                     0
                 } else {
@@ -77,9 +83,11 @@ impl Layout {
     pub fn is_contiguous(&self) -> bool {
         match self {
             Layout::Contiguous { .. } => true,
-            Layout::Vector { count, block_len, stride } => {
-                *count <= 1 || block_len == stride
-            }
+            Layout::Vector {
+                count,
+                block_len,
+                stride,
+            } => *count <= 1 || block_len == stride,
             Layout::Indexed { displs, block_lens } => {
                 let mut expect = match displs.first() {
                     Some(&d) => d,
@@ -101,7 +109,11 @@ impl Layout {
     fn for_each_index(&self, mut f: impl FnMut(usize)) {
         match self {
             Layout::Contiguous { count } => (0..*count).for_each(f),
-            Layout::Vector { count, block_len, stride } => {
+            Layout::Vector {
+                count,
+                block_len,
+                stride,
+            } => {
                 for b in 0..*count {
                     for i in 0..*block_len {
                         f(b * stride + i);
@@ -121,7 +133,10 @@ impl Layout {
     /// Pack the selected elements of `src` (starting at `base`) into a
     /// message payload. Non-contiguous layouts charge the packing memcpy.
     pub fn pack<T: ShmElem>(&self, ctx: &mut Ctx, src: &Buf<T>, base: usize) -> Payload {
-        assert!(base + self.extent() <= src.len(), "layout exceeds the source buffer");
+        assert!(
+            base + self.extent() <= src.len(),
+            "layout exceeds the source buffer"
+        );
         let elems = self.total_elems();
         if !self.is_contiguous() {
             ctx.charge_copy(elems * T::SIZE);
@@ -143,7 +158,10 @@ impl Layout {
         win: &SharedWindow<T>,
         base: usize,
     ) -> Payload {
-        assert!(base + self.extent() <= win.total_len(), "layout exceeds the window");
+        assert!(
+            base + self.extent() <= win.total_len(),
+            "layout exceeds the window"
+        );
         let elems = self.total_elems();
         if !self.is_contiguous() {
             ctx.charge_copy(elems * T::SIZE);
@@ -164,10 +182,23 @@ impl Layout {
     /// # Panics
     /// Panics if the payload does not hold exactly
     /// [`Layout::total_elems`] elements.
-    pub fn unpack<T: ShmElem>(&self, ctx: &mut Ctx, payload: &Payload, dst: &mut Buf<T>, base: usize) {
+    pub fn unpack<T: ShmElem>(
+        &self,
+        ctx: &mut Ctx,
+        payload: &Payload,
+        dst: &mut Buf<T>,
+        base: usize,
+    ) {
         let elems = self.total_elems();
-        assert_eq!(payload.len(), elems * T::SIZE, "payload does not match the layout");
-        assert!(base + self.extent() <= dst.len(), "layout exceeds the destination");
+        assert_eq!(
+            payload.len(),
+            elems * T::SIZE,
+            "payload does not match the layout"
+        );
+        assert!(
+            base + self.extent() <= dst.len(),
+            "layout exceeds the destination"
+        );
         if !self.is_contiguous() {
             ctx.charge_copy(elems * T::SIZE);
         }
@@ -206,10 +237,17 @@ mod tests {
     fn extents_and_counts() {
         assert_eq!(Layout::Contiguous { count: 5 }.total_elems(), 5);
         assert_eq!(Layout::Contiguous { count: 5 }.extent(), 5);
-        let col = Layout::Vector { count: 4, block_len: 1, stride: 10 };
+        let col = Layout::Vector {
+            count: 4,
+            block_len: 1,
+            stride: 10,
+        };
         assert_eq!(col.total_elems(), 4);
         assert_eq!(col.extent(), 31);
-        let idx = Layout::Indexed { displs: vec![0, 8, 3], block_lens: vec![2, 2, 1] };
+        let idx = Layout::Indexed {
+            displs: vec![0, 8, 3],
+            block_lens: vec![2, 2, 1],
+        };
         assert_eq!(idx.total_elems(), 5);
         assert_eq!(idx.extent(), 10);
     }
@@ -217,17 +255,44 @@ mod tests {
     #[test]
     fn contiguity_detection() {
         assert!(Layout::Contiguous { count: 9 }.is_contiguous());
-        assert!(Layout::Vector { count: 3, block_len: 4, stride: 4 }.is_contiguous());
-        assert!(!Layout::Vector { count: 3, block_len: 1, stride: 4 }.is_contiguous());
-        assert!(Layout::Vector { count: 1, block_len: 1, stride: 99 }.is_contiguous());
-        assert!(Layout::Indexed { displs: vec![2, 5], block_lens: vec![3, 1] }.is_contiguous());
-        assert!(!Layout::Indexed { displs: vec![2, 6], block_lens: vec![3, 1] }.is_contiguous());
+        assert!(Layout::Vector {
+            count: 3,
+            block_len: 4,
+            stride: 4
+        }
+        .is_contiguous());
+        assert!(!Layout::Vector {
+            count: 3,
+            block_len: 1,
+            stride: 4
+        }
+        .is_contiguous());
+        assert!(Layout::Vector {
+            count: 1,
+            block_len: 1,
+            stride: 99
+        }
+        .is_contiguous());
+        assert!(Layout::Indexed {
+            displs: vec![2, 5],
+            block_lens: vec![3, 1]
+        }
+        .is_contiguous());
+        assert!(!Layout::Indexed {
+            displs: vec![2, 6],
+            block_lens: vec![3, 1]
+        }
+        .is_contiguous());
     }
 
     #[test]
     fn pack_unpack_roundtrip_column() {
         // A 4x5 row-major matrix; pack column 2.
-        let col = Layout::Vector { count: 4, block_len: 1, stride: 5 };
+        let col = Layout::Vector {
+            count: 4,
+            block_len: 1,
+            stride: 5,
+        };
         let got = run1(move |ctx| {
             let src = Buf::Real((0..20).map(|i| i as f64).collect());
             let payload = col.pack(ctx, &src, 2);
@@ -248,7 +313,12 @@ mod tests {
             let t0 = ctx.now();
             let _ = Layout::Contiguous { count: 32 }.pack(ctx, &src, 0);
             let t1 = ctx.now();
-            let _ = Layout::Vector { count: 32, block_len: 1, stride: 2 }.pack(ctx, &src, 0);
+            let _ = Layout::Vector {
+                count: 32,
+                block_len: 1,
+                stride: 2,
+            }
+            .pack(ctx, &src, 0);
             let t2 = ctx.now();
             (t1 - t0, t2 - t1)
         });
@@ -258,7 +328,10 @@ mod tests {
 
     #[test]
     fn indexed_roundtrip() {
-        let layout = Layout::Indexed { displs: vec![1, 6, 4], block_lens: vec![2, 1, 1] };
+        let layout = Layout::Indexed {
+            displs: vec![1, 6, 4],
+            block_lens: vec![2, 1, 1],
+        };
         let got = run1(move |ctx| {
             let src = Buf::Real((0..10).map(|i| i as f64 * 10.0).collect());
             let payload = layout.pack(ctx, &src, 0);
@@ -279,7 +352,12 @@ mod tests {
     fn pack_bounds_checked() {
         run1(|ctx| {
             let src = Buf::Real(vec![0.0f64; 8]);
-            Layout::Vector { count: 3, block_len: 1, stride: 4 }.pack(ctx, &src, 1);
+            Layout::Vector {
+                count: 3,
+                block_len: 1,
+                stride: 4,
+            }
+            .pack(ctx, &src, 1);
         });
     }
 }

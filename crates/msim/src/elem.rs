@@ -9,9 +9,7 @@
 ///
 /// Implementations are provided for the types the paper's workloads use
 /// (`f64` everywhere, plus the usual integer types).
-pub trait ShmElem:
-    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
-{
+pub trait ShmElem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// Size of one element in message bytes.
     const SIZE: usize;
 

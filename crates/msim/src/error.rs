@@ -59,7 +59,12 @@ impl SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::DeadlockSuspected { rank, comm, src, tag } => write!(
+            SimError::DeadlockSuspected {
+                rank,
+                comm,
+                src,
+                tag,
+            } => write!(
                 f,
                 "rank {rank} blocked in recv(comm={comm}, src={src}, tag={tag}) \
                  past the deadlock timeout — likely a communication deadlock"
@@ -79,7 +84,12 @@ mod tests {
 
     #[test]
     fn display_mentions_rank() {
-        let e = SimError::DeadlockSuspected { rank: 3, comm: 1, src: 0, tag: 9 };
+        let e = SimError::DeadlockSuspected {
+            rank: 3,
+            comm: 1,
+            src: 0,
+            tag: 9,
+        };
         let s = e.to_string();
         assert!(s.contains("rank 3"));
         assert!(s.contains("tag=9"));
@@ -87,7 +97,10 @@ mod tests {
 
     #[test]
     fn panic_display() {
-        let e = SimError::RankPanicked { rank: 1, message: "boom".into() };
+        let e = SimError::RankPanicked {
+            rank: 1,
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("boom"));
     }
 }

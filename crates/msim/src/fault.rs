@@ -62,7 +62,11 @@ pub enum SchedulePolicy {
 impl SchedulePolicy {
     /// The adversarial policy with default intensities for `seed`.
     pub fn adversarial(seed: u64) -> Self {
-        SchedulePolicy::Adversarial { seed, max_sleep_us: 40, max_stage: 4 }
+        SchedulePolicy::Adversarial {
+            seed,
+            max_sleep_us: 40,
+            max_stage: 4,
+        }
     }
 }
 
@@ -136,7 +140,11 @@ impl FaultPlan {
     /// The operation index at which `rank` dies, if any (earliest rule
     /// wins when several target the same rank).
     pub(crate) fn kill_op_of(&self, rank: usize) -> Option<u64> {
-        self.kills.iter().filter(|k| k.rank == rank).map(|k| k.at_op).min()
+        self.kills
+            .iter()
+            .filter(|k| k.rank == rank)
+            .map(|k| k.at_op)
+            .min()
     }
 
     /// The seeded wall-clock sleep injected before `rank`'s `op`-th
@@ -144,7 +152,9 @@ impl FaultPlan {
     pub(crate) fn sched_sleep(&self, rank: usize, op: u64) -> Option<Duration> {
         match self.schedule {
             SchedulePolicy::Fifo => None,
-            SchedulePolicy::Adversarial { seed, max_sleep_us, .. } => {
+            SchedulePolicy::Adversarial {
+                seed, max_sleep_us, ..
+            } => {
                 if max_sleep_us == 0 {
                     return None;
                 }
@@ -159,9 +169,9 @@ impl FaultPlan {
     pub(crate) fn stage_fuzz(&self, owner: usize) -> Option<(u64, usize)> {
         match self.schedule {
             SchedulePolicy::Fifo => None,
-            SchedulePolicy::Adversarial { seed, max_stage, .. } => {
-                (max_stage > 1).then(|| (mix(seed, owner as u64, 0, 0x57A6), max_stage))
-            }
+            SchedulePolicy::Adversarial {
+                seed, max_stage, ..
+            } => (max_stage > 1).then(|| (mix(seed, owner as u64, 0, 0x57A6), max_stage)),
         }
     }
 }
@@ -188,7 +198,10 @@ mod tests {
 
     #[test]
     fn earliest_kill_wins() {
-        let p = FaultPlan::none().with_kill(2, 9).with_kill(2, 4).with_kill(1, 1);
+        let p = FaultPlan::none()
+            .with_kill(2, 9)
+            .with_kill(2, 4)
+            .with_kill(1, 1);
         assert_eq!(p.kill_op_of(2), Some(4));
         assert_eq!(p.kill_op_of(1), Some(1));
         assert_eq!(p.kill_op_of(0), None);

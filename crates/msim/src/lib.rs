@@ -41,8 +41,8 @@ pub mod window;
 pub use buffer::Buf;
 pub use bytes::Bytes;
 pub use comm::Communicator;
-pub use datatype::Layout;
 pub use ctx::{wait_all, Ctx, RecvRequest, SendRequest};
+pub use datatype::Layout;
 pub use elem::ShmElem;
 pub use error::SimError;
 pub use fault::{FaultPlan, KillRule, SchedulePolicy};

@@ -89,7 +89,10 @@ impl Mailbox {
 
     /// A mailbox that fuzzes its delivery order per `fuzz`.
     pub(crate) fn fuzzed(fuzz: Option<StageFuzz>) -> Self {
-        Self { fuzz, ..Self::default() }
+        Self {
+            fuzz,
+            ..Self::default()
+        }
     }
 
     // A rank killed by fault injection may die while holding a mailbox
@@ -197,8 +200,14 @@ mod tests {
         b.arrival = 2.0;
         mb.push((0, 0, 0), a);
         mb.push((0, 0, 0), b);
-        assert_eq!(mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival, 1.0);
-        assert_eq!(mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival, 2.0);
+        assert_eq!(
+            mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival,
+            1.0
+        );
+        assert_eq!(
+            mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap().arrival,
+            2.0
+        );
     }
 
     #[test]
@@ -234,7 +243,11 @@ mod tests {
                 let a = mb.pop((0, 0, 0), Duration::from_secs(1)).unwrap();
                 assert_eq!(a.arrival, i as f64, "seed {seed}: key (0,0,0) reordered");
                 let b = mb.pop((0, 1, 0), Duration::from_secs(1)).unwrap();
-                assert_eq!(b.arrival, 100.0 + i as f64, "seed {seed}: key (0,1,0) reordered");
+                assert_eq!(
+                    b.arrival,
+                    100.0 + i as f64,
+                    "seed {seed}: key (0,1,0) reordered"
+                );
             }
             assert_eq!(mb.queued(), 0);
         }
@@ -254,7 +267,10 @@ mod tests {
             drop(s);
             assert!(mb.pop((0, 0, 0), Duration::from_secs(1)).is_some());
         }
-        assert!(staged_at_least_once, "staging never engaged across 16 seeds");
+        assert!(
+            staged_at_least_once,
+            "staging never engaged across 16 seeds"
+        );
     }
 
     #[test]

@@ -132,7 +132,9 @@ impl OobBoard {
     }
 
     fn take(entries: &mut HashMap<BoardKey, Entry>, key: BoardKey) {
-        let entry = entries.get_mut(&key).expect("entry must exist while taking");
+        let entry = entries
+            .get_mut(&key)
+            .expect("entry must exist while taking");
         entry.taken += 1;
         if entry.taken == entry.expected {
             entries.remove(&key);
@@ -202,9 +204,14 @@ mod tests {
                 .map(|m| {
                     let b = Arc::clone(&board);
                     std::thread::spawn(move || {
-                        *b.rendezvous((0, seq, KIND_WIN_ALLOC), m, 2, m, Duration::from_secs(5), |v| {
-                            v.len()
-                        })
+                        *b.rendezvous(
+                            (0, seq, KIND_WIN_ALLOC),
+                            m,
+                            2,
+                            m,
+                            Duration::from_secs(5),
+                            |v| v.len(),
+                        )
                     })
                 })
                 .collect();
@@ -212,13 +219,23 @@ mod tests {
                 assert_eq!(h.join().unwrap(), 2);
             }
         }
-        assert!(board.entries.lock().unwrap().is_empty(), "entries must be cleaned up");
+        assert!(
+            board.entries.lock().unwrap().is_empty(),
+            "entries must be cleaned up"
+        );
     }
 
     #[test]
     #[should_panic(expected = "timed out")]
     fn missing_member_times_out() {
         let board = OobBoard::new();
-        board.rendezvous((9, 9, KIND_SPLIT), 0, 2, (), Duration::from_millis(20), |_| ());
+        board.rendezvous(
+            (9, 9, KIND_SPLIT),
+            0,
+            2,
+            (),
+            Duration::from_millis(20),
+            |_| (),
+        );
     }
 }

@@ -218,11 +218,20 @@ impl Universe {
                     let err = if let Some(e) = payload.downcast_ref::<SimError>() {
                         e.clone()
                     } else if let Some(s) = payload.downcast_ref::<&str>() {
-                        SimError::RankPanicked { rank, message: (*s).to_string() }
+                        SimError::RankPanicked {
+                            rank,
+                            message: (*s).to_string(),
+                        }
                     } else if let Some(s) = payload.downcast_ref::<String>() {
-                        SimError::RankPanicked { rank, message: s.clone() }
+                        SimError::RankPanicked {
+                            rank,
+                            message: s.clone(),
+                        }
                     } else {
-                        SimError::RankPanicked { rank, message: "<non-string panic>".into() }
+                        SimError::RankPanicked {
+                            rank,
+                            message: "<non-string panic>".into(),
+                        }
                     };
                     // A genuine rank panic is the root cause; the deadlock
                     // timeouts it triggers on other ranks are symptoms. So
@@ -262,10 +271,7 @@ mod tests {
     #[test]
     fn ranks_see_their_ids() {
         let r = Universe::run(small(), |ctx| (ctx.rank(), ctx.nranks(), ctx.node())).unwrap();
-        assert_eq!(
-            r.per_rank,
-            vec![(0, 4, 0), (1, 4, 0), (2, 4, 1), (3, 4, 1)]
-        );
+        assert_eq!(r.per_rank, vec![(0, 4, 0), (1, 4, 0), (2, 4, 1), (3, 4, 1)]);
     }
 
     #[test]
@@ -456,7 +462,9 @@ mod tests {
 
     #[test]
     fn phantom_mode_rejects_real_data() {
-        let cfg = small().phantom().with_recv_timeout(Duration::from_millis(100));
+        let cfg = small()
+            .phantom()
+            .with_recv_timeout(Duration::from_millis(100));
         let err = Universe::run(cfg, |ctx| {
             let world = ctx.world();
             if ctx.rank() == 0 {
@@ -474,8 +482,10 @@ mod tests {
     fn buffers_follow_universe_mode() {
         let real = Universe::run(small(), |ctx| ctx.buf_zeroed::<f64>(4).is_phantom()).unwrap();
         assert!(real.per_rank.iter().all(|p| !p));
-        let ph = Universe::run(small().phantom(), |ctx| ctx.buf_zeroed::<f64>(4).is_phantom())
-            .unwrap();
+        let ph = Universe::run(small().phantom(), |ctx| {
+            ctx.buf_zeroed::<f64>(4).is_phantom()
+        })
+        .unwrap();
         assert!(ph.per_rank.iter().all(|p| *p));
     }
 }

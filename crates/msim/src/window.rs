@@ -96,9 +96,7 @@ impl<T: ShmElem> SharedWindow<T> {
                 }
                 offsets.push(acc);
                 let storage = match mode {
-                    DataMode::Real => {
-                        Storage::Real((0..acc).map(|_| AtomicU64::new(0)).collect())
-                    }
+                    DataMode::Real => Storage::Real((0..acc).map(|_| AtomicU64::new(0)).collect()),
                     DataMode::Phantom => Storage::Phantom,
                 };
                 WindowInner { storage, offsets }
@@ -170,9 +168,7 @@ impl<T: ShmElem> SharedWindow<T> {
     pub fn read(&self, idx: usize) -> T {
         assert!(idx < self.view_len, "window read out of bounds");
         match &self.inner.storage {
-            Storage::Real(cells) => {
-                T::from_bits64(cells[self.base + idx].load(Ordering::Relaxed))
-            }
+            Storage::Real(cells) => T::from_bits64(cells[self.base + idx].load(Ordering::Relaxed)),
             Storage::Phantom => T::default(),
         }
     }
@@ -181,16 +177,17 @@ impl<T: ShmElem> SharedWindow<T> {
     pub fn write(&self, idx: usize, v: T) {
         assert!(idx < self.view_len, "window write out of bounds");
         match &self.inner.storage {
-            Storage::Real(cells) => {
-                cells[self.base + idx].store(v.to_bits64(), Ordering::Relaxed)
-            }
+            Storage::Real(cells) => cells[self.base + idx].store(v.to_bits64(), Ordering::Relaxed),
             Storage::Phantom => {}
         }
     }
 
     /// Copy `out.len()` elements starting at `off` into `out`.
     pub fn read_into(&self, off: usize, out: &mut [T]) {
-        assert!(off + out.len() <= self.view_len, "window read out of bounds");
+        assert!(
+            off + out.len() <= self.view_len,
+            "window read out of bounds"
+        );
         if let Storage::Real(cells) = &self.inner.storage {
             for (i, slot) in out.iter_mut().enumerate() {
                 *slot = T::from_bits64(cells[self.base + off + i].load(Ordering::Relaxed));
@@ -204,7 +201,10 @@ impl<T: ShmElem> SharedWindow<T> {
 
     /// Write `src` into the window starting at `off`.
     pub fn write_from(&self, off: usize, src: &[T]) {
-        assert!(off + src.len() <= self.view_len, "window write out of bounds");
+        assert!(
+            off + src.len() <= self.view_len,
+            "window write out of bounds"
+        );
         if let Storage::Real(cells) = &self.inner.storage {
             for (i, &v) in src.iter().enumerate() {
                 cells[self.base + off + i].store(v.to_bits64(), Ordering::Relaxed);
@@ -226,7 +226,10 @@ impl<T: ShmElem> SharedWindow<T> {
     /// Build a message payload from window region `[off, off+len)` — used
     /// by node leaders to send shared data across nodes.
     pub fn payload(&self, off: usize, len: usize) -> Payload {
-        assert!(off + len <= self.total_len(), "window payload out of bounds");
+        assert!(
+            off + len <= self.total_len(),
+            "window payload out of bounds"
+        );
         match &self.inner.storage {
             Storage::Real(_) => {
                 let mut tmp = vec![T::default(); len];
@@ -240,7 +243,10 @@ impl<T: ShmElem> SharedWindow<T> {
     /// Write a received payload into window region starting at `off`.
     pub fn write_payload(&self, off: usize, payload: &Payload) {
         let elems = payload.len() / T::SIZE;
-        assert!(off + elems <= self.total_len(), "window write out of bounds");
+        assert!(
+            off + elems <= self.total_len(),
+            "window write out of bounds"
+        );
         if let (Storage::Real(_), Payload::Real(b)) = (&self.inner.storage, payload) {
             let mut tmp = vec![T::default(); elems];
             crate::elem::bytes_to_slice(b, &mut tmp);
@@ -316,7 +322,10 @@ mod tests {
             (win.total_len(), win.base_of(0))
         })
         .unwrap();
-        assert!(r.per_rank.iter().all(|&(total, base0)| total == 12 && base0 == 0));
+        assert!(r
+            .per_rank
+            .iter()
+            .all(|&(total, base0)| total == 12 && base0 == 0));
     }
 
     #[test]

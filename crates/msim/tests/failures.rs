@@ -144,7 +144,12 @@ fn deadlock_error_carries_exact_receive_coordinates() {
     })
     .unwrap_err();
     match &err {
-        &SimError::DeadlockSuspected { rank, comm, src, tag } => {
+        &SimError::DeadlockSuspected {
+            rank,
+            comm,
+            src,
+            tag,
+        } => {
             assert_eq!(rank, 2, "global rank of the blocked receiver");
             assert_ne!(comm, 0, "derived communicator must not report WORLD's id");
             assert_eq!(src, 0, "communicator-local source");

@@ -23,7 +23,12 @@ fn ring(ctx: &mut msim::Ctx, rounds: usize) -> u64 {
     for round in 0..rounds {
         let right = (ctx.rank() + 1) % n;
         let left = (ctx.rank() + n - 1) % n;
-        ctx.send(&world, right, round as u32, Payload::Real(msim::Bytes::from(vec![ctx.rank() as u8; 32])));
+        ctx.send(
+            &world,
+            right,
+            round as u32,
+            Payload::Real(msim::Bytes::from(vec![ctx.rank() as u8; 32])),
+        );
         let got = ctx.recv(&world, left, round as u32);
         assert_eq!(got.bytes()[0], left as u8);
         sum = sum.wrapping_mul(31).wrapping_add(got.bytes()[0] as u64);
@@ -97,8 +102,12 @@ fn schedule_fuzzing_is_invisible_to_virtual_time() {
     let baseline = Universe::run(cfg(2, 3).traced(), |ctx| ring(ctx, 4)).unwrap();
     for seed in 0..8u64 {
         let plan = FaultPlan::none().with_schedule(SchedulePolicy::adversarial(seed));
-        let fuzzed = Universe::run(cfg(2, 3).traced().with_fault(plan), |ctx| ring(ctx, 4)).unwrap();
-        assert_eq!(fuzzed.per_rank, baseline.per_rank, "seed {seed} changed results");
+        let fuzzed =
+            Universe::run(cfg(2, 3).traced().with_fault(plan), |ctx| ring(ctx, 4)).unwrap();
+        assert_eq!(
+            fuzzed.per_rank, baseline.per_rank,
+            "seed {seed} changed results"
+        );
         assert_eq!(fuzzed.clocks, baseline.clocks, "seed {seed} changed clocks");
         assert_eq!(
             fuzzed.tracer.events(),
@@ -111,14 +120,21 @@ fn schedule_fuzzing_is_invisible_to_virtual_time() {
 #[test]
 fn perturbation_changes_clocks_deterministically() {
     let run = |plan: FaultPlan| {
-        Universe::run(cfg(1, 4).with_fault(plan), |ctx| ring(ctx, 4)).unwrap().clocks
+        Universe::run(cfg(1, 4).with_fault(plan), |ctx| ring(ctx, 4))
+            .unwrap()
+            .clocks
     };
     let nominal = run(FaultPlan::none());
-    let perturb = Perturbation::none().with_delayed_rank(1, 5.0).with_message_jitter(2.0);
+    let perturb = Perturbation::none()
+        .with_delayed_rank(1, 5.0)
+        .with_message_jitter(2.0);
     let a = run(FaultPlan::none().with_perturbation(perturb.clone()));
     let b = run(FaultPlan::none().with_perturbation(perturb));
     assert_eq!(a, b, "same perturbation, same clocks");
-    assert_ne!(a, nominal, "the delay must actually show up in virtual time");
+    assert_ne!(
+        a, nominal,
+        "the delay must actually show up in virtual time"
+    );
     assert!(
         a.iter().zip(&nominal).all(|(p, n)| p >= n),
         "injected delays can only slow ranks down: {a:?} vs {nominal:?}"
@@ -136,7 +152,8 @@ fn slow_rank_stretches_its_compute() {
         .per_rank
     };
     let nominal = run(FaultPlan::none());
-    let slowed = run(FaultPlan::none().with_perturbation(Perturbation::none().with_slow_rank(1, 2.0)));
+    let slowed =
+        run(FaultPlan::none().with_perturbation(Perturbation::none().with_slow_rank(1, 2.0)));
     assert_eq!(slowed[0], nominal[0]);
     assert_eq!(slowed[1], 2.0 * nominal[1]);
 }
@@ -146,7 +163,8 @@ fn fuzzed_config_reproduces_per_seed() {
     // SimConfig::fuzzed(seed): same seed -> byte-identical results, same
     // clocks, same trace. Different seeds may differ in clocks (the
     // perturbation is seeded) but never in results.
-    let run = |seed: u64| Universe::run(cfg(2, 2).traced().fuzzed(seed), |ctx| ring(ctx, 3)).unwrap();
+    let run =
+        |seed: u64| Universe::run(cfg(2, 2).traced().fuzzed(seed), |ctx| ring(ctx, 3)).unwrap();
     let a1 = run(11);
     let a2 = run(11);
     assert_eq!(a1.per_rank, a2.per_rank);
@@ -154,7 +172,10 @@ fn fuzzed_config_reproduces_per_seed() {
     assert_eq!(a1.tracer.events(), a2.tracer.events());
     let b = run(12);
     assert_eq!(b.per_rank, a1.per_rank, "results are schedule-independent");
-    assert_ne!(b.clocks, a1.clocks, "different seed, different perturbed clocks");
+    assert_ne!(
+        b.clocks, a1.clocks,
+        "different seed, different perturbed clocks"
+    );
 }
 
 #[test]

@@ -29,6 +29,8 @@ pub struct TrafficStats {
     pub barriers: usize,
     /// Shared-window bytes allocated (sum of per-rank requests).
     pub window_bytes: usize,
+    /// Algorithm-selection decisions recorded (all ranks combined).
+    pub decisions: usize,
 }
 
 impl TrafficStats {
@@ -50,6 +52,7 @@ impl TrafficStats {
                 EventKind::Compute { flops } => s.flops += flops,
                 EventKind::Barrier => s.barriers += 1,
                 EventKind::WinAlloc { bytes } => s.window_bytes += bytes,
+                EventKind::Decision { .. } => s.decisions += 1,
                 EventKind::Recv { .. } => {}
             }
         }
@@ -111,19 +114,51 @@ mod tests {
     use crate::topology::ClusterSpec;
 
     fn ev(rank: usize, kind: EventKind) -> Event {
-        Event { rank, time: 0.0, kind }
+        Event {
+            rank,
+            time: 0.0,
+            kind,
+        }
     }
 
     fn sample_events() -> Vec<Event> {
         vec![
-            ev(0, EventKind::Send { to: 1, bytes: 100, intra: true }),
-            ev(0, EventKind::Send { to: 2, bytes: 50, intra: false }),
-            ev(1, EventKind::Send { to: 3, bytes: 8, intra: false }),
+            ev(
+                0,
+                EventKind::Send {
+                    to: 1,
+                    bytes: 100,
+                    intra: true,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Send {
+                    to: 2,
+                    bytes: 50,
+                    intra: false,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Send {
+                    to: 3,
+                    bytes: 8,
+                    intra: false,
+                },
+            ),
             ev(2, EventKind::Copy { bytes: 64 }),
             ev(3, EventKind::Compute { flops: 1000.0 }),
             ev(3, EventKind::Barrier),
             ev(0, EventKind::WinAlloc { bytes: 4096 }),
-            ev(1, EventKind::Recv { from: 0, bytes: 100, intra: true }),
+            ev(
+                1,
+                EventKind::Recv {
+                    from: 0,
+                    bytes: 100,
+                    intra: true,
+                },
+            ),
         ]
     }
 
@@ -163,7 +198,14 @@ mod tests {
     #[test]
     fn histogram_ignores_empty_messages() {
         let mut events = sample_events();
-        events.push(ev(2, EventKind::Send { to: 0, bytes: 0, intra: false }));
+        events.push(ev(
+            2,
+            EventKind::Send {
+                to: 0,
+                bytes: 0,
+                intra: false,
+            },
+        ));
         let h = message_size_histogram(&events);
         assert_eq!(h.get(&100), Some(&1));
         assert_eq!(h.get(&0), None);

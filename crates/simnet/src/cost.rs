@@ -13,7 +13,6 @@
 //! cost model only has to price a single message, a single memcpy, and a
 //! flop, with realistic intra/inter ratios.
 
-
 /// Interconnect topology refinement for the inter-node latency term.
 ///
 /// The paper's Cray XC40 uses the Aries *dragonfly* topology: nodes in
@@ -41,7 +40,10 @@ impl NetTopology {
     pub fn group_extra(&self, node_a: usize, node_b: usize) -> f64 {
         match self {
             NetTopology::Flat => 0.0,
-            NetTopology::Dragonfly { nodes_per_group, inter_group_alpha_extra } => {
+            NetTopology::Dragonfly {
+                nodes_per_group,
+                inter_group_alpha_extra,
+            } => {
                 if node_a / nodes_per_group == node_b / nodes_per_group {
                     0.0
                 } else {
@@ -126,7 +128,7 @@ impl CostModel {
             beta_inter: 1.0e-4, // ~10 GB/s Aries
             rendezvous_threshold: 64 * 1024,
             copy_alpha: 0.05,
-            copy_beta: 1.0e-4, // ~10 GB/s memcpy
+            copy_beta: 1.0e-4,   // ~10 GB/s memcpy
             flops_per_us: 1.0e4, // ~10 GFlop/s/core sustained dgemm
             flag_post_us: 0.04,
             flag_latency_us: 0.10,
@@ -302,7 +304,10 @@ mod tests {
     fn dragonfly_surcharge_applies_between_groups_only() {
         let flat = NetTopology::Flat;
         assert_eq!(flat.group_extra(0, 63), 0.0);
-        let df = NetTopology::Dragonfly { nodes_per_group: 4, inter_group_alpha_extra: 0.5 };
+        let df = NetTopology::Dragonfly {
+            nodes_per_group: 4,
+            inter_group_alpha_extra: 0.5,
+        };
         assert_eq!(df.group_extra(0, 3), 0.0);
         assert_eq!(df.group_extra(0, 4), 0.5);
         assert_eq!(df.group_extra(5, 6), 0.0);

@@ -1,0 +1,203 @@
+//! Closed-form schedule cost estimation — the ranking oracle behind
+//! cost-model-driven algorithm selection.
+//!
+//! The simulator prices collectives by *executing* their schedules
+//! (`DESIGN.md` §4: "all collective costs emerge from the executed
+//! schedule"). That is exact but too expensive to do per candidate at
+//! selection time, so autotuning ranks candidates with the cheap
+//! closed-form approximations here: a synchronous round of a balanced
+//! schedule costs one message (`o_send + α + β·n + o_recv`), and the
+//! whole schedule is a sum of rounds plus any explicit copy traffic.
+//!
+//! The estimates use the *same* [`CostModel`] parameters the simulator
+//! charges, so rankings track simulated makespans closely; they only
+//! ignore second-order skew effects (wait chains, partially overlapped
+//! rounds). They are used to *order* candidates, never to report time.
+
+use crate::cost::{CostModel, LinkClass};
+
+/// Cheap closed-form cost estimator over one link class.
+///
+/// Collective schedules mix intra- and inter-node messages; candidate
+/// ranking prices every hop at the communicator's *dominant* link class
+/// (network as soon as the communicator spans nodes), which preserves the
+/// relative order of schedules on realistic α/β ratios.
+#[derive(Debug, Clone)]
+pub struct Estimator<'a> {
+    cost: &'a CostModel,
+    link: LinkClass,
+}
+
+impl<'a> Estimator<'a> {
+    /// An estimator pricing hops on `link`.
+    pub fn new(cost: &'a CostModel, link: LinkClass) -> Self {
+        Self { cost, link }
+    }
+
+    /// The estimator for a communicator that spans nodes (`true`) or
+    /// lives inside one node (`false`).
+    pub fn for_span(cost: &'a CostModel, inter_node: bool) -> Self {
+        let link = if inter_node {
+            LinkClass::Network
+        } else {
+            LinkClass::SharedMem
+        };
+        Self::new(cost, link)
+    }
+
+    /// The underlying cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// The link class hops are priced at.
+    pub fn link(&self) -> LinkClass {
+        self.link
+    }
+
+    /// End-to-end cost of one point-to-point message of `bytes`:
+    /// sender overhead + wire transit + receiver overhead.
+    pub fn msg(&self, bytes: usize) -> f64 {
+        self.cost.o_send + self.cost.o_recv + self.cost.transit(self.link, bytes)
+    }
+
+    /// One explicit memcpy of `bytes` through shared memory.
+    pub fn copy(&self, bytes: usize) -> f64 {
+        self.cost.copy(bytes)
+    }
+
+    /// A synchronous schedule of `per_round_bytes.len()` rounds, each
+    /// round one message of the given size on the critical path.
+    pub fn rounds(&self, per_round_bytes: impl IntoIterator<Item = usize>) -> f64 {
+        per_round_bytes.into_iter().map(|b| self.msg(b)).sum()
+    }
+
+    /// `rounds` identical rounds of `bytes` each (e.g. a ring's p−1
+    /// neighbor exchanges).
+    pub fn uniform_rounds(&self, rounds: usize, bytes: usize) -> f64 {
+        rounds as f64 * self.msg(bytes)
+    }
+
+    /// Doubling rounds: round `k` of ⌈log₂ p⌉ moves `base_bytes · 2^k`
+    /// (recursive doubling / Bruck growth pattern), capped at
+    /// `total_bytes` per round.
+    pub fn doubling_rounds(&self, p: usize, base_bytes: usize, total_bytes: usize) -> f64 {
+        let mut t = 0.0;
+        let mut chunk = base_bytes;
+        let mut covered = 1usize;
+        while covered < p {
+            t += self.msg(chunk.min(total_bytes));
+            chunk = chunk.saturating_mul(2);
+            covered *= 2;
+        }
+        t
+    }
+
+    /// Halving rounds: round `k` of log₂ p moves `total_bytes / 2^(k+1)`
+    /// (recursive halving reduce-scatter pattern).
+    pub fn halving_rounds(&self, p: usize, total_bytes: usize) -> f64 {
+        let mut t = 0.0;
+        let mut chunk = total_bytes / 2;
+        let mut covered = 1usize;
+        while covered < p {
+            t += self.msg(chunk);
+            chunk /= 2;
+            covered *= 2;
+        }
+        t
+    }
+
+    /// A dissemination barrier over `p` members: ⌈log₂ p⌉ zero-byte
+    /// rounds (message-based inter-node, flag-based on one node).
+    pub fn barrier(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = p.next_power_of_two().trailing_zeros() as f64;
+        match self.link {
+            LinkClass::Network => rounds * self.msg(0),
+            LinkClass::SharedMem => {
+                rounds
+                    * (self.cost.flag_post_us + self.cost.flag_latency_us + self.cost.flag_poll_us)
+            }
+        }
+    }
+
+    /// Per-element compute time for `elems` reduction elements at
+    /// `flops_per_elem` each.
+    pub fn reduce_compute(&self, elems: usize, flops_per_elem: f64) -> f64 {
+        self.cost.compute(elems as f64 * flops_per_elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_matches_charging_formula() {
+        let m = CostModel::cray_aries();
+        let e = Estimator::new(&m, LinkClass::Network);
+        let b = 4096usize;
+        assert_eq!(
+            e.msg(b),
+            m.o_send + m.o_recv + m.transit(LinkClass::Network, b)
+        );
+    }
+
+    #[test]
+    fn span_selects_link() {
+        let m = CostModel::cray_aries();
+        assert_eq!(Estimator::for_span(&m, true).link(), LinkClass::Network);
+        assert_eq!(Estimator::for_span(&m, false).link(), LinkClass::SharedMem);
+    }
+
+    #[test]
+    fn doubling_saves_latency_not_bandwidth() {
+        // Both schedules move (p−1)/p of the buffer on the critical path;
+        // doubling does it in log p rounds instead of p−1, so in a
+        // contention-free round model it is never slower — but its edge
+        // is pure per-round latency, so the relative gap vanishes as the
+        // bandwidth term grows.
+        let m = CostModel::cray_aries();
+        let e = Estimator::new(&m, LinkClass::Network);
+        let p = 16usize;
+        let gap = |block: usize| {
+            let ring = e.uniform_rounds(p - 1, block);
+            let rd = e.doubling_rounds(p, block, p * block);
+            assert!(rd <= ring, "rd {rd} vs ring {ring} at block {block}");
+            (ring - rd) / ring
+        };
+        assert!(gap(1 << 20) < gap(8) / 10.0);
+    }
+
+    #[test]
+    fn doubling_beats_ring_for_small_totals() {
+        let m = CostModel::cray_aries();
+        let e = Estimator::new(&m, LinkClass::Network);
+        let p = 16usize;
+        let block = 8;
+        let ring = e.uniform_rounds(p - 1, block);
+        let rd = e.doubling_rounds(p, block, p * block);
+        assert!(rd < ring, "recursive doubling {rd} vs ring {ring}");
+    }
+
+    #[test]
+    fn barrier_is_logarithmic_and_free_for_one() {
+        let m = CostModel::uniform_test();
+        let e = Estimator::new(&m, LinkClass::Network);
+        assert_eq!(e.barrier(1), 0.0);
+        assert!(e.barrier(16) > e.barrier(4));
+        assert!(e.barrier(16) < e.barrier(4) * 3.0);
+    }
+
+    #[test]
+    fn halving_sums_to_under_one_buffer() {
+        let m = CostModel::cray_aries();
+        let e = Estimator::new(&m, LinkClass::Network);
+        let total = 1 << 20;
+        let t = e.halving_rounds(8, total);
+        // Bytes moved: n/2 + n/4 + n/8 < n.
+        assert!(t < e.msg(total) * 1.5);
+    }
+}

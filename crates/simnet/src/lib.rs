@@ -26,6 +26,7 @@
 pub mod analysis;
 pub mod clock;
 pub mod cost;
+pub mod estimate;
 pub mod perturb;
 pub mod placement;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use analysis::TrafficStats;
 pub use clock::Clock;
 pub use cost::{CostModel, LinkClass, NetTopology};
+pub use estimate::Estimator;
 pub use perturb::Perturbation;
 pub use placement::{Placement, RankMap};
 pub use stats::Summary;

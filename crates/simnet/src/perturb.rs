@@ -83,7 +83,10 @@ impl Perturbation {
 
     /// Builder: scale rank `rank`'s modeled compute time by `scale`.
     pub fn with_slow_rank(mut self, rank: usize, scale: f64) -> Self {
-        assert!(scale >= 0.0 && scale.is_finite(), "compute scale must be finite and >= 0");
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "compute scale must be finite and >= 0"
+        );
         self.compute_scale.push((rank, scale));
         self
     }
@@ -154,7 +157,9 @@ mod tests {
 
     #[test]
     fn compute_scales_compose() {
-        let p = Perturbation::none().with_slow_rank(1, 2.0).with_slow_rank(1, 3.0);
+        let p = Perturbation::none()
+            .with_slow_rank(1, 2.0)
+            .with_slow_rank(1, 3.0);
         assert_eq!(p.compute_scale_of(1), 6.0);
         assert_eq!(p.compute_scale_of(0), 1.0);
     }

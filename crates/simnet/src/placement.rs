@@ -5,7 +5,6 @@
 //! for any placement because they derive node membership from the placement
 //! itself (the "node-sorted global rank array" technique of [31]).
 
-
 use crate::cost::LinkClass;
 use crate::topology::ClusterSpec;
 
@@ -67,7 +66,10 @@ impl Placement {
                 );
                 let mut used = vec![0usize; nnodes];
                 for (rank, &node) in assignment.iter().enumerate() {
-                    assert!(node < nnodes, "rank {rank} assigned to nonexistent node {node}");
+                    assert!(
+                        node < nnodes,
+                        "rank {rank} assigned to nonexistent node {node}"
+                    );
                     used[node] += 1;
                     assert!(
                         used[node] <= spec.cores_on(node),

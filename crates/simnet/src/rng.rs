@@ -65,7 +65,9 @@ impl Rng64 {
     /// An independent child generator (for splitting a seed into
     /// per-subsystem streams without correlating them).
     pub fn fork(&mut self) -> Rng64 {
-        Rng64 { state: self.next_u64() }
+        Rng64 {
+            state: self.next_u64(),
+        }
     }
 
     /// Uniform f64 in `[0, 1)`.
@@ -189,7 +191,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>());
-        assert_ne!(v, (0..16).collect::<Vec<_>>(), "16! permutations: identity is astronomically unlikely");
+        assert_ne!(
+            v,
+            (0..16).collect::<Vec<_>>(),
+            "16! permutations: identity is astronomically unlikely"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Cluster topology: a list of SMP nodes and the number of cores on each.
 
-
 /// Describes a cluster as an ordered list of nodes, each with a core count.
 ///
 /// Core counts may differ between nodes ("irregularly populated nodes",
@@ -34,7 +33,10 @@ impl ClusterSpec {
     /// # Panics
     /// Panics if `cores_per_node` is empty or any entry is zero.
     pub fn irregular(cores_per_node: Vec<usize>) -> Self {
-        assert!(!cores_per_node.is_empty(), "cluster must have at least one node");
+        assert!(
+            !cores_per_node.is_empty(),
+            "cluster must have at least one node"
+        );
         assert!(
             cores_per_node.iter().all(|&c| c > 0),
             "every node must have at least one core"

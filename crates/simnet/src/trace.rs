@@ -14,9 +14,17 @@ use std::sync::{Arc, Mutex, PoisonError};
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// Posted a message of `bytes` to global rank `to` (`intra` = same node).
-    Send { to: usize, bytes: usize, intra: bool },
+    Send {
+        to: usize,
+        bytes: usize,
+        intra: bool,
+    },
     /// Completed a receive of `bytes` from global rank `from`.
-    Recv { from: usize, bytes: usize, intra: bool },
+    Recv {
+        from: usize,
+        bytes: usize,
+        intra: bool,
+    },
     /// Explicit data copy through shared memory (memcpy).
     Copy { bytes: usize },
     /// Modeled computation.
@@ -25,6 +33,17 @@ pub enum EventKind {
     WinAlloc { bytes: usize },
     /// Completed a barrier (any implementation).
     Barrier,
+    /// An algorithm-selection decision made by a `SelectionPolicy`
+    /// (operation, chosen algorithm name, free-form "why" string). Charged
+    /// no virtual time; recorded so traces explain *which* schedule ran.
+    Decision {
+        /// Operation key, e.g. `"allgather"`.
+        op: String,
+        /// Chosen algorithm name, e.g. `"allgather.ring"`.
+        algo: String,
+        /// Human-readable reason (policy kind, thresholds or estimates).
+        why: String,
+    },
 }
 
 /// A single trace record.
@@ -177,9 +196,33 @@ mod tests {
     #[test]
     fn send_classification() {
         let t = Tracer::enabled();
-        t.record(0, 0.0, EventKind::Send { to: 1, bytes: 8, intra: true });
-        t.record(0, 0.0, EventKind::Send { to: 9, bytes: 8, intra: false });
-        t.record(0, 0.0, EventKind::Send { to: 9, bytes: 8, intra: false });
+        t.record(
+            0,
+            0.0,
+            EventKind::Send {
+                to: 1,
+                bytes: 8,
+                intra: true,
+            },
+        );
+        t.record(
+            0,
+            0.0,
+            EventKind::Send {
+                to: 9,
+                bytes: 8,
+                intra: false,
+            },
+        );
+        t.record(
+            0,
+            0.0,
+            EventKind::Send {
+                to: 9,
+                bytes: 8,
+                intra: false,
+            },
+        );
         assert_eq!(t.intra_node_sends(), 1);
         assert_eq!(t.inter_node_sends(), 2);
     }

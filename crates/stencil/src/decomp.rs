@@ -71,7 +71,10 @@ impl Decomp {
     /// must own at least one row and one column).
     pub fn new(n: usize, p: usize) -> Self {
         let (pr, pc) = near_square(p);
-        assert!(n >= pr && n >= pc, "grid {n}x{n} too small for {pr}x{pc} ranks");
+        assert!(
+            n >= pr && n >= pc,
+            "grid {n}x{n} too small for {pr}x{pc} ranks"
+        );
         Self { pr, pc, n }
     }
 

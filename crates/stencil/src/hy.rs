@@ -50,7 +50,16 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
     let hc = HybridComm::new(ctx, &world, collectives::Tuning::cray_mpich());
     let h = hc.hierarchy().clone();
     let active = me < d.nranks();
-    let t = if active { d.tile(me) } else { Tile { r0: 0, r1: 0, c0: 0, c1: 0 } };
+    let t = if active {
+        d.tile(me)
+    } else {
+        Tile {
+            r0: 0,
+            r1: 0,
+            c0: 0,
+            c1: 0,
+        }
+    };
     let (rows, cols) = (t.rows(), t.cols());
 
     // Node window: per local rank, two rows*cols buffers (no halo ring).
@@ -65,7 +74,10 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
     // after the collective setup (no rank ever flags or messages them).
     let grid_comm = world.split(ctx, active.then_some(0), 0);
     if !active {
-        return StencilReport { elapsed_us: 0.0, tile: None };
+        return StencilReport {
+            elapsed_us: 0.0,
+            tile: None,
+        };
     }
     let grid_comm = grid_comm.expect("active ranks have a grid communicator");
 
@@ -106,7 +118,10 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
                         tile: d.tile(rank),
                     }
                 } else {
-                    Source::Remote { rank, halo: vec![0.0; edge_len] }
+                    Source::Remote {
+                        rank,
+                        halo: vec![0.0; edge_len],
+                    }
                 }
             }
         }
@@ -126,15 +141,20 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
     for _ in 0..spec.iters {
         // --- Remote exchanges (strips carry the current iterate) ---
         exchange_remote(
-            ctx, &world, &win, &t, my_region, parity, real,
+            ctx,
+            &world,
+            &win,
+            &t,
+            my_region,
+            parity,
+            real,
             [&mut up, &mut down, &mut left, &mut right],
         );
         // --- Wait for on-node neighbors' current buffers ---
         wait_ready_flags(ctx, &h.shm, [&up, &down, &left, &right]);
 
         // --- Update ---
-        let updatable =
-            (t.r0.max(1)..t.r1.min(n - 1)).len() * (t.c0.max(1)..t.c1.min(n - 1)).len();
+        let updatable = (t.r0.max(1)..t.r1.min(n - 1)).len() * (t.c0.max(1)..t.c1.min(n - 1)).len();
         ctx.compute(updatable as f64 * FLOPS_PER_CELL);
         if real {
             let read_cell = |src: &Source, gi: usize, gj: usize| -> f64 {
@@ -180,7 +200,10 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
                     } else {
                         read_cell(&right, gi, gj + 1)
                     };
-                    win.write(nxt + li * cols + lj, 0.25 * (v_up + v_down + v_left + v_right));
+                    win.write(
+                        nxt + li * cols + lj,
+                        0.25 * (v_up + v_down + v_left + v_right),
+                    );
                 }
             }
         }
@@ -195,7 +218,10 @@ pub fn hy_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
         win.read_into(tile_at(parity, my_region, &t), &mut out);
         out
     });
-    StencilReport { elapsed_us, tile: tile_out }
+    StencilReport {
+        elapsed_us,
+        tile: tile_out,
+    }
 }
 
 /// Post "my current buffer is ready" flags to every on-node neighbor.
@@ -240,7 +266,11 @@ fn exchange_remote(
     let send_strip = |ctx: &mut Ctx, dirtag: u32, rank: usize, strip: (usize, usize, bool)| {
         let (off, len, is_col) = strip;
         let layout = if is_col {
-            msim::Layout::Vector { count: len, block_len: 1, stride: cols }
+            msim::Layout::Vector {
+                count: len,
+                block_len: 1,
+                stride: cols,
+            }
         } else {
             msim::Layout::Contiguous { count: len }
         };

@@ -20,7 +20,10 @@ pub fn ori_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
     // All ranks must take part in the split; idle ranks then leave.
     let grid_comm = world.split(ctx, active.then_some(0), 0);
     if !active {
-        return StencilReport { elapsed_us: 0.0, tile: None };
+        return StencilReport {
+            elapsed_us: 0.0,
+            tile: None,
+        };
     }
     let grid_comm = grid_comm.expect("active ranks have a grid communicator");
     let t = d.tile(me);
@@ -36,15 +39,17 @@ pub fn ori_jacobi(ctx: &mut Ctx, spec: &StencilSpec) -> StencilReport {
     if real {
         for li in 0..hr {
             for lj in 0..hc {
-                let (gi, gj) = (t.r0 as isize - 1 + li as isize, t.c0 as isize - 1 + lj as isize);
+                let (gi, gj) = (
+                    t.r0 as isize - 1 + li as isize,
+                    t.c0 as isize - 1 + lj as isize,
+                );
                 if gi >= 0 && gj >= 0 && (gi as usize) < n && (gj as usize) < n {
                     let (gi, gj) = (gi as usize, gj as usize);
-                    cur[li * hc + lj] =
-                        if gi == 0 || gi == n - 1 || gj == 0 || gj == n - 1 {
-                            boundary_value(gi, gj, n)
-                        } else {
-                            initial_value(gi, gj)
-                        };
+                    cur[li * hc + lj] = if gi == 0 || gi == n - 1 || gj == 0 || gj == n - 1 {
+                        boundary_value(gi, gj, n)
+                    } else {
+                        initial_value(gi, gj)
+                    };
                 }
             }
         }

@@ -49,7 +49,11 @@ mod tests {
         let g = serial_jacobi(n, 10);
         for j in 0..n {
             assert_eq!(g[j], crate::boundary_value(0, j, n), "top edge");
-            assert_eq!(g[(n - 1) * n + j], crate::boundary_value(n - 1, j, n), "bottom");
+            assert_eq!(
+                g[(n - 1) * n + j],
+                crate::boundary_value(n - 1, j, n),
+                "bottom"
+            );
         }
     }
 

@@ -16,7 +16,9 @@ fn check_against_serial(cfg: SimConfig, n: usize, iters: usize, kernel: Kernel) 
     let out = Universe::run(cfg, move |ctx| kernel(ctx, &spec).tile).unwrap();
     for rank in 0..d.nranks() {
         let t = d.tile(rank);
-        let tile = out.per_rank[rank].as_ref().expect("active rank returns its tile");
+        let tile = out.per_rank[rank]
+            .as_ref()
+            .expect("active rank returns its tile");
         assert_eq!(tile.len(), t.cells());
         for li in 0..t.rows() {
             for lj in 0..t.cols() {
@@ -77,8 +79,9 @@ fn idle_ranks_are_tolerated() {
 
 #[test]
 fn hybrid_sends_no_intra_node_payload() {
-    let cfg =
-        SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries()).phantom().traced();
+    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries())
+        .phantom()
+        .traced();
     let spec = StencilSpec { n: 16, iters: 5 };
     let r = Universe::run(cfg, move |ctx| hy_jacobi(ctx, &spec).elapsed_us).unwrap();
     let intra_payload: usize = r
@@ -86,17 +89,23 @@ fn hybrid_sends_no_intra_node_payload() {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+            simnet::EventKind::Send {
+                bytes, intra: true, ..
+            } => Some(bytes),
             _ => None,
         })
         .sum();
-    assert_eq!(intra_payload, 0, "hybrid stencil must not message data intra-node");
+    assert_eq!(
+        intra_payload, 0,
+        "hybrid stencil must not message data intra-node"
+    );
 }
 
 #[test]
 fn pure_sends_intra_node_payload() {
-    let cfg =
-        SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries()).phantom().traced();
+    let cfg = SimConfig::new(ClusterSpec::regular(2, 4), CostModel::cray_aries())
+        .phantom()
+        .traced();
     let spec = StencilSpec { n: 16, iters: 5 };
     let r = Universe::run(cfg, move |ctx| ori_jacobi(ctx, &spec).elapsed_us).unwrap();
     let intra_payload: usize = r
@@ -104,7 +113,9 @@ fn pure_sends_intra_node_payload() {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            simnet::EventKind::Send { bytes, intra: true, .. } => Some(bytes),
+            simnet::EventKind::Send {
+                bytes, intra: true, ..
+            } => Some(bytes),
             _ => None,
         })
         .sum();
@@ -143,6 +154,10 @@ fn phantom_and_real_times_agree() {
             .unwrap()
             .per_rank
     };
-    assert_eq!(run_mode(false, ori_jacobi), run_mode(true, ori_jacobi), "ori");
+    assert_eq!(
+        run_mode(false, ori_jacobi),
+        run_mode(true, ori_jacobi),
+        "ori"
+    );
     assert_eq!(run_mode(false, hy_jacobi), run_mode(true, hy_jacobi), "hy");
 }

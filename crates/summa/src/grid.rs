@@ -29,7 +29,10 @@ impl GridComms {
     /// # Panics
     /// Panics if the communicator is smaller than `q²`.
     pub fn build(ctx: &mut Ctx, comm: &Communicator, q: usize) -> Option<Self> {
-        assert!(q * q <= comm.size(), "communicator too small for a {q}x{q} grid");
+        assert!(
+            q * q <= comm.size(),
+            "communicator too small for a {q}x{q} grid"
+        );
         let me = comm.rank();
         let active = me < q * q;
         let grid = comm.split(ctx, if active { Some(0) } else { None }, 0);
@@ -67,8 +70,16 @@ mod tests {
         let cfg = SimConfig::new(ClusterSpec::regular(2, 5), CostModel::uniform_test());
         let r = Universe::run(cfg, |ctx| {
             let world = ctx.world();
-            GridComms::build(ctx, &world, 3)
-                .map(|g| (g.my_row, g.my_col, g.row.size(), g.col.size(), g.row.rank(), g.col.rank()))
+            GridComms::build(ctx, &world, 3).map(|g| {
+                (
+                    g.my_row,
+                    g.my_col,
+                    g.row.size(),
+                    g.col.size(),
+                    g.row.rank(),
+                    g.col.rank(),
+                )
+            })
         })
         .unwrap();
         // rank 4 -> row 1, col 1.

@@ -65,7 +65,11 @@ fn buf_to_mat(b: usize, buf: &Buf<f64>) -> Mat {
 pub fn ori_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
     let world = ctx.world();
     let Some(g) = GridComms::build(ctx, &world, spec.q) else {
-        return SummaReport { active: false, elapsed_us: 0.0, c_block: None };
+        return SummaReport {
+            active: false,
+            elapsed_us: 0.0,
+            c_block: None,
+        };
     };
     let b = spec.block;
     let a_block = my_block(ctx, &g, b, a_elem);
@@ -93,7 +97,13 @@ pub fn ori_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
 
         ctx.compute(gemm_flops(b, b, b));
         if let Some(c) = &mut c {
-            gemm(1.0, &buf_to_mat(b, &a_panel), &buf_to_mat(b, &b_panel), 1.0, c);
+            gemm(
+                1.0,
+                &buf_to_mat(b, &a_panel),
+                &buf_to_mat(b, &b_panel),
+                1.0,
+                c,
+            );
         }
     }
     SummaReport {
@@ -135,7 +145,11 @@ fn panel_bcast(ctx: &mut Ctx, hc: &HybridComm, panels: &HyAllgatherv<f64>, k: us
 pub fn hy_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
     let world = ctx.world();
     let Some(g) = GridComms::build(ctx, &world, spec.q) else {
-        return SummaReport { active: false, elapsed_us: 0.0, c_block: None };
+        return SummaReport {
+            active: false,
+            elapsed_us: 0.0,
+            c_block: None,
+        };
     };
     let b = spec.block;
     let a_block = my_block(ctx, &g, b, a_elem);
@@ -193,7 +207,11 @@ mod tests {
 
     fn check_correct(nodes: usize, ppn: usize, q: usize, b: usize, kernel: Kernel) {
         let cfg = SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test());
-        let spec = SummaSpec { q, block: b, tuning: Tuning::cray_mpich() };
+        let spec = SummaSpec {
+            q,
+            block: b,
+            tuning: Tuning::cray_mpich(),
+        };
         let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec)).unwrap();
         for (rank, rep) in r.per_rank.iter().enumerate() {
             if rank < q * q {
@@ -230,7 +248,11 @@ mod tests {
         // all processes share one node.
         let time = |kernel: Kernel| {
             let cfg = SimConfig::new(ClusterSpec::single_node(16), CostModel::cray_aries());
-            let spec = SummaSpec { q: 4, block: 8, tuning: Tuning::cray_mpich() };
+            let spec = SummaSpec {
+                q: 4,
+                block: 8,
+                tuning: Tuning::cray_mpich(),
+            };
             let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us).unwrap();
             r.per_rank.iter().copied().fold(0.0f64, f64::max)
         };
@@ -247,9 +269,13 @@ mod tests {
         // Fig. 11: the advantage decreases as compute dominates.
         let ratio = |b: usize| {
             let run = |kernel: Kernel| {
-                let cfg = SimConfig::new(ClusterSpec::regular(2, 8), CostModel::cray_aries())
-                    .phantom();
-                let spec = SummaSpec { q: 4, block: b, tuning: Tuning::cray_mpich() };
+                let cfg =
+                    SimConfig::new(ClusterSpec::regular(2, 8), CostModel::cray_aries()).phantom();
+                let spec = SummaSpec {
+                    q: 4,
+                    block: b,
+                    tuning: Tuning::cray_mpich(),
+                };
                 let r = Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us).unwrap();
                 r.per_rank.iter().copied().fold(0.0f64, f64::max)
             };
@@ -257,8 +283,14 @@ mod tests {
         };
         let r8 = ratio(8);
         let r128 = ratio(128);
-        assert!(r8 > r128, "ratio must shrink with block size: r8={r8} r128={r128}");
-        assert!(r128 >= 0.95, "hybrid should stay at least comparable: r128={r128}");
+        assert!(
+            r8 > r128,
+            "ratio must shrink with block size: r8={r8} r128={r128}"
+        );
+        assert!(
+            r128 >= 0.95,
+            "hybrid should stay at least comparable: r128={r128}"
+        );
     }
 
     #[test]
@@ -268,7 +300,11 @@ mod tests {
             if phantom {
                 cfg = cfg.phantom();
             }
-            let spec = SummaSpec { q: 2, block: 16, tuning: Tuning::cray_mpich() };
+            let spec = SummaSpec {
+                q: 2,
+                block: 16,
+                tuning: Tuning::cray_mpich(),
+            };
             Universe::run(cfg, move |ctx| kernel(ctx, &spec).elapsed_us)
                 .unwrap()
                 .per_rank

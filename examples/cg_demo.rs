@@ -34,7 +34,10 @@ fn main() {
         let time = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
         let rs = out.per_rank[0].1;
         let rel = (rs - serial_rs).abs() / serial_rs.max(1e-30);
-        assert!(rel < 1e-9, "residual must match serial CG ({rs} vs {serial_rs})");
+        assert!(
+            rel < 1e-9,
+            "residual must match serial CG ({rs} vs {serial_rs})"
+        );
         println!("{name}: {time:9.2} µs, final ‖r‖² = {rs:.3e} (matches serial)");
     }
     println!("\nthe hybrid variant reduces on node to the leader, allreduces over the");

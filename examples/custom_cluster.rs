@@ -1,12 +1,35 @@
 //! Modeling your own machine: build a custom cost model (a fat-node
 //! cluster with a slow interconnect), sweep the hybrid-vs-pure allgather
-//! crossover on it, and inspect how the MPI flavor's algorithm selection
-//! reacts.
+//! crossover on it, and compare the legacy threshold tables against the
+//! cost-model autotuner on the same hardware description.
 //!
 //! Run with: `cargo run --release --example custom_cluster`
 
-use hybrid_mpi::collectives::{barrier, smp_aware::SmpAware};
+use hybrid_mpi::collectives::barrier;
+use hybrid_mpi::collectives::smp_aware::SmpAware;
 use hybrid_mpi::prelude::*;
+
+/// Hybrid allgather latency under the given selection policy — swapping
+/// policies is the three lines marked below.
+fn hybrid_us(spec: &ClusterSpec, cost: &CostModel, elems: usize, autotune: bool) -> f64 {
+    let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
+    let out = Universe::run(cfg, move |ctx| {
+        let world = ctx.world();
+        let policy = if autotune {
+            SelectionPolicy::autotune(Tuning::cray_mpich()) // ① pick a policy
+        } else {
+            SelectionPolicy::legacy(Tuning::cray_mpich())
+        };
+        let hc = HybridComm::with_policy(ctx, &world, policy); // ② hand it over
+        let ag = HyAllgather::<f64>::new(ctx, &hc, elems); // ③ same code after
+        barrier::tuned(ctx, &world);
+        let t0 = ctx.now();
+        ag.execute(ctx);
+        ctx.now() - t0
+    })
+    .expect("simulation failed");
+    out.per_rank.into_iter().fold(0.0f64, f64::max)
+}
 
 fn main() {
     // Start from the Cray preset and describe a different machine:
@@ -25,37 +48,38 @@ fn main() {
         1e-3 / cost.beta_inter
     );
     println!(
-        "{:>8}  {:>12} {:>12} {:>8}",
-        "elems", "hybrid (µs)", "pure (µs)", "ratio"
+        "{:>8}  {:>12} {:>12} {:>12} {:>8}",
+        "elems", "legacy (µs)", "autotune", "pure (µs)", "ratio"
     );
 
     for pow in [0usize, 4, 8, 12, 14] {
         let elems = 1usize << pow;
+        let legacy = hybrid_us(&spec, &cost, elems, false);
+        let auto = hybrid_us(&spec, &cost, elems, true);
+
         let cfg = SimConfig::new(spec.clone(), cost.clone()).phantom();
         let out = Universe::run(cfg, move |ctx| {
             let world = ctx.world();
-            let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
-            let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
-            barrier::tuned(ctx, &world);
-            let t0 = ctx.now();
-            ag.execute(ctx);
-            let hy = ctx.now() - t0;
-
             let sa = SmpAware::new(ctx, &world, Tuning::cray_mpich());
             let send = ctx.buf_zeroed::<f64>(elems);
             let mut recv = ctx.buf_zeroed::<f64>(elems * world.size());
             barrier::tuned(ctx, &world);
             let t1 = ctx.now();
             sa.allgather(ctx, &send, &mut recv);
-            (hy, ctx.now() - t1)
+            ctx.now() - t1
         })
         .expect("simulation failed");
-        let hy = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
-        let pure = out.per_rank.iter().map(|r| r.1).fold(0.0f64, f64::max);
-        println!("{elems:>8}  {hy:>12.1} {pure:>12.1} {:>7.2}x", pure / hy);
+        let pure = out.per_rank.into_iter().fold(0.0f64, f64::max);
+        println!(
+            "{elems:>8}  {legacy:>12.1} {auto:>12.1} {pure:>12.1} {:>7.2}x",
+            pure / auto
+        );
     }
 
     println!("\nwith 64 ranks per node, the pure version's two intra-node copy");
     println!("rounds dwarf the (slow) network phase — the hybrid advantage is");
-    println!("even larger than on the paper's 24-core nodes.");
+    println!("even larger than on the paper's 24-core nodes. Note the autotuner");
+    println!("matches legacy here: on 64-core nodes the linear flag-polling sync");
+    println!("loses to the logarithmic dissemination barrier, so the cost model");
+    println!("keeps the barrier (on 24-core nodes it switches to shared flags).");
 }

@@ -50,7 +50,10 @@ fn main() {
 
     let a = run();
     let b = run();
-    assert_eq!(a.per_rank, b.per_rank, "seed {seed}: results must reproduce");
+    assert_eq!(
+        a.per_rank, b.per_rank,
+        "seed {seed}: results must reproduce"
+    );
     assert_eq!(a.clocks, b.clocks, "seed {seed}: clocks must reproduce");
     assert_eq!(
         a.tracer.events(),
@@ -62,7 +65,10 @@ fn main() {
         .map(|i| (0..p).map(|r| (r * 100 + i) as f64).sum())
         .collect();
     for (rank, got) in a.per_rank.iter().enumerate() {
-        assert_eq!(got, &expected, "seed {seed}: rank {rank} diverged from the oracle");
+        assert_eq!(
+            got, &expected,
+            "seed {seed}: rank {rank} diverged from the oracle"
+        );
     }
 
     // Kill a rank mid-collective: must error out, never hang.
@@ -77,8 +83,14 @@ fn main() {
         allreduce::tuned(ctx, &world, &send, &mut recv, Sum, &Tuning::cray_mpich());
     })
     .expect_err("a killed rank must fail the run");
-    assert!(err.is_panic() || err.is_deadlock(), "unexpected error: {err}");
-    assert!(t0.elapsed() < Duration::from_secs(20), "kill turned into a hang");
+    assert!(
+        err.is_panic() || err.is_deadlock(),
+        "unexpected error: {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "kill turned into a hang"
+    );
 
     println!(
         "fault-injection smoke OK (seed {seed}, {p} ranks): \

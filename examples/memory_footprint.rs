@@ -13,7 +13,10 @@ fn main() {
     let nodes = 4usize;
     let count = 4096usize; // doubles per rank
     println!("allgather result memory per node, {nodes} nodes, {count} doubles/rank:\n");
-    println!("{:>5}  {:>16} {:>16} {:>8}", "ppn", "hybrid (bytes)", "pure (bytes)", "saving");
+    println!(
+        "{:>5}  {:>16} {:>16} {:>8}",
+        "ppn", "hybrid (bytes)", "pure (bytes)", "saving"
+    );
 
     for ppn in [3usize, 6, 12, 24] {
         let world = nodes * ppn;

@@ -1,27 +1,40 @@
 //! Quickstart: the paper's hybrid allgather and broadcast on a small
-//! virtual cluster, next to the pure-MPI baseline.
+//! virtual cluster, next to the pure-MPI baseline — built through the
+//! algorithm registry's selection-policy API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hybrid_mpi::prelude::*;
 use hybrid_mpi::collectives::{barrier, smp_aware::SmpAware};
+use hybrid_mpi::prelude::*;
 
 fn main() {
     // A virtual cluster of 2 nodes x 12 cores with Cray XC40-like costs.
     let spec = ClusterSpec::regular(2, 12);
     let cfg = SimConfig::new(spec, CostModel::cray_aries());
 
-    let result = Universe::run(cfg, |ctx| {
+    // Swapping the selection policy is a one-line change: `legacy` keeps
+    // the MPICH/OpenMPI threshold tables bit-for-bit, `autotune` ranks
+    // the registered algorithms with the cost model instead. Keep a
+    // handle; the decision log explains every choice afterwards.
+    let policy = SelectionPolicy::autotune(Tuning::cray_mpich());
+    // let policy = SelectionPolicy::legacy(Tuning::cray_mpich());
+    let handle = policy.clone();
+
+    let result = Universe::run(cfg, move |ctx| {
         let world = ctx.world();
         let count = 256usize; // doubles contributed per rank
 
         // ---------------------------------------------------------------
         // Hybrid MPI+MPI allgather (the paper's approach, Fig. 4):
         // one-off setup, then: barrier · bridge Allgatherv · barrier.
+        // The policy picks the on-node sync flavor and the bridge
+        // algorithm.
         // ---------------------------------------------------------------
-        let hc = HybridComm::new(ctx, &world, Tuning::cray_mpich());
+        let hc = HybridComm::with_policy(ctx, &world, policy.clone());
         let ag = HyAllgather::<f64>::new(ctx, &hc, count);
-        let mine: Vec<f64> = (0..count).map(|i| (ctx.rank() * count + i) as f64).collect();
+        let mine: Vec<f64> = (0..count)
+            .map(|i| (ctx.rank() * count + i) as f64)
+            .collect();
         ag.write_my_block(ctx, &mine); // write in place — no copy
 
         barrier::tuned(ctx, &world);
@@ -56,4 +69,11 @@ fn main() {
     println!("  Hy_Allgather (hybrid MPI+MPI): {hy:8.2} µs");
     println!("  Allgather   (pure MPI, naive): {pure:8.2} µs");
     println!("  speedup: {:.2}x", pure / hy);
+
+    println!("\nwhat the policy decided (distinct choices):");
+    for op in CollectiveOp::all() {
+        for algo in handle.log().algos_for(op) {
+            println!("  {:>10} -> {algo}", op.key());
+        }
+    }
 }

@@ -6,7 +6,9 @@
 //! Run with: `cargo run --release --example stencil_demo`
 
 use hybrid_mpi::prelude::*;
-use hybrid_mpi::stencil::{hy_jacobi, ori_jacobi, serial_jacobi, Decomp, StencilReport, StencilSpec};
+use hybrid_mpi::stencil::{
+    hy_jacobi, ori_jacobi, serial_jacobi, Decomp, StencilReport, StencilSpec,
+};
 
 fn main() {
     let spec = StencilSpec { n: 48, iters: 30 };

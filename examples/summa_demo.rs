@@ -35,7 +35,10 @@ fn main() {
         for (rank, (_, c)) in out.per_rank.iter().enumerate() {
             let got = c.as_ref().expect("real mode computes C");
             let want = expected_c_block(q, block, rank / q, rank % q);
-            assert!(got.distance(&want) < 1e-9, "rank {rank} produced a wrong block");
+            assert!(
+                got.distance(&want) < 1e-9,
+                "rank {rank} produced a wrong block"
+            );
         }
         let t = out.per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
         println!("{name}: {t:8.2} µs (C verified on all {} ranks)", q * q);

@@ -53,7 +53,10 @@ pub use summa;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use collectives::{MpiFlavor, Tuning};
+    pub use collectives::{
+        AlgorithmRegistry, CollectiveOp, CommCase, DecisionLog, MpiFlavor, PolicyKind,
+        SelectionPolicy, Tuning, TuningTable,
+    };
     pub use hmpi::{HyAllgather, HyAllgatherv, HyAllreduce, HyBcast, HybridComm, SyncMethod};
     pub use msim::{
         Buf, Communicator, Ctx, DataMode, FaultPlan, KillRule, SchedulePolicy, SimConfig,

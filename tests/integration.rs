@@ -80,8 +80,8 @@ fn hybrid_allgather_beats_pure_and_gap_grows_with_ppn() {
 #[test]
 fn single_node_hybrid_is_size_independent() {
     let latency = |elems: usize, hybrid: bool| {
-        let cfg = SimConfig::new(ClusterSpec::single_node(24), CostModel::nec_infiniband())
-            .phantom();
+        let cfg =
+            SimConfig::new(ClusterSpec::single_node(24), CostModel::nec_infiniband()).phantom();
         let r = Universe::run(cfg, move |ctx| {
             let world = ctx.world();
             if hybrid {
@@ -121,7 +121,10 @@ fn summa_variants_agree_and_verify() {
         tuning: Tuning::cray_mpich(),
     };
     for kernel in [ori_summa, hy_summa] {
-        let cfg = SimConfig::new(ClusterSpec::irregular(vec![4, 4, 3]), CostModel::cray_aries());
+        let cfg = SimConfig::new(
+            ClusterSpec::irregular(vec![4, 4, 3]),
+            CostModel::cray_aries(),
+        );
         let spec = spec.clone();
         let out = Universe::run(cfg, move |ctx| kernel(ctx, &spec).c_block).unwrap();
         for (rank, c) in out.per_rank.iter().enumerate() {
@@ -149,7 +152,10 @@ fn bpmf_variants_identical_results_hybrid_not_slower() {
         compute_scale: 1.0,
     };
     let run = |hybrid: bool| {
-        let sim = SimConfig::new(ClusterSpec::irregular(vec![3, 2, 3]), CostModel::cray_aries());
+        let sim = SimConfig::new(
+            ClusterSpec::irregular(vec![3, 2, 3]),
+            CostModel::cray_aries(),
+        );
         let data = Arc::clone(&data);
         let cfg_app = cfg_app.clone();
         Universe::run(sim, move |ctx| {
@@ -186,7 +192,11 @@ fn paper_fig4_pseudocode_walkthrough() {
         let bridge = comm.split_bridge(ctx, &shm);
         // Window allocation: leader asks for msg*nprocs, children 0.
         let msg = 8usize;
-        let my_len = if shm.rank() == 0 { msg * comm.size() } else { 0 };
+        let my_len = if shm.rank() == 0 {
+            msg * comm.size()
+        } else {
+            0
+        };
         let win = msim::SharedWindow::<f64>::allocate(ctx, &shm, my_len);
         // Every rank computes the address of its own partition and
         // initializes it independently.
@@ -198,7 +208,11 @@ fn paper_fig4_pseudocode_walkthrough() {
             let counts = vec![msg * shm.size(); bridge.size()];
             let mut view = Buf::Shared(win.clone());
             hybrid_mpi::collectives::allgatherv::tuned_in_place(
-                ctx, bridge, &counts, &mut view, &Tuning::cray_mpich(),
+                ctx,
+                bridge,
+                &counts,
+                &mut view,
+                &Tuning::cray_mpich(),
             );
             barrier::tuned(ctx, &shm);
         } else {
@@ -209,7 +223,9 @@ fn paper_fig4_pseudocode_walkthrough() {
         win.snapshot()
     })
     .unwrap();
-    let expected: Vec<f64> = (0..8).flat_map(|r| (0..8).map(move |i| (r * 10 + i) as f64)).collect();
+    let expected: Vec<f64> = (0..8)
+        .flat_map(|r| (0..8).map(move |i| (r * 10 + i) as f64))
+        .collect();
     for got in &out.per_rank {
         assert_eq!(got, &expected);
     }

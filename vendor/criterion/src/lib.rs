@@ -27,12 +27,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark id labeled `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// A benchmark id from the parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -87,7 +91,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.crit.sample_size, last_median_ns: 0.0 };
+        let mut b = Bencher {
+            samples: self.crit.sample_size,
+            last_median_ns: 0.0,
+        };
         f(&mut b);
         report(&self.name, &id.to_string(), b.last_median_ns);
         self
@@ -103,7 +110,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.crit.sample_size, last_median_ns: 0.0 };
+        let mut b = Bencher {
+            samples: self.crit.sample_size,
+            last_median_ns: 0.0,
+        };
         f(&mut b, input);
         report(&self.name, &id.to_string(), b.last_median_ns);
         self
@@ -145,7 +155,10 @@ impl Criterion {
 
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), crit: self }
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+        }
     }
 
     /// Run a stand-alone benchmark (outside any group).
@@ -153,7 +166,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, last_median_ns: 0.0 };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_median_ns: 0.0,
+        };
         f(&mut b);
         report("bench", id, b.last_median_ns);
         self
