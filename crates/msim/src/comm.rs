@@ -84,6 +84,8 @@ impl Communicator {
         let my_global = ctx.rank();
         let shared = ctx.shared();
         let groups = shared.board.rendezvous(
+            &shared.exec,
+            my_global,
             (self.inner.id, seq, KIND_SPLIT),
             self.local_rank,
             self.size(),

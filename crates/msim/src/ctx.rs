@@ -301,6 +301,8 @@ impl Ctx {
         let seq = self.next_oob_seq(comm.id());
         let shared = Arc::clone(&self.shared);
         shared.board.rendezvous(
+            &shared.exec,
+            self.rank(),
             (comm.id(), seq, crate::oob::KIND_FENCE),
             comm.rank(),
             comm.size(),

@@ -26,6 +26,21 @@ pub enum SimError {
         /// Panic payload rendered to a string when possible.
         message: String,
     },
+    /// The execution infrastructure itself failed — a rank thread could
+    /// not be spawned or joined, or a pool worker died outside any rank
+    /// program. Unlike [`SimError::RankPanicked`] this is not the rank
+    /// program's fault; the rank id is the closest attribution the
+    /// runtime has (`usize::MAX` when no rank was active).
+    ExecutorFailure {
+        /// Rank the failing worker was serving (best effort).
+        rank: usize,
+        /// What broke.
+        message: String,
+        /// Debug rendering of the active [`crate::FaultPlan`], so a
+        /// failure under fuzzing/kills is reproducible from the error
+        /// alone.
+        fault_context: String,
+    },
 }
 
 impl SimError {
@@ -52,6 +67,7 @@ impl SimError {
         match self {
             SimError::DeadlockSuspected { rank, .. } => *rank,
             SimError::RankPanicked { rank, .. } => *rank,
+            SimError::ExecutorFailure { rank, .. } => *rank,
         }
     }
 }
@@ -72,6 +88,15 @@ impl fmt::Display for SimError {
             SimError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
             }
+            SimError::ExecutorFailure {
+                rank,
+                message,
+                fault_context,
+            } => write!(
+                f,
+                "executor infrastructure failure while serving rank {rank}: \
+                 {message} (fault plan: {fault_context})"
+            ),
         }
     }
 }

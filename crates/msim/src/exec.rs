@@ -1,0 +1,732 @@
+//! The pooled rank executor.
+//!
+//! [`crate::Universe::run`] historically spawned one OS thread per
+//! simulated rank, which caps a run at a few thousand ranks before the
+//! host thrashes. This module multiplexes every rank program onto a
+//! bounded worker pool (default `min(ranks, available_parallelism)`):
+//! each rank runs as a *stackful coroutine* on a heap-allocated stack,
+//! and whenever it would block — a `recv`/`wait_flag` with no matching
+//! packet, or a setup-collective rendezvous that is not yet complete —
+//! it parks the coroutine and returns its worker to the pool instead of
+//! blocking an OS thread. The matching `send`/`post_flag`/rendezvous
+//! completion wakes the parked rank, which re-enters the ready queue.
+//!
+//! Determinism: virtual time in this simulator is computed purely from
+//! modeled costs along each rank's own program order (see
+//! [`simnet::Clock`]); it never observes wall-clock scheduling. Pooling
+//! therefore changes *when* (in wall-clock time) a rank executes, but
+//! never *what* it computes: results, clocks, and canonical traces are
+//! byte-identical to thread-per-rank execution. This is enforced by the
+//! differential tests in `tests/pooled.rs` and by the figure goldens in
+//! `crates/bench/tests/regression.rs`.
+//!
+//! Scheduling order: the ready queue pops FIFO under
+//! [`crate::SchedulePolicy::Fifo`]; under
+//! [`crate::SchedulePolicy::Adversarial`] the next rank is drawn from
+//! the ready set by a seeded hash, so schedule fuzzing perturbs the
+//! pooled execution order exactly as it perturbs thread wake-ups in
+//! thread-per-rank mode.
+//!
+//! The context switch itself is ~20 instructions of architecture
+//! specific assembly (x86_64 SysV and aarch64 AAPCS64): save the callee
+//! saved registers on the current stack, swap stack pointers, restore.
+//! Rank panics (including injected [`crate::fault::KillRule`] kills and
+//! deadlock reports) are caught by a `catch_unwind` at the base of every
+//! coroutine, so unwinding never crosses the assembly boundary.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use simnet::rng::mix;
+
+use crate::ctx::Ctx;
+use crate::universe::Shared;
+
+/// How [`crate::Universe::run`] executes rank programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per rank (the historical model). Kept for
+    /// differential testing of the pooled executor; caps out at a few
+    /// thousand ranks.
+    ThreadPerRank,
+    /// Multiplex ranks onto a bounded worker pool of stackful
+    /// coroutines. `workers: None` means
+    /// `min(ranks, available_parallelism)`.
+    Pooled {
+        /// Worker thread count override.
+        workers: Option<usize>,
+    },
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Pooled { workers: None }
+    }
+}
+
+impl ExecMode {
+    /// The pooled mode with the default worker count.
+    pub fn pooled() -> Self {
+        ExecMode::Pooled { workers: None }
+    }
+
+    /// Resolve the worker count for `nranks` ranks.
+    pub(crate) fn worker_count(&self, nranks: usize) -> usize {
+        match self {
+            ExecMode::ThreadPerRank => nranks,
+            ExecMode::Pooled { workers } => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                workers.unwrap_or(hw).clamp(1, nranks.max(1))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Context switching.
+// ---------------------------------------------------------------------------
+
+/// Whether the current target has a coroutine context switch. On other
+/// targets the universe silently falls back to thread-per-rank.
+pub(crate) const POOL_SUPPORTED: bool = cfg!(all(
+    unix,
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+#[cfg(all(unix, target_arch = "x86_64"))]
+std::arch::global_asm!(
+    r#"
+    .text
+    .globl msim_switch_stacks
+    .p2align 4
+msim_switch_stacks:
+    push rbp
+    push rbx
+    push r12
+    push r13
+    push r14
+    push r15
+    mov [rdi], rsp
+    mov rsp, [rsi]
+    pop r15
+    pop r14
+    pop r13
+    pop r12
+    pop rbx
+    pop rbp
+    ret
+
+    // First-entry shim: the initial saved frame puts the coroutine
+    // argument in r12 and the (monomorphized) entry function in rbx.
+    .globl msim_coro_thunk
+    .p2align 4
+msim_coro_thunk:
+    mov rdi, r12
+    call rbx
+    ud2
+"#
+);
+
+#[cfg(all(unix, target_arch = "aarch64"))]
+std::arch::global_asm!(
+    r#"
+    .text
+    .globl msim_switch_stacks
+    .p2align 4
+msim_switch_stacks:
+    sub sp, sp, #160
+    stp x19, x20, [sp, #0]
+    stp x21, x22, [sp, #16]
+    stp x23, x24, [sp, #32]
+    stp x25, x26, [sp, #48]
+    stp x27, x28, [sp, #64]
+    stp x29, x30, [sp, #80]
+    stp d8,  d9,  [sp, #96]
+    stp d10, d11, [sp, #112]
+    stp d12, d13, [sp, #128]
+    stp d14, d15, [sp, #144]
+    mov x9, sp
+    str x9, [x0]
+    ldr x9, [x1]
+    mov sp, x9
+    ldp x19, x20, [sp, #0]
+    ldp x21, x22, [sp, #16]
+    ldp x23, x24, [sp, #32]
+    ldp x25, x26, [sp, #48]
+    ldp x27, x28, [sp, #64]
+    ldp x29, x30, [sp, #80]
+    ldp d8,  d9,  [sp, #96]
+    ldp d10, d11, [sp, #112]
+    ldp d12, d13, [sp, #128]
+    ldp d14, d15, [sp, #144]
+    add sp, sp, #160
+    ret
+
+    // First-entry shim: argument in x19, entry function in x20.
+    .globl msim_coro_thunk
+    .p2align 4
+msim_coro_thunk:
+    mov x0, x19
+    blr x20
+    brk #1
+"#
+);
+
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe extern "C" {
+    /// Save the callee-saved register context on the current stack,
+    /// store the stack pointer into `*save`, then load `*load` as the
+    /// new stack pointer and restore its context.
+    ///
+    /// # Safety
+    /// `*load` must be a stack pointer previously produced by this
+    /// function or by [`prepare_stack`], on memory that is still alive.
+    fn msim_switch_stacks(save: *mut usize, load: *const usize);
+    /// Label only; never called directly from Rust.
+    fn msim_coro_thunk();
+}
+
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+unsafe fn msim_switch_stacks(_save: *mut usize, _load: *const usize) {
+    unreachable!("pooled execution is not supported on this target");
+}
+
+/// Canary written at the low end of every coroutine stack; checked on
+/// every return to the worker to detect stack overflows (coroutine
+/// stacks have no guard page).
+const STACK_CANARY: u64 = 0x5ca1_ab1e_dead_beef;
+
+/// Lay out a fresh coroutine stack so that the first
+/// `msim_switch_stacks` into it lands in `msim_coro_thunk`, which calls
+/// `entry(arg)`. Returns the initial saved stack pointer.
+///
+/// # Safety
+/// `stack` must outlive every switch into the returned context.
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
+    let base = stack.as_mut_ptr() as usize;
+    unsafe {
+        (base as *mut u64).write(STACK_CANARY);
+        ((base + 8) as *mut u64).write(STACK_CANARY);
+    }
+    // 16-align the top; both ABIs want 16-byte stack alignment.
+    let top = (base + stack.len()) & !15;
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        // Layout (ascending from the saved sp): r15 r14 r13 r12 rbx rbp
+        // [return address]. The thunk expects arg in r12, entry in rbx.
+        let mut sp = top as *mut usize;
+        sp = sp.sub(1);
+        sp.write(msim_coro_thunk as *const () as usize);
+        sp = sp.sub(1);
+        sp.write(0); // rbp
+        sp = sp.sub(1);
+        sp.write(entry); // rbx
+        sp = sp.sub(1);
+        sp.write(arg); // r12
+        sp = sp.sub(3); // r13, r14, r15
+        sp.write(0);
+        sp.add(1).write(0);
+        sp.add(2).write(0);
+        sp as usize
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        // 160-byte register save area; x19 = arg, x20 = entry,
+        // x30 (lr) = thunk. sp after restore = `top`, 16-aligned.
+        let area = (top - 160) as *mut usize;
+        for i in 0..20 {
+            area.add(i).write(0);
+        }
+        area.write(arg); // x19
+        area.add(1).write(entry); // x20
+        area.add(11).write(msim_coro_thunk as *const () as usize); // x30
+        area as usize
+    }
+}
+
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+unsafe fn prepare_stack(_stack: &mut [u8], _entry: usize, _arg: usize) -> usize {
+    unreachable!("pooled execution is not supported on this target");
+}
+
+// ---------------------------------------------------------------------------
+// Pool core: rank states, ready queue, parking protocol.
+// ---------------------------------------------------------------------------
+
+/// What a coroutine asked for when it last switched back to its worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Intent {
+    /// Nothing yet (freshly created / mid-run).
+    None,
+    /// Park until woken or until `deadline` (wall clock); the rank
+    /// rechecks its own wait condition on resume, so spurious wake-ups
+    /// are harmless.
+    Park { deadline: Instant },
+    /// The rank program returned (or panicked; the outcome slot has it).
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RankState {
+    /// In the ready queue.
+    Ready,
+    /// On a worker. `token` records a wake that arrived mid-run so a
+    /// racing park is re-readied instead of sleeping through its signal.
+    Running { token: bool },
+    /// Parked until woken or `deadline`.
+    Parked { deadline: Instant },
+    /// Finished (outcome recorded).
+    Done,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    ranks: Vec<RankState>,
+    ready: VecDeque<usize>,
+    /// Ranks not yet `Done`.
+    live: usize,
+    /// Seed for adversarial ready-queue picking (`None` = FIFO).
+    pick_seed: Option<u64>,
+    /// Pick counter feeding the seeded stream.
+    picks: u64,
+    /// Workers currently sleeping on the scheduler condvar. Notifies are
+    /// skipped when zero: futex condvars pay a syscall per notify even
+    /// with no waiters, and with few workers the common case is none.
+    idle_workers: usize,
+}
+
+impl CoreState {
+    fn pop_ready(&mut self) -> Option<usize> {
+        match self.pick_seed {
+            None => self.ready.pop_front(),
+            Some(seed) => {
+                if self.ready.is_empty() {
+                    return None;
+                }
+                let n = self.ready.len() as u64;
+                let idx = (mix(seed, self.picks, n, 0x9D1C) % n) as usize;
+                self.picks += 1;
+                self.ready.remove(idx)
+            }
+        }
+    }
+}
+
+/// The shared scheduler state of one pooled universe. Lives in
+/// [`crate::universe::Shared`] (via [`ExecCtl`]) so that mailbox pushes
+/// and rendezvous completions can wake parked ranks.
+#[derive(Debug)]
+pub(crate) struct PoolCore {
+    state: Mutex<CoreState>,
+    cv: Condvar,
+    /// Infrastructure failures observed by workers (rank, message).
+    infra: Mutex<Vec<(usize, String)>>,
+}
+
+impl PoolCore {
+    pub(crate) fn new(nranks: usize, pick_seed: Option<u64>) -> Self {
+        Self {
+            state: Mutex::new(CoreState {
+                ranks: vec![RankState::Ready; nranks],
+                ready: (0..nranks).collect(),
+                live: nranks,
+                pick_seed,
+                picks: 0,
+                idle_workers: 0,
+            }),
+            cv: Condvar::new(),
+            infra: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoreState> {
+        // A worker that dies while holding the scheduler lock never
+        // leaves the state torn (all mutations are single assignments),
+        // so peers may keep scheduling and surface the failure.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Make `rank` runnable if it is parked; remember the signal if it
+    /// is currently running (so a racing park re-readies immediately).
+    pub(crate) fn wake(&self, rank: usize) {
+        let mut g = self.lock();
+        match g.ranks[rank] {
+            RankState::Parked { .. } => {
+                g.ranks[rank] = RankState::Ready;
+                g.ready.push_back(rank);
+                if g.idle_workers > 0 {
+                    self.cv.notify_one();
+                }
+            }
+            RankState::Running { ref mut token } => *token = true,
+            RankState::Ready | RankState::Done => {}
+        }
+    }
+
+    /// Claim the next rank to run, or `None` when every rank is done.
+    /// Blocks (on the scheduler condvar, not on a rank!) while all live
+    /// ranks are parked or running on other workers.
+    fn next_rank(&self) -> Option<usize> {
+        let mut g = self.lock();
+        loop {
+            if g.live == 0 {
+                if g.idle_workers > 0 {
+                    self.cv.notify_all();
+                }
+                return None;
+            }
+            if let Some(r) = g.pop_ready() {
+                g.ranks[r] = RankState::Running { token: false };
+                return Some(r);
+            }
+            // Nothing ready: wake expired parks (their owners recheck
+            // their wait condition and report the timeout themselves),
+            // else sleep until the nearest deadline or a notification.
+            let now = Instant::now();
+            let mut nearest: Option<Instant> = None;
+            let mut expired = false;
+            for r in 0..g.ranks.len() {
+                if let RankState::Parked { deadline } = g.ranks[r] {
+                    if deadline <= now {
+                        g.ranks[r] = RankState::Ready;
+                        g.ready.push_back(r);
+                        expired = true;
+                    } else {
+                        nearest = Some(nearest.map_or(deadline, |n| n.min(deadline)));
+                    }
+                }
+            }
+            if expired {
+                continue;
+            }
+            let wait = nearest
+                .map(|d| d.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(100))
+                .min(Duration::from_secs(1));
+            g.idle_workers += 1;
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+            g.idle_workers -= 1;
+        }
+    }
+
+    /// Commit a coroutine's yield now that its context is fully saved.
+    fn finalize(&self, rank: usize, intent: Intent) {
+        let mut g = self.lock();
+        match intent {
+            Intent::Done => {
+                g.ranks[rank] = RankState::Done;
+                g.live -= 1;
+                if g.idle_workers > 0 {
+                    self.cv.notify_all();
+                }
+            }
+            Intent::Park { deadline } => {
+                let token = matches!(g.ranks[rank], RankState::Running { token: true });
+                if token {
+                    g.ranks[rank] = RankState::Ready;
+                    g.ready.push_back(rank);
+                } else {
+                    g.ranks[rank] = RankState::Parked { deadline };
+                }
+                // Either way sleeping workers may need to re-derive
+                // their deadline horizon.
+                if g.idle_workers > 0 {
+                    self.cv.notify_one();
+                }
+            }
+            Intent::None => unreachable!("coroutine yielded without an intent"),
+        }
+    }
+
+    fn record_infra_failure(&self, rank: usize, message: String) {
+        self.infra
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((rank, message));
+        // Unblock everyone; the run is over.
+        let mut g = self.lock();
+        g.live = 0;
+        self.cv.notify_all();
+    }
+}
+
+/// Handle through which the blocking wait-paths (mailbox, rendezvous)
+/// reach the executor. `Threads` preserves the historical
+/// condvar-per-structure blocking; `Pool` parks coroutines instead.
+#[derive(Clone)]
+pub(crate) enum ExecCtl {
+    /// Thread-per-rank: block the OS thread on the structure's condvar.
+    Threads,
+    /// Pooled: park the calling coroutine; wakes come through the core.
+    Pool(Arc<PoolCore>),
+}
+
+impl std::fmt::Debug for ExecCtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecCtl::Threads => f.write_str("ExecCtl::Threads"),
+            ExecCtl::Pool(_) => f.write_str("ExecCtl::Pool"),
+        }
+    }
+}
+
+impl ExecCtl {
+    /// True when rank programs run as pooled coroutines.
+    pub(crate) fn is_pooled(&self) -> bool {
+        matches!(self, ExecCtl::Pool(_))
+    }
+
+    /// Wake `rank` if it is parked (no-op in threads mode — there the
+    /// structure's own condvar does the waking).
+    pub(crate) fn wake(&self, rank: usize) {
+        if let ExecCtl::Pool(core) = self {
+            core.wake(rank);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker current-coroutine pointer, used by the park path.
+// ---------------------------------------------------------------------------
+
+/// The switch cell of one coroutine: both stack pointers plus the yield
+/// intent, shared between the worker (outside) and the coroutine
+/// (inside). Exclusive access alternates strictly with the context
+/// switches, and cross-worker handoffs synchronize through the core
+/// mutex.
+#[derive(Debug)]
+struct CoroTask {
+    /// Saved coroutine stack pointer (0 = not started yet).
+    sp: usize,
+    /// Saved worker stack pointer, valid while the coroutine runs.
+    worker_sp: usize,
+    intent: Intent,
+    /// Low end of the stack allocation, for the canary check.
+    stack_base: *mut u8,
+}
+
+thread_local! {
+    static CURRENT_TASK: Cell<*mut CoroTask> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Park the calling coroutine until [`PoolCore::wake`] or `deadline`.
+/// Must only be called from inside a pooled rank program (the blocking
+/// wait-paths guarantee this by checking [`ExecCtl::is_pooled`]).
+pub(crate) fn park_current(deadline: Instant) {
+    let task = CURRENT_TASK.with(|c| c.get());
+    assert!(
+        !task.is_null(),
+        "park_current called outside a pooled rank coroutine"
+    );
+    // SAFETY: `task` is the live switch cell installed by the worker
+    // that resumed us; writing the intent and switching back is the
+    // protocol it expects.
+    unsafe {
+        (*task).intent = Intent::Park { deadline };
+        msim_switch_stacks(&mut (*task).sp, &(*task).worker_sp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pooled run driver.
+// ---------------------------------------------------------------------------
+
+type RankOutcome<T> = std::thread::Result<(T, f64)>;
+
+/// Everything a coroutine needs to run its rank program. Lives in the
+/// per-rank cell (never on the coroutine stack), so dropping the cell
+/// after the run releases all captured state.
+struct LaunchPack<'f, T, F> {
+    rank: usize,
+    shared: Arc<Shared>,
+    f: &'f F,
+    out: *mut Option<RankOutcome<T>>,
+    task: *mut CoroTask,
+}
+
+/// One rank's executor cell: coroutine stack + switch cell + outcome.
+struct RankCell<'f, T, F> {
+    task: UnsafeCell<CoroTask>,
+    pack: UnsafeCell<LaunchPack<'f, T, F>>,
+    stack: UnsafeCell<Vec<u8>>,
+    out: UnsafeCell<Option<RankOutcome<T>>>,
+}
+
+/// Workers access disjoint cells (ownership is mediated by the core's
+/// rank states: exactly one worker holds a rank in `Running`).
+struct CellTable<'f, T, F>(Vec<RankCell<'f, T, F>>);
+unsafe impl<T: Send, F: Sync> Sync for CellTable<'_, T, F> {}
+
+extern "C" fn coro_entry<T, F>(pack: *mut LaunchPack<'_, T, F>)
+where
+    F: Fn(&mut Ctx) -> T,
+{
+    // SAFETY: the pack outlives the coroutine (it lives in the cell
+    // table, which `run_pool` keeps alive until all workers join).
+    let pack = unsafe { &mut *pack };
+    // Catch *everything* before it can unwind into the assembly
+    // trampoline: rank panics (asserts, injected kills, deadlock
+    // reports) become outcome payloads exactly as in thread mode.
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = Ctx::new(pack.rank, pack.shared.clone());
+        let out = (pack.f)(&mut ctx);
+        (out, ctx.now())
+    }));
+    // SAFETY: the outcome slot is only read after the core marks this
+    // rank Done (mutex-ordered).
+    unsafe {
+        *pack.out = Some(result);
+        (*pack.task).intent = Intent::Done;
+        loop {
+            // A Done coroutine is never resumed; the loop is a
+            // belt-and-braces guard against a buggy scheduler.
+            msim_switch_stacks(&mut (*pack.task).sp, &(*pack.task).worker_sp);
+        }
+    }
+}
+
+/// Run `f` once per rank on `workers` pooled worker threads. Returns
+/// per-rank outcomes (`None` for ranks orphaned by an infrastructure
+/// failure) plus the recorded infrastructure failures.
+#[allow(clippy::type_complexity)]
+pub(crate) fn run_pool<T, F>(
+    shared: &Arc<Shared>,
+    core: &Arc<PoolCore>,
+    workers: usize,
+    stack_size: usize,
+    f: &F,
+) -> (Vec<Option<RankOutcome<T>>>, Vec<(usize, String)>)
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Send + Sync,
+{
+    let nranks = shared.map.nranks();
+    // Stacks must hold at least the entry frame + canary; clamp tiny
+    // configs rather than corrupting memory.
+    let stack_size = stack_size.max(16 * 1024);
+    let cells = CellTable(
+        (0..nranks)
+            .map(|rank| RankCell {
+                task: UnsafeCell::new(CoroTask {
+                    sp: 0,
+                    worker_sp: 0,
+                    intent: Intent::None,
+                    stack_base: std::ptr::null_mut(),
+                }),
+                pack: UnsafeCell::new(LaunchPack {
+                    rank,
+                    shared: Arc::clone(shared),
+                    f,
+                    out: std::ptr::null_mut(),
+                    task: std::ptr::null_mut(),
+                }),
+                stack: UnsafeCell::new(Vec::new()),
+                out: UnsafeCell::new(None),
+            })
+            .collect(),
+    );
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cells = &cells;
+            let core = Arc::clone(core);
+            std::thread::Builder::new()
+                .name(format!("msim-worker{w}"))
+                .spawn_scoped(scope, move || worker_loop::<T, F>(&core, cells, stack_size))
+                .expect("failed to spawn pool worker");
+        }
+    });
+
+    let outcomes = cells
+        .0
+        .into_iter()
+        .map(|cell| cell.out.into_inner())
+        .collect();
+    let infra = core
+        .infra
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    (outcomes, infra)
+}
+
+fn worker_loop<T, F>(core: &Arc<PoolCore>, cells: &CellTable<'_, T, F>, stack_size: usize)
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Send + Sync,
+{
+    let mut current_rank = usize::MAX;
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        while let Some(rank) = core.next_rank() {
+            current_rank = rank;
+            resume_rank(core, cells, rank, stack_size);
+        }
+    }));
+    if let Err(payload) = caught {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string worker panic>".into()
+        };
+        core.record_infra_failure(current_rank, message);
+    }
+}
+
+fn resume_rank<T, F>(core: &PoolCore, cells: &CellTable<'_, T, F>, rank: usize, stack_size: usize)
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Send + Sync,
+{
+    let cell = &cells.0[rank];
+    let task = cell.task.get();
+    // SAFETY: the core handed this worker exclusive ownership of `rank`
+    // (state `Running`); no other thread touches this cell until the
+    // coroutine yields and `finalize` publishes the transition.
+    unsafe {
+        if (*task).sp == 0 {
+            // First activation: allocate the stack lazily (zeroed pages
+            // commit on touch) and set up the entry frame.
+            let stack = &mut *cell.stack.get();
+            *stack = vec![0u8; stack_size];
+            let pack = cell.pack.get();
+            (*pack).out = cell.out.get();
+            (*pack).task = task;
+            (*task).stack_base = stack.as_mut_ptr();
+            (*task).sp = prepare_stack(
+                stack.as_mut_slice(),
+                coro_entry::<T, F> as *const () as usize,
+                pack as usize,
+            );
+        }
+        (*task).intent = Intent::None;
+        let prev = CURRENT_TASK.with(|c| c.replace(task));
+        msim_switch_stacks(&mut (*task).worker_sp, &(*task).sp);
+        CURRENT_TASK.with(|c| c.set(prev));
+        let canary_ok = ((*task).stack_base as *const u64).read() == STACK_CANARY
+            && (((*task).stack_base as *const u64).add(1)).read() == STACK_CANARY;
+        assert!(
+            canary_ok,
+            "rank {rank} overflowed its {}-byte coroutine stack \
+             (raise SimConfig::stack_size)",
+            (*cell.stack.get()).len()
+        );
+        let intent = (*task).intent;
+        if intent == Intent::Done {
+            // Free the stack eagerly: at 4096+ ranks the tail of a run
+            // would otherwise hold every stack until the scope joins.
+            (*cell.stack.get()).clear();
+            (*cell.stack.get()).shrink_to_fit();
+        }
+        core.finalize(rank, intent);
+    }
+}

@@ -1,9 +1,12 @@
 //! # msim — an MPI-like message-passing runtime with virtual time
 //!
 //! `msim` plays the role of the MPI library in this reproduction. Each MPI
-//! rank is an OS thread; point-to-point messages flow through in-process
-//! mailboxes; every communication, copy and computation advances the rank's
-//! deterministic *virtual clock* according to the `simnet` cost model.
+//! rank is a stackful coroutine multiplexed onto a bounded worker pool
+//! (see [`ExecMode`]; one OS thread per rank remains available as
+//! [`ExecMode::ThreadPerRank`]); point-to-point messages flow through
+//! in-process mailboxes; every communication, copy and computation
+//! advances the rank's deterministic *virtual clock* according to the
+//! `simnet` cost model.
 //!
 //! The API mirrors the MPI concepts the paper relies on:
 //!
@@ -31,6 +34,7 @@ pub mod ctx;
 pub mod datatype;
 pub mod elem;
 pub mod error;
+mod exec;
 pub mod fault;
 mod mailbox;
 pub mod msg;
@@ -45,6 +49,7 @@ pub use ctx::{wait_all, Ctx, RecvRequest, SendRequest};
 pub use datatype::Layout;
 pub use elem::ShmElem;
 pub use error::SimError;
+pub use exec::ExecMode;
 pub use fault::{FaultPlan, KillRule, SchedulePolicy};
 pub use msg::Payload;
 pub use universe::{DataMode, SimConfig, SimResult, Universe};

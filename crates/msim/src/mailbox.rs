@@ -8,6 +8,7 @@
 //! Receivers force a flush before matching, so staging can delay a match
 //! in wall-clock time but can never cause a spurious deadlock.
 
+use crate::exec::{self, ExecCtl};
 use crate::msg::Packet;
 use simnet::rng::{mix, Rng64};
 use std::collections::{HashMap, VecDeque};
@@ -74,25 +75,34 @@ impl State {
 /// packet exists or the deadlock timeout fires. Matching is exact — there
 /// is no `ANY_SOURCE`/`ANY_TAG` — which is what makes the whole simulation
 /// deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Mailbox {
     state: Mutex<State>,
     arrived: Condvar,
     fuzz: Option<StageFuzz>,
+    /// Global rank this mailbox belongs to — the rank the executor wakes
+    /// when a packet arrives.
+    owner: usize,
+    exec: ExecCtl,
 }
 
 impl Mailbox {
-    #[cfg(test)]
-    pub(crate) fn new() -> Self {
-        Self::default()
+    /// The mailbox of global rank `owner`, blocking through `exec`,
+    /// optionally fuzzing its delivery order per `fuzz`.
+    pub(crate) fn new(owner: usize, exec: ExecCtl, fuzz: Option<StageFuzz>) -> Self {
+        Self {
+            state: Mutex::new(State::default()),
+            arrived: Condvar::new(),
+            fuzz,
+            owner,
+            exec,
+        }
     }
 
-    /// A mailbox that fuzzes its delivery order per `fuzz`.
-    pub(crate) fn fuzzed(fuzz: Option<StageFuzz>) -> Self {
-        Self {
-            fuzz,
-            ..Self::default()
-        }
+    /// A thread-mode mailbox for unit tests (pop blocks on the condvar).
+    #[cfg(test)]
+    pub(crate) fn unpooled(fuzz: Option<StageFuzz>) -> Self {
+        Self::new(0, ExecCtl::Threads, fuzz)
     }
 
     // A rank killed by fault injection may die while holding a mailbox
@@ -104,7 +114,7 @@ impl Mailbox {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Deposit a packet (called from the sender's thread).
+    /// Deposit a packet (called from the sender's thread/coroutine).
     pub(crate) fn push(&self, key: MatchKey, packet: Packet) {
         let mut s = self.lock();
         s.pushes += 1;
@@ -120,28 +130,52 @@ impl Mailbox {
                 }
             }
         }
-        self.arrived.notify_all();
+        if self.exec.is_pooled() {
+            drop(s);
+            // The owner may be parked in `pop`; hand the wake to the
+            // executor after releasing the mailbox lock. Nobody ever
+            // waits on `arrived` in pooled mode, so skip the notify —
+            // futex condvars pay a syscall per notify even with no
+            // waiters, and pushes are the hottest path in the simulator.
+            self.exec.wake(self.owner);
+        } else {
+            self.arrived.notify_all();
+        }
+    }
+
+    /// Pop a packet matching `key` if one is immediately matchable
+    /// (flushing staged packets first, as any blocking receiver would).
+    fn try_pop(s: &mut State, fuzz: Option<StageFuzz>, key: MatchKey) -> Option<Packet> {
+        if let Some(fuzz) = fuzz {
+            // The receiver is about to block: everything that has
+            // arrived must become matchable, else staging could turn
+            // a valid schedule into a timeout.
+            s.flush(&fuzz);
+        }
+        if let Some(queue) = s.queues.get_mut(&key) {
+            if let Some(packet) = queue.pop_front() {
+                if queue.is_empty() {
+                    s.queues.remove(&key);
+                }
+                return Some(packet);
+            }
+        }
+        None
     }
 
     /// Block until a packet matching `key` is available, or `timeout`
-    /// elapses (returns `None` — the caller reports a deadlock).
+    /// elapses (returns `None` — the caller reports a deadlock). In
+    /// pooled mode "block" means parking the calling coroutine, freeing
+    /// its worker thread to run other ranks.
     pub(crate) fn pop(&self, key: MatchKey, timeout: Duration) -> Option<Packet> {
         let deadline = Instant::now() + timeout;
+        if self.exec.is_pooled() {
+            return self.pop_pooled(key, deadline);
+        }
         let mut s = self.lock();
         loop {
-            if let Some(fuzz) = self.fuzz {
-                // The receiver is about to block: everything that has
-                // arrived must become matchable, else staging could turn
-                // a valid schedule into a timeout.
-                s.flush(&fuzz);
-            }
-            if let Some(queue) = s.queues.get_mut(&key) {
-                if let Some(packet) = queue.pop_front() {
-                    if queue.is_empty() {
-                        s.queues.remove(&key);
-                    }
-                    return Some(packet);
-                }
+            if let Some(packet) = Self::try_pop(&mut s, self.fuzz, key) {
+                return Some(packet);
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -155,6 +189,26 @@ impl Mailbox {
             if wait.timed_out() && Instant::now() >= deadline {
                 return None;
             }
+        }
+    }
+
+    fn pop_pooled(&self, key: MatchKey, deadline: Instant) -> Option<Packet> {
+        loop {
+            {
+                let mut s = self.lock();
+                // Recheck the queue *before* the deadline: a wake that
+                // raced the deadline must deliver, not time out.
+                if let Some(packet) = Self::try_pop(&mut s, self.fuzz, key) {
+                    return Some(packet);
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+            }
+            // A push that lands here (between unlock and park) still
+            // wakes us: the executor records the wake token against our
+            // Running state and re-readies the park immediately.
+            exec::park_current(deadline);
         }
     }
 
@@ -183,7 +237,7 @@ mod tests {
 
     #[test]
     fn push_pop_matches_by_key() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::unpooled(None);
         mb.push((0, 1, 7), pkt(1, 7));
         mb.push((0, 2, 7), pkt(2, 7));
         let got = mb.pop((0, 2, 7), Duration::from_secs(1)).unwrap();
@@ -193,7 +247,7 @@ mod tests {
 
     #[test]
     fn fifo_within_a_key() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::unpooled(None);
         let mut a = pkt(0, 0);
         a.arrival = 1.0;
         let mut b = pkt(0, 0);
@@ -212,13 +266,13 @@ mod tests {
 
     #[test]
     fn timeout_returns_none() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::unpooled(None);
         assert!(mb.pop((0, 0, 0), Duration::from_millis(10)).is_none());
     }
 
     #[test]
     fn cross_thread_delivery() {
-        let mb = Arc::new(Mailbox::new());
+        let mb = Arc::new(Mailbox::unpooled(None));
         let mb2 = Arc::clone(&mb);
         let h = std::thread::spawn(move || mb2.pop((1, 0, 3), Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
@@ -229,7 +283,7 @@ mod tests {
     #[test]
     fn fuzzed_mailbox_preserves_per_key_fifo() {
         for seed in 0..32 {
-            let mb = Mailbox::fuzzed(Some(StageFuzz { seed, max_stage: 4 }));
+            let mb = Mailbox::unpooled(Some(StageFuzz { seed, max_stage: 4 }));
             // Interleave two streams; each must stay FIFO within its key.
             for i in 0..10 {
                 let mut a = pkt(0, 0);
@@ -260,7 +314,7 @@ mod tests {
         // that pop still finds the packet.
         let mut staged_at_least_once = false;
         for seed in 0..16 {
-            let mb = Mailbox::fuzzed(Some(StageFuzz { seed, max_stage: 8 }));
+            let mb = Mailbox::unpooled(Some(StageFuzz { seed, max_stage: 8 }));
             mb.push((0, 0, 0), pkt(0, 0));
             let s = mb.lock();
             staged_at_least_once |= !s.staged.is_empty();
@@ -276,7 +330,7 @@ mod tests {
     #[test]
     fn fuzzed_cross_thread_delivery_under_load() {
         for seed in [3u64, 17, 99] {
-            let mb = Arc::new(Mailbox::fuzzed(Some(StageFuzz { seed, max_stage: 4 })));
+            let mb = Arc::new(Mailbox::unpooled(Some(StageFuzz { seed, max_stage: 4 })));
             let mb2 = Arc::clone(&mb);
             let h = std::thread::spawn(move || {
                 (0..50)

@@ -8,10 +8,11 @@
 //! last member to arrive runs a finisher over all deposits; everyone
 //! receives the shared result. No virtual time is charged.
 
+use crate::exec::{self, ExecCtl};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// (communicator context id, per-handle op sequence, op kind)
 pub(crate) type BoardKey = (u32, u32, u8);
@@ -25,6 +26,9 @@ struct Entry {
     deposits: Vec<(usize, Box<dyn Any + Send>)>,
     result: Option<Arc<dyn Any + Send + Sync>>,
     taken: usize,
+    /// Global ranks parked (pooled mode) waiting for the result; the
+    /// last depositor drains this and wakes each through the executor.
+    waiting: Vec<usize>,
 }
 
 /// The global rendezvous board shared by all ranks of a universe.
@@ -42,13 +46,18 @@ impl OobBoard {
     /// Deposit `value` for `member` under `key`; block until all `expected`
     /// members have deposited; return the shared result computed by
     /// `finish` (run once, by the last depositor, over deposits sorted by
-    /// member id).
+    /// member id). In pooled mode "block" parks the calling coroutine
+    /// (`me_global` is the waker's handle to it) instead of holding an OS
+    /// thread on the condvar.
     ///
     /// # Panics
     /// Panics on timeout (a setup-collective deadlock: not all members of
     /// the communicator made the same call) or on type confusion.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rendezvous<V, R>(
         &self,
+        exec: &ExecCtl,
+        me_global: usize,
         key: BoardKey,
         member: usize,
         expected: usize,
@@ -69,6 +78,7 @@ impl OobBoard {
             deposits: Vec::with_capacity(expected),
             result: None,
             taken: 0,
+            waiting: Vec::new(),
         });
         assert_eq!(
             entry.expected, expected,
@@ -96,12 +106,27 @@ impl OobBoard {
                 .collect();
             let result: Arc<R> = Arc::new(finish(typed));
             entry.result = Some(result.clone());
-            self.done.notify_all();
+            let waiting = std::mem::take(&mut entry.waiting);
+            if !exec.is_pooled() {
+                // Pooled members park through the executor instead of
+                // waiting on this condvar; skip the no-waiter syscall.
+                self.done.notify_all();
+            }
             Self::take(&mut entries, key);
+            drop(entries);
+            // Wake parked members after releasing the board lock: the
+            // result is published, so every woken coroutine finds it.
+            for rank in waiting {
+                exec.wake(rank);
+            }
             return result;
+        }
+        if exec.is_pooled() {
+            entry.waiting.push(me_global);
         }
 
         // Wait for the result.
+        let deadline = Instant::now() + timeout;
         loop {
             if let Some(entry) = entries.get(&key) {
                 if let Some(result) = &entry.result {
@@ -118,16 +143,31 @@ impl OobBoard {
                 // once all `expected` takers are counted.
                 unreachable!("rendezvous entry removed before all members took the result");
             }
-            let (guard, wait) = self
-                .done
-                .wait_timeout(entries, timeout)
-                .unwrap_or_else(PoisonError::into_inner);
-            entries = guard;
             assert!(
-                !wait.timed_out(),
+                Instant::now() < deadline,
                 "setup-collective rendezvous timed out \
                  (did every member of the communicator make the same call?)"
             );
+            if exec.is_pooled() {
+                drop(entries);
+                // A completion landing between unlock and park still
+                // wakes us (the executor tokenizes wakes against Running
+                // ranks); the executor also re-readies expired parks so
+                // the timeout assertion above fires eventually.
+                exec::park_current(deadline);
+                entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+            } else {
+                let (guard, wait) = self
+                    .done
+                    .wait_timeout(entries, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                entries = guard;
+                assert!(
+                    !wait.timed_out(),
+                    "setup-collective rendezvous timed out \
+                     (did every member of the communicator make the same call?)"
+                );
+            }
         }
     }
 
@@ -155,6 +195,8 @@ mod tests {
                 let b = Arc::clone(&board);
                 std::thread::spawn(move || {
                     b.rendezvous(
+                        &ExecCtl::Threads,
+                        m,
                         (0, 0, KIND_SPLIT),
                         m,
                         n,
@@ -181,6 +223,8 @@ mod tests {
                 let b = Arc::clone(&board);
                 std::thread::spawn(move || {
                     b.rendezvous(
+                        &ExecCtl::Threads,
+                        m,
                         (1, 0, KIND_SPLIT),
                         m,
                         n,
@@ -205,6 +249,8 @@ mod tests {
                     let b = Arc::clone(&board);
                     std::thread::spawn(move || {
                         *b.rendezvous(
+                            &ExecCtl::Threads,
+                            m,
                             (0, seq, KIND_WIN_ALLOC),
                             m,
                             2,
@@ -230,6 +276,8 @@ mod tests {
     fn missing_member_times_out() {
         let board = OobBoard::new();
         board.rendezvous(
+            &ExecCtl::Threads,
+            0,
             (9, 9, KIND_SPLIT),
             0,
             2,

@@ -10,7 +10,8 @@ use simnet::{ClusterSpec, CostModel, Placement, RankMap, Tracer};
 use crate::comm::CommInner;
 use crate::ctx::Ctx;
 use crate::error::SimError;
-use crate::fault::FaultPlan;
+use crate::exec::{self, ExecCtl, ExecMode, PoolCore};
+use crate::fault::{FaultPlan, SchedulePolicy};
 use crate::mailbox::{Mailbox, StageFuzz};
 use crate::oob::OobBoard;
 
@@ -43,16 +44,26 @@ pub struct SimConfig {
     /// How long a blocked receive waits before the run is declared
     /// deadlocked.
     pub recv_timeout: Duration,
-    /// Stack size per rank thread. Rank programs keep large data on the
+    /// Stack size per rank thread (thread-per-rank mode) or per rank
+    /// coroutine (pooled mode). Rank programs keep large data on the
     /// heap, so the default is modest to allow thousands of ranks.
     pub stack_size: usize,
     /// Injected faults and schedule perturbations (none by default).
     pub fault: FaultPlan,
+    /// How rank programs execute: pooled coroutines (default) or one OS
+    /// thread per rank. See `docs/simulator.md`.
+    pub exec: ExecMode,
 }
 
 impl SimConfig {
     /// A configuration with sensible defaults (SMP placement, real data,
-    /// no tracing, 30 s deadlock timeout, 1 MiB stacks).
+    /// no tracing, 30 s deadlock timeout, 1 MiB stacks, pooled
+    /// execution).
+    ///
+    /// The execution mode can be overridden for a whole process via the
+    /// `MSIM_EXEC` environment variable (`pooled` or `threads`) and the
+    /// pool width via `MSIM_WORKERS` — an escape hatch for differential
+    /// debugging; both are read once per config here.
     pub fn new(spec: ClusterSpec, cost: CostModel) -> Self {
         Self {
             spec,
@@ -63,6 +74,19 @@ impl SimConfig {
             recv_timeout: Duration::from_secs(30),
             stack_size: 1 << 20,
             fault: FaultPlan::none(),
+            exec: Self::exec_from_env(),
+        }
+    }
+
+    fn exec_from_env() -> ExecMode {
+        let workers = std::env::var("MSIM_WORKERS")
+            .ok()
+            .and_then(|w| w.parse::<usize>().ok())
+            .filter(|&w| w > 0);
+        match std::env::var("MSIM_EXEC").as_deref() {
+            Ok("threads") => ExecMode::ThreadPerRank,
+            Ok("pooled") => ExecMode::Pooled { workers },
+            _ => ExecMode::Pooled { workers },
         }
     }
 
@@ -96,6 +120,18 @@ impl SimConfig {
         self
     }
 
+    /// Use the given execution mode (overrides the `MSIM_EXEC` default).
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Use the given per-rank stack size (bytes).
+    pub fn with_stack_size(mut self, stack_size: usize) -> Self {
+        self.stack_size = stack_size;
+        self
+    }
+
     /// Convenience: run under the standard seeded fuzz plan
     /// ([`FaultPlan::from_seed`]) — adversarial wall-clock scheduling plus
     /// a mild seeded cost perturbation. Equal seeds reproduce equal runs.
@@ -117,6 +153,7 @@ pub(crate) struct Shared {
     pub(crate) recv_timeout: Duration,
     pub(crate) world: Arc<CommInner>,
     pub(crate) fault: FaultPlan,
+    pub(crate) exec: ExecCtl,
 }
 
 /// The outcome of a run: each rank's return value and final virtual clock,
@@ -129,6 +166,10 @@ pub struct SimResult<T> {
     pub clocks: Vec<f64>,
     /// The event trace (empty unless tracing was enabled).
     pub tracer: Tracer,
+    /// OS threads the executor used for rank programs: the pool width in
+    /// pooled mode, the rank count in thread-per-rank mode. The `scale`
+    /// benchmark reports this as `peak_threads`.
+    pub peak_threads: usize,
 }
 
 impl<T> SimResult<T> {
@@ -152,13 +193,40 @@ impl Universe {
     {
         let map = config.placement.build(&config.spec);
         let nranks = map.nranks();
+        // Fall back to thread-per-rank on targets without a coroutine
+        // context switch (non-unix / exotic architectures).
+        let exec_mode = match config.exec {
+            ExecMode::Pooled { .. } if !exec::POOL_SUPPORTED => ExecMode::ThreadPerRank,
+            mode => mode,
+        };
+        let pool = match exec_mode {
+            ExecMode::ThreadPerRank => None,
+            ExecMode::Pooled { .. } => {
+                // Under an adversarial schedule the ready queue is drawn
+                // in a seeded order, mirroring the wall-clock wake-up
+                // fuzzing of thread mode.
+                let pick_seed = match config.fault.schedule {
+                    SchedulePolicy::Fifo => None,
+                    SchedulePolicy::Adversarial { seed, .. } => {
+                        Some(simnet::rng::mix(seed, 0xE0E0, 0, 0x9001))
+                    }
+                };
+                Some(Arc::new(PoolCore::new(nranks, pick_seed)))
+            }
+        };
+        let exec_ctl = match &pool {
+            None => ExecCtl::Threads,
+            Some(core) => ExecCtl::Pool(Arc::clone(core)),
+        };
         let world = Arc::new(CommInner::new(0, (0..nranks).collect()));
         let shared = Arc::new(Shared {
             cost: config.cost,
             map,
             mailboxes: (0..nranks)
                 .map(|r| {
-                    Mailbox::fuzzed(
+                    Mailbox::new(
+                        r,
+                        exec_ctl.clone(),
                         config
                             .fault
                             .stage_fuzz(r)
@@ -177,44 +245,90 @@ impl Universe {
             recv_timeout: config.recv_timeout,
             world,
             fault: config.fault,
+            exec: exec_ctl,
         });
+        let fault_context = format!("{:?}", shared.fault);
 
         type RankOutcome<T> = std::thread::Result<(T, f64)>;
-        let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..nranks).map(|_| None).collect();
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nranks);
-            for rank in 0..nranks {
-                let shared = Arc::clone(&shared);
-                let f = &f;
-                let handle = std::thread::Builder::new()
-                    .name(format!("rank{rank}"))
-                    .stack_size(config.stack_size)
-                    .spawn_scoped(scope, move || {
-                        let mut ctx = Ctx::new(rank, shared);
-                        std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            let out = f(&mut ctx);
-                            (out, ctx.now())
-                        }))
-                    })
-                    .expect("failed to spawn rank thread");
-                handles.push(handle);
+        type RunOut<T> = (Vec<Option<RankOutcome<T>>>, Vec<(usize, String)>, usize);
+        let (outcomes, infra, peak_threads): RunOut<T> = match &pool {
+            Some(core) => {
+                let workers = exec_mode.worker_count(nranks);
+                let (outcomes, infra) =
+                    exec::run_pool(&shared, core, workers, config.stack_size, &f);
+                (outcomes, infra, workers)
             }
-            for (rank, handle) in handles.into_iter().enumerate() {
-                outcomes[rank] = Some(handle.join().expect("rank thread infrastructure failure"));
+            None => {
+                let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..nranks).map(|_| None).collect();
+                let mut infra: Vec<(usize, String)> = Vec::new();
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(nranks);
+                    for rank in 0..nranks {
+                        let shared = Arc::clone(&shared);
+                        let f = &f;
+                        let handle = std::thread::Builder::new()
+                            .name(format!("rank{rank}"))
+                            .stack_size(config.stack_size)
+                            .spawn_scoped(scope, move || {
+                                let mut ctx = Ctx::new(rank, shared);
+                                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    let out = f(&mut ctx);
+                                    (out, ctx.now())
+                                }))
+                            });
+                        match handle {
+                            Ok(h) => handles.push(Some(h)),
+                            Err(e) => {
+                                infra.push((rank, format!("failed to spawn rank thread: {e}")));
+                                handles.push(None);
+                            }
+                        }
+                    }
+                    for (rank, handle) in handles.into_iter().enumerate() {
+                        if let Some(h) = handle {
+                            match h.join() {
+                                Ok(outcome) => outcomes[rank] = Some(outcome),
+                                // The closure catches all rank panics, so a
+                                // join failure is the thread infrastructure
+                                // itself (e.g. a TLS destructor) dying.
+                                Err(payload) => infra
+                                    .push((rank, format!("rank thread join failed: {payload:?}"))),
+                            }
+                        }
+                    }
+                });
+                (outcomes, infra, nranks)
             }
-        });
+        };
 
         let mut per_rank = Vec::with_capacity(nranks);
         let mut clocks = Vec::with_capacity(nranks);
         let mut first_error: Option<SimError> = None;
+        // An infrastructure failure outranks everything: the run's other
+        // errors (deadlocks, missing outcomes) are its symptoms.
+        if let Some((rank, message)) = infra.into_iter().next() {
+            return Err(SimError::ExecutorFailure {
+                rank,
+                message,
+                fault_context,
+            });
+        }
         for (rank, outcome) in outcomes.into_iter().enumerate() {
-            match outcome.expect("all ranks joined") {
-                Ok((value, clock)) => {
+            match outcome {
+                None => {
+                    // No recorded infra failure but the rank never ran to
+                    // completion — still an executor-level failure.
+                    return Err(SimError::ExecutorFailure {
+                        rank,
+                        message: "rank never completed (executor gave up)".into(),
+                        fault_context,
+                    });
+                }
+                Some(Ok((value, clock))) => {
                     per_rank.push(value);
                     clocks.push(clock);
                 }
-                Err(payload) => {
+                Some(Err(payload)) => {
                     let err = if let Some(e) = payload.downcast_ref::<SimError>() {
                         e.clone()
                     } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -255,6 +369,7 @@ impl Universe {
             per_rank,
             clocks,
             tracer: shared.tracer.clone(),
+            peak_threads,
         })
     }
 }

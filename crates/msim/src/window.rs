@@ -82,6 +82,8 @@ impl<T: ShmElem> SharedWindow<T> {
         let mode = ctx.mode();
         let shared = ctx.shared();
         let inner = shared.board.rendezvous(
+            &shared.exec,
+            ctx.rank(),
             (comm.id(), seq, KIND_WIN_ALLOC),
             comm.rank(),
             comm.size(),
