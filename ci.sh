@@ -3,21 +3,32 @@
 # (all dependencies are path/vendored; .cargo/config.toml forces offline).
 #
 # Usage:
-#   ci.sh                 run every stage (fmt build test lint smoke perf)
+#   ci.sh                 run every stage (fmt build test lint race smoke perf)
 #   ci.sh STAGE [...]     run only the named stage(s), in the given order
-#   ci.sh --quick         inner-loop subset: fmt + build + test
+#   ci.sh --quick         inner-loop subset: fmt + build + test + 1-seed race
 #
 # Stages:
 #   fmt     cargo fmt --check
 #   build   release build of the whole workspace
 #   test    cargo test --workspace (includes the pooled-executor
 #           differential suite and the figure-golden regression tests)
-#   lint    clippy, -D warnings
+#   lint    clippy, -D warnings (the workspace lint wall in Cargo.toml:
+#           clippy::all + unsafe_op_in_unsafe_fn and the SAFETY-comment
+#           requirement on every unsafe block)
+#   race    happens-before race detector (MSIM_RACE=1, docs/race-detection.md):
+#           the msim mutant-regression suite plus both conformance suites
+#           with the detector armed — all collectives, all sync methods,
+#           the full seed set — and a thread-per-rank differential pass.
+#           Budget: vector-clock bookkeeping costs roughly 2x on
+#           window-heavy suites; the whole stage is ~30 s on the CI
+#           reference host, well under the test stage itself. `--quick`
+#           keeps the stage on a 1-seed subset (MSIM_CONF_SEEDS=1).
 #   smoke   pinned-seed fault-injection + autotune + tuning-table goldens
 #   perf    wall-clock gate: `scale --ranks 96 --ci` writes BENCH_scale.json
 #           at the repo root and fails if the measured wall-clock exceeds
 #           SCALE_BUDGET_S by >25%; the artifact must round-trip the
-#           canonical JSON serializer byte-for-byte
+#           canonical JSON serializer byte-for-byte. Also asserts the
+#           detector-off artifact is unaffected by the race feature.
 #
 # Perf budget bump procedure: the stored budget below is the wall-clock
 # (seconds) of `scale --ranks 96` on the CI reference host, with head-
@@ -53,6 +64,29 @@ stage_lint() {
     cargo clippy --workspace --all-targets -- -D warnings
 }
 
+# Seed subset for the race stage's conformance passes: the full eight in
+# a normal run, one in `--quick` (set by the --quick branch below).
+RACE_SEEDS=8
+
+stage_race() {
+    # Detector sensitivity: the seeded mutants must fire, clean code must
+    # not (crates/msim/tests/race.rs pins both, in both executor modes).
+    cargo test -q -p msim --test race
+    # Zero false positives across the full collective matrix: both
+    # conformance suites (all collectives x seeds x regular/irregular
+    # clusters, hybrid suite additionally x 3 sync methods) plus the
+    # detector-specific hybrid suite, all with the detector armed.
+    MSIM_RACE=1 MSIM_CONF_SEEDS="$RACE_SEEDS" \
+        cargo test -q -p collectives --test conformance
+    MSIM_RACE=1 MSIM_CONF_SEEDS="$RACE_SEEDS" \
+        cargo test -q -p hmpi-core --test conformance --test race_detect
+    # Differential pass: the historical thread-per-rank executor must
+    # reach the same verdicts (1-seed subset keeps this cheap).
+    MSIM_RACE=1 MSIM_EXEC=threads MSIM_CONF_SEEDS=1 \
+        cargo test -q -p hmpi-core --test race_detect
+    MSIM_EXEC=threads cargo test -q -p msim --test race
+}
+
 stage_smoke() {
     # Pinned-seed fault-injection smoke run: reproducible clocks/trace,
     # oracle-exact data, injected kill surfaced (see docs/testing.md).
@@ -77,6 +111,12 @@ stage_perf() {
     # round-trips the canonical JSON serializer, and enforces the
     # budget (see header for the bump procedure).
     cargo run --release -p bench --bin scale -- --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
+    # The same smoke with the race detector requested must stay inside
+    # the same wall-clock budget: `scale` runs in phantom data mode,
+    # where the detector is disarmed by design (docs/race-detection.md),
+    # so MSIM_RACE=1 must be a no-op for both timing and the artifact.
+    MSIM_RACE=1 cargo run --release -p bench --bin scale -- \
+        --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
     # Belt and braces: the round-trip golden check must also pass as a
     # standalone invocation (this is what guards hand-edited artifacts).
     cargo run --release -p bench --bin scale -- --verify BENCH_scale.json
@@ -89,17 +129,20 @@ run_stage() {
     echo "ci: === stage $name OK ==="
 }
 
-ALL_STAGES=(fmt build test lint smoke perf)
+ALL_STAGES=(fmt build test lint race smoke perf)
 
 if [ "$#" -eq 0 ]; then
     stages=("${ALL_STAGES[@]}")
 elif [ "$1" = "--quick" ]; then
-    stages=(fmt build test)
+    # The race stage rides along on a 1-seed subset so the inner loop
+    # still exercises the detector without the full 8-seed matrix.
+    RACE_SEEDS=1
+    stages=(fmt build test race)
 else
     stages=("$@")
     for s in "${stages[@]}"; do
         case "$s" in
-        fmt | build | test | lint | smoke | perf) ;;
+        fmt | build | test | lint | race | smoke | perf) ;;
         *)
             echo "ci: unknown stage '$s' (stages: ${ALL_STAGES[*]}, or --quick)" >&2
             exit 2

@@ -12,7 +12,7 @@ use collectives::{smp_aware::SmpAware, SelectionPolicy, Tuning};
 use hmpi::{HyAllgather, HybridComm};
 use msim::{SimConfig, Universe};
 use simnet::analysis::{node_traffic_matrix, TrafficStats};
-use simnet::{ClusterSpec, Placement};
+use simnet::{ClusterSpec, EventKind, Placement};
 
 fn main() {
     let m = Machine::hazel_hen();
@@ -127,5 +127,36 @@ fn main() {
             .into_iter()
             .map(|(op, algo, why, n)| vec![op, algo, why, n.to_string()])
             .collect::<Vec<_>>(),
+    );
+
+    // Race sweep: the same hybrid allgather once more in *real* data mode
+    // with the happens-before detector armed (the traffic runs above are
+    // phantom, where the detector is a documented non-goal — see
+    // docs/race-detection.md). The RaceCheck trace event summarizes the
+    // sweep; a non-zero race count would have failed the run outright.
+    let cfg = SimConfig::new(spec.clone(), m.cost.clone())
+        .traced()
+        .with_race_detect(true);
+    let tuning = m.tuning.clone();
+    let r = Universe::run(cfg, move |ctx| {
+        let world = ctx.world();
+        let hc = HybridComm::new(ctx, &world, tuning.clone());
+        let ag = HyAllgather::<f64>::new(ctx, &hc, elems);
+        ag.execute(ctx);
+    })
+    .expect("race-checked run (a detected race fails here)");
+    let (accesses, races) = r
+        .tracer
+        .events()
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::RaceCheck { accesses, races } => Some((accesses, races)),
+            _ => None,
+        })
+        .expect("detector-on traced run records a RaceCheck summary");
+    print_table(
+        "Race sweep — Hy_Allgather, real mode, MSIM_RACE-equivalent run",
+        &["window accesses swept", "races"],
+        &[vec![accesses.to_string(), races.to_string()]],
     );
 }

@@ -39,6 +39,17 @@ const ROOT: usize = 1;
 /// The eight seeds every family is fuzzed under.
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
+/// The fuzz seeds in play: all of [`SEEDS`], unless `MSIM_CONF_SEEDS=N`
+/// truncates to the first `N` (used by `ci.sh --quick`, whose race tier
+/// re-runs this suite under the detector on a 1-seed subset).
+fn seeds() -> &'static [u64] {
+    let n = std::env::var("MSIM_CONF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(SEEDS.len(), |n| n.clamp(1, SEEDS.len()));
+    &SEEDS[..n]
+}
+
 type Prog = fn(&mut Ctx) -> Vec<f64>;
 type Oracle = fn(usize, usize) -> Vec<f64>;
 
@@ -70,7 +81,7 @@ fn check_family(name: &str, prog: Prog, oracle: Oracle) {
                 &format!("{name}: baseline, rank {rank}, p={p}"),
             );
         }
-        for seed in SEEDS {
+        for &seed in seeds() {
             let fuzzed = run_under(spec.clone(), FaultPlan::from_seed(seed, p), false, prog);
             for rank in 0..p {
                 assert_close(

@@ -31,6 +31,17 @@ use simnet::{ClusterSpec, CostModel, Perturbation};
 const COUNT: usize = 5;
 const ROOT: usize = 1;
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// The fuzz seeds in play: all of [`SEEDS`], unless `MSIM_CONF_SEEDS=N`
+/// truncates to the first `N` (used by `ci.sh --quick`, whose race tier
+/// re-runs this suite under the detector on a 1-seed subset).
+fn seeds() -> &'static [u64] {
+    let n = std::env::var("MSIM_CONF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(SEEDS.len(), |n| n.clamp(1, SEEDS.len()));
+    &SEEDS[..n]
+}
 const SYNCS: [SyncMethod; 3] = [
     SyncMethod::Barrier,
     SyncMethod::SharedFlags,
@@ -73,7 +84,7 @@ fn check_family(name: &str, prog: Prog, oracle: Oracle) {
                     &format!("{name}/{sync:?}: baseline, rank {rank}, p={p}"),
                 );
             }
-            for seed in SEEDS {
+            for &seed in seeds() {
                 let fuzzed = run_under(
                     spec.clone(),
                     FaultPlan::from_seed(seed, p),

@@ -83,10 +83,17 @@ impl Communicator {
         let seq = ctx.next_oob_seq(self.inner.id);
         let my_global = ctx.rank();
         let shared = ctx.shared();
+        let board_key = (self.inner.id, seq, KIND_SPLIT);
+        // A split is a setup collective over *all* members (even those
+        // passing MPI_UNDEFINED), so it is also a synchronization point
+        // the race detector must order accesses across.
+        if let Some(r) = &shared.race {
+            r.fence_deposit(my_global, board_key, self.size());
+        }
         let groups = shared.board.rendezvous(
             &shared.exec,
             my_global,
-            (self.inner.id, seq, KIND_SPLIT),
+            board_key,
             self.local_rank,
             self.size(),
             (my_global, color, key),
@@ -118,6 +125,9 @@ impl Communicator {
                 out
             },
         );
+        if let Some(r) = &shared.race {
+            r.fence_join(my_global, board_key, format!("comm split #{seq}"));
+        }
         let color = color?;
         let inner = groups
             .get(&color)

@@ -25,6 +25,9 @@ pub struct Ctx {
     /// Messages sent so far per destination global rank (perturbation
     /// sequence numbers; only maintained when a perturbation is active).
     send_seqs: HashMap<usize, u64>,
+    /// Shared windows allocated so far by this rank (feeds the
+    /// deterministic window identity used by the race detector).
+    win_seq: u64,
 }
 
 impl Ctx {
@@ -36,6 +39,7 @@ impl Ctx {
             oob_seqs: HashMap::new(),
             op_count: 0,
             send_seqs: HashMap::new(),
+            win_seq: 0,
         }
     }
 
@@ -233,6 +237,11 @@ impl Ctx {
                 intra: link == LinkClass::SharedMem,
             },
         );
+        let vc = self
+            .shared
+            .race
+            .as_ref()
+            .map(|r| r.on_send(self.global_rank, format!("send to g{global_dst} tag {tag}")));
         self.shared.mailboxes[global_dst].push(
             (comm.id(), comm.rank(), tag),
             Packet {
@@ -240,6 +249,7 @@ impl Ctx {
                 tag,
                 payload,
                 arrival,
+                vc,
             },
         );
     }
@@ -283,6 +293,13 @@ impl Ctx {
                 intra: link == LinkClass::SharedMem,
             },
         );
+        if let Some(r) = &self.shared.race {
+            r.on_recv(
+                self.global_rank,
+                packet.vc.as_ref(),
+                format!("recv from g{global_src} tag {tag}"),
+            );
+        }
         packet.payload
     }
 
@@ -300,16 +317,23 @@ impl Ctx {
     pub fn oob_fence(&mut self, comm: &Communicator) {
         let seq = self.next_oob_seq(comm.id());
         let shared = Arc::clone(&self.shared);
+        let key = (comm.id(), seq, crate::oob::KIND_FENCE);
+        if let Some(r) = &shared.race {
+            r.fence_deposit(self.global_rank, key, comm.size());
+        }
         shared.board.rendezvous(
             &shared.exec,
             self.rank(),
-            (comm.id(), seq, crate::oob::KIND_FENCE),
+            key,
             comm.rank(),
             comm.size(),
             (),
             shared.recv_timeout,
             |_| (),
         );
+        if let Some(r) = &shared.race {
+            r.fence_join(self.global_rank, key, format!("oob fence #{seq}"));
+        }
     }
 
     /// Post a shared synchronization flag for communicator-local rank
@@ -340,6 +364,11 @@ impl Ctx {
                 intra: true,
             },
         );
+        let vc = self
+            .shared
+            .race
+            .as_ref()
+            .map(|r| r.on_send(self.global_rank, format!("flag to g{global_dst} tag {tag}")));
         self.shared.mailboxes[global_dst].push(
             (comm.id(), comm.rank(), tag),
             Packet {
@@ -347,6 +376,7 @@ impl Ctx {
                 tag,
                 payload: Payload::Phantom(0),
                 arrival,
+                vc,
             },
         );
     }
@@ -369,6 +399,13 @@ impl Ctx {
         }
         self.clock.advance(self.shared.cost.flag_post_us);
         let arrival = self.clock.now() + self.shared.cost.flag_latency_us;
+        // One cache-line store is one release event: a single clock
+        // snapshot (and tick) is shared by every observer's packet.
+        let vc = self
+            .shared
+            .race
+            .as_ref()
+            .map(|r| r.on_send(self.global_rank, format!("flag multicast tag {tag}")));
         for dst in 0..comm.size() {
             if dst == comm.rank() {
                 continue;
@@ -390,6 +427,7 @@ impl Ctx {
                     tag,
                     payload: Payload::Phantom(0),
                     arrival,
+                    vc: vc.clone(),
                 },
             );
         }
@@ -421,6 +459,13 @@ impl Ctx {
                 intra: true,
             },
         );
+        if let Some(r) = &self.shared.race {
+            r.on_recv(
+                self.global_rank,
+                packet.vc.as_ref(),
+                format!("flag from g{global_src} tag {tag}"),
+            );
+        }
     }
 
     /// Send region `[off, off+len)` of `buf` to `dst`.
@@ -537,6 +582,16 @@ impl Ctx {
         let seq = self.oob_seqs.entry(comm_id).or_insert(0);
         let s = *seq;
         *seq += 1;
+        s
+    }
+
+    /// Next window-allocation sequence number of this rank. Combined
+    /// with the global rank it yields a window identity that is stable
+    /// across runs and execution modes (unlike communicator context
+    /// ids, which are allocated in wall-clock completion order).
+    pub(crate) fn next_win_seq(&mut self) -> u64 {
+        let s = self.win_seq;
+        self.win_seq += 1;
         s
     }
 

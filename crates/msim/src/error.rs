@@ -26,6 +26,20 @@ pub enum SimError {
         /// Panic payload rendered to a string when possible.
         message: String,
     },
+    /// The happens-before race detector found conflicting, unordered
+    /// accesses to one or more [`crate::SharedWindow`]s. Only produced
+    /// when [`crate::SimConfig::race_detect`] (or `MSIM_RACE=1`) is set
+    /// and the universe runs in [`crate::DataMode::Real`]. Reports are
+    /// sorted, deduplicated and capped; see `docs/race-detection.md`.
+    RaceDetected {
+        /// Confirmed races, canonically ordered (deterministic across
+        /// repeated runs with the same seed and executor mode).
+        reports: Vec<crate::race::RaceReport>,
+        /// Debug rendering of the active [`crate::FaultPlan`]. Races are
+        /// reported even when the racing rank was killed mid-collective,
+        /// so the fault context is needed to reproduce such runs.
+        fault_context: String,
+    },
     /// The execution infrastructure itself failed — a rank thread could
     /// not be spawned or joined, or a pool worker died outside any rank
     /// program. Unlike [`SimError::RankPanicked`] this is not the rank
@@ -62,12 +76,21 @@ impl SimError {
                  if message.contains(crate::fault::KILL_MARKER))
     }
 
-    /// The global rank the error is attributed to.
+    /// True for [`SimError::RaceDetected`].
+    pub fn is_race(&self) -> bool {
+        matches!(self, SimError::RaceDetected { .. })
+    }
+
+    /// The global rank the error is attributed to. For races this is the
+    /// first access of the first (canonically smallest) report.
     pub fn rank(&self) -> usize {
         match self {
             SimError::DeadlockSuspected { rank, .. } => *rank,
             SimError::RankPanicked { rank, .. } => *rank,
             SimError::ExecutorFailure { rank, .. } => *rank,
+            SimError::RaceDetected { reports, .. } => {
+                reports.first().map_or(usize::MAX, |r| r.first.rank)
+            }
         }
     }
 }
@@ -97,6 +120,21 @@ impl fmt::Display for SimError {
                 "executor infrastructure failure while serving rank {rank}: \
                  {message} (fault plan: {fault_context})"
             ),
+            SimError::RaceDetected {
+                reports,
+                fault_context,
+            } => {
+                write!(
+                    f,
+                    "shared-window data race: {} conflicting access pair(s) \
+                     with no happens-before ordering (fault plan: {fault_context})",
+                    reports.len()
+                )?;
+                for r in reports {
+                    write!(f, "\n  {r}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -208,12 +208,19 @@ const STACK_CANARY: u64 = 0x5ca1_ab1e_dead_beef;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
     let base = stack.as_mut_ptr() as usize;
+    // SAFETY: `stack` is a live allocation of at least 16 KiB (clamped in
+    // `run_pool`), so the two canary words at its low end are in-bounds
+    // writes to memory this function exclusively borrows.
     unsafe {
         (base as *mut u64).write(STACK_CANARY);
         ((base + 8) as *mut u64).write(STACK_CANARY);
     }
     // 16-align the top; both ABIs want 16-byte stack alignment.
     let top = (base + stack.len()) & !15;
+    // SAFETY: the frame is 7 words (x86_64) / 160 bytes (aarch64) below
+    // `top`, which the 16 KiB minimum stack size keeps well above `base`;
+    // every write lands inside the borrowed stack slice. The layouts
+    // mirror what `msim_switch_stacks` pops on its first switch in.
     #[cfg(target_arch = "x86_64")]
     unsafe {
         // Layout (ascending from the saved sp): r15 r14 r13 r12 rbx rbp
@@ -233,6 +240,7 @@ unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
         sp.add(2).write(0);
         sp as usize
     }
+    // SAFETY: see the x86_64 arm above — same in-bounds argument.
     #[cfg(target_arch = "aarch64")]
     unsafe {
         // 160-byte register save area; x19 = arg, x20 = entry,
@@ -563,6 +571,12 @@ struct RankCell<'f, T, F> {
 /// Workers access disjoint cells (ownership is mediated by the core's
 /// rank states: exactly one worker holds a rank in `Running`).
 struct CellTable<'f, T, F>(Vec<RankCell<'f, T, F>>);
+// SAFETY: sharing the table only hands workers *potential* access to
+// every cell; actual access is serialized per cell by the core's rank
+// states (a cell is touched only by the single worker holding its rank
+// in `Running`, and transitions go through the core mutex, which
+// provides the necessary ordering). `T: Send` because outcomes move to
+// the collecting thread; `F: Sync` because all workers call `f`.
 unsafe impl<T: Send, F: Sync> Sync for CellTable<'_, T, F> {}
 
 extern "C" fn coro_entry<T, F>(pack: *mut LaunchPack<'_, T, F>)
@@ -728,5 +742,62 @@ where
             (*cell.stack.get()).shrink_to_fit();
         }
         core.finalize(rank, intent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{SimConfig, Universe};
+    use crate::SimError;
+    use simnet::{ClusterSpec, CostModel};
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(ClusterSpec::regular(1, 2), CostModel::uniform_test())
+            .with_exec(ExecMode::Pooled { workers: Some(1) })
+    }
+
+    /// The canary is a real guard, not decoration: a write that lands
+    /// past the low end of a coroutine stack is caught as an
+    /// `ExecutorFailure` naming the overflow, never silent corruption.
+    #[test]
+    fn clobbered_stack_canary_is_reported_as_overflow() {
+        if !POOL_SUPPORTED {
+            return;
+        }
+        let err = Universe::run(cfg(), |ctx| {
+            if ctx.rank() == 0 {
+                let task = CURRENT_TASK.with(|c| c.get());
+                assert!(!task.is_null(), "rank must be running as a coroutine");
+                // Simulate the last store of a stack overflow: clobber the
+                // canary word at the low end of this coroutine's own
+                // stack.
+                // SAFETY: `task` is this coroutine's live switch cell and
+                // `stack_base` points at its stack allocation, so the
+                // write stays inside an allocation we own — the *check*
+                // failing is the point, not UB.
+                unsafe {
+                    ((*task).stack_base as *mut u64).write(0);
+                }
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::ExecutorFailure { message, .. } => {
+                assert!(message.contains("overflowed"), "{message}");
+            }
+            other => panic!("expected the canary to trip an executor failure, got {other}"),
+        }
+    }
+
+    /// `SimConfig::with_stack_size` below the 16 KiB floor is clamped,
+    /// not honored: the entry frame and canary always fit.
+    #[test]
+    fn tiny_stack_configs_are_clamped_to_the_floor() {
+        if !POOL_SUPPORTED {
+            return;
+        }
+        let r = Universe::run(cfg().with_stack_size(1), |ctx| ctx.rank()).unwrap();
+        assert_eq!(r.per_rank, vec![0, 1]);
     }
 }

@@ -39,6 +39,7 @@ pub mod fault;
 mod mailbox;
 pub mod msg;
 mod oob;
+pub mod race;
 pub mod universe;
 pub mod window;
 
@@ -52,5 +53,6 @@ pub use error::SimError;
 pub use exec::ExecMode;
 pub use fault::{FaultPlan, KillRule, SchedulePolicy};
 pub use msg::Payload;
+pub use race::{AccessKind, RaceAccess, RaceReport, VectorClock};
 pub use universe::{DataMode, SimConfig, SimResult, Universe};
 pub use window::SharedWindow;

@@ -232,6 +232,7 @@ mod tests {
             tag,
             payload: Payload::empty(),
             arrival: 0.0,
+            vc: None,
         }
     }
 

@@ -1,6 +1,9 @@
 //! Message payloads and in-flight packets.
 
+use std::sync::Arc;
+
 use crate::bytes::Bytes;
+use crate::race::VectorClock;
 
 /// The contents of a message.
 ///
@@ -77,6 +80,10 @@ pub struct Packet {
     pub payload: Payload,
     /// Virtual arrival time at the receiver (µs).
     pub arrival: f64,
+    /// Sender's vector-clock snapshot at send time (the release side of
+    /// the happens-before edge the race detector derives from this
+    /// message). `None` when the detector is off.
+    pub vc: Option<Arc<VectorClock>>,
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::exec::{self, ExecCtl, ExecMode, PoolCore};
 use crate::fault::{FaultPlan, SchedulePolicy};
 use crate::mailbox::{Mailbox, StageFuzz};
 use crate::oob::OobBoard;
+use crate::race::RaceState;
 
 /// Whether buffers and messages carry real data or only sizes.
 ///
@@ -53,6 +54,10 @@ pub struct SimConfig {
     /// How rank programs execute: pooled coroutines (default) or one OS
     /// thread per rank. See `docs/simulator.md`.
     pub exec: ExecMode,
+    /// Run the happens-before race detector over every shared-window
+    /// access (real-data universes only; see `docs/race-detection.md`).
+    /// Defaults to the `MSIM_RACE` environment variable (`1` = on).
+    pub race_detect: bool,
 }
 
 impl SimConfig {
@@ -75,7 +80,12 @@ impl SimConfig {
             stack_size: 1 << 20,
             fault: FaultPlan::none(),
             exec: Self::exec_from_env(),
+            race_detect: Self::race_from_env(),
         }
+    }
+
+    fn race_from_env() -> bool {
+        matches!(std::env::var("MSIM_RACE").as_deref(), Ok("1"))
     }
 
     fn exec_from_env() -> ExecMode {
@@ -132,6 +142,13 @@ impl SimConfig {
         self
     }
 
+    /// Enable or disable the happens-before race detector (overrides the
+    /// `MSIM_RACE` default).
+    pub fn with_race_detect(mut self, on: bool) -> Self {
+        self.race_detect = on;
+        self
+    }
+
     /// Convenience: run under the standard seeded fuzz plan
     /// ([`FaultPlan::from_seed`]) — adversarial wall-clock scheduling plus
     /// a mild seeded cost perturbation. Equal seeds reproduce equal runs.
@@ -154,6 +171,9 @@ pub(crate) struct Shared {
     pub(crate) world: Arc<CommInner>,
     pub(crate) fault: FaultPlan,
     pub(crate) exec: ExecCtl,
+    /// Armed race detector (`None` when detection is off or the data
+    /// mode is phantom — phantom windows have no storage to race on).
+    pub(crate) race: Option<Arc<RaceState>>,
 }
 
 /// The outcome of a run: each rank's return value and final virtual clock,
@@ -246,6 +266,8 @@ impl Universe {
             world,
             fault: config.fault,
             exec: exec_ctl,
+            race: (config.race_detect && config.mode == DataMode::Real)
+                .then(|| Arc::new(RaceState::new(nranks))),
         });
         let fault_context = format!("{:?}", shared.fault);
 
@@ -313,17 +335,41 @@ impl Universe {
                 fault_context,
             });
         }
+        if let Some(rank) = outcomes.iter().position(|o| o.is_none()) {
+            // No recorded infra failure but the rank never ran to
+            // completion — still an executor-level failure.
+            return Err(SimError::ExecutorFailure {
+                rank,
+                message: "rank never completed (executor gave up)".into(),
+                fault_context,
+            });
+        }
+        // The race sweep runs before per-rank errors are surfaced: a
+        // race must be reported even when a FaultPlan killed the racing
+        // rank mid-collective (the kill's panic and the deadlocks it
+        // causes would otherwise mask it); the fault context rides on
+        // the report. Infrastructure failures above still win — with a
+        // broken executor the access log is not trustworthy.
+        if let Some(race) = &shared.race {
+            let (accesses, reports) = race.detect();
+            shared.tracer.record(
+                0,
+                0.0,
+                simnet::EventKind::RaceCheck {
+                    accesses,
+                    races: reports.len(),
+                },
+            );
+            if !reports.is_empty() {
+                return Err(SimError::RaceDetected {
+                    reports,
+                    fault_context,
+                });
+            }
+        }
         for (rank, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
-                None => {
-                    // No recorded infra failure but the rank never ran to
-                    // completion — still an executor-level failure.
-                    return Err(SimError::ExecutorFailure {
-                        rank,
-                        message: "rank never completed (executor gave up)".into(),
-                        fault_context,
-                    });
-                }
+                None => unreachable!("missing outcomes are handled above"),
                 Some(Ok((value, clock))) => {
                     per_rank.push(value);
                     clocks.push(clock);

@@ -23,6 +23,7 @@ use crate::ctx::Ctx;
 use crate::elem::ShmElem;
 use crate::msg::Payload;
 use crate::oob::KIND_WIN_ALLOC;
+use crate::race::{AccessKind, RaceState};
 use crate::universe::DataMode;
 
 #[derive(Debug)]
@@ -37,6 +38,21 @@ struct WindowInner {
     /// Base element offset of each member's segment, plus a final entry
     /// equal to the total length.
     offsets: Vec<usize>,
+    /// Deterministic identity: the allocating communicator's rank-0
+    /// global rank in the high 32 bits, that rank's window-allocation
+    /// sequence number in the low 32. Used by the race detector (and
+    /// its reports) instead of communicator context ids, which are
+    /// assigned in wall-clock completion order.
+    id: u64,
+}
+
+/// The race-detector hook of one window handle: the universe's detector
+/// state plus the owning global rank (handles are per-rank, so the rank
+/// is captured at allocation).
+#[derive(Debug, Clone)]
+struct WinRace {
+    state: Arc<RaceState>,
+    rank: usize,
 }
 
 /// A node-wide shared buffer of `T` with per-rank segments.
@@ -53,6 +69,8 @@ pub struct SharedWindow<T> {
     base: usize,
     /// View length in elements.
     view_len: usize,
+    /// Race-detector hook (`None` when detection is off).
+    race: Option<WinRace>,
     _elem: PhantomData<T>,
 }
 
@@ -79,20 +97,29 @@ impl<T: ShmElem> SharedWindow<T> {
             );
         }
         let seq = ctx.next_oob_seq(comm.id());
+        // Every member proposes an identity from its own (rank, alloc
+        // counter); the finisher keeps communicator rank 0's proposal —
+        // deterministic across runs, unlike comm context ids.
+        let id_candidate = ((ctx.rank() as u64) << 32) | ctx.next_win_seq();
         let mode = ctx.mode();
         let shared = ctx.shared();
+        let key = (comm.id(), seq, KIND_WIN_ALLOC);
+        if let Some(r) = &shared.race {
+            r.fence_deposit(ctx.rank(), key, comm.size());
+        }
         let inner = shared.board.rendezvous(
             &shared.exec,
             ctx.rank(),
-            (comm.id(), seq, KIND_WIN_ALLOC),
+            key,
             comm.rank(),
             comm.size(),
-            my_len,
+            (my_len, id_candidate),
             shared.recv_timeout,
             move |sizes| {
+                let id = sizes.first().map_or(0, |(_, (_, id))| *id);
                 let mut offsets = Vec::with_capacity(sizes.len() + 1);
                 let mut acc = 0usize;
-                for (_, len) in &sizes {
+                for (_, (len, _)) in &sizes {
                     offsets.push(acc);
                     acc += len;
                 }
@@ -101,9 +128,21 @@ impl<T: ShmElem> SharedWindow<T> {
                     DataMode::Real => Storage::Real((0..acc).map(|_| AtomicU64::new(0)).collect()),
                     DataMode::Phantom => Storage::Phantom,
                 };
-                WindowInner { storage, offsets }
+                WindowInner {
+                    storage,
+                    offsets,
+                    id,
+                }
             },
         );
+        let race = shared.race.clone().map(|state| WinRace {
+            state,
+            rank: ctx.rank(),
+        });
+        if let Some(r) = &race {
+            r.state
+                .fence_join(ctx.rank(), key, format!("win alloc #{seq}"));
+        }
         ctx.trace_win_alloc(my_len * T::SIZE);
         let view_len = *inner.offsets.last().expect("offsets nonempty");
         Self {
@@ -111,6 +150,7 @@ impl<T: ShmElem> SharedWindow<T> {
             my_local_rank: comm.rank(),
             base: 0,
             view_len,
+            race,
             _elem: PhantomData,
         }
     }
@@ -128,7 +168,19 @@ impl<T: ShmElem> SharedWindow<T> {
             my_local_rank: self.my_local_rank,
             base: self.base + off,
             view_len: len,
+            race: self.race.clone(),
             _elem: PhantomData,
+        }
+    }
+
+    /// Log `[off, off+len)` of this *view* with the race detector (the
+    /// record uses absolute window coordinates, so overlapping accesses
+    /// through different views still conflict).
+    #[inline]
+    fn note_access(&self, kind: AccessKind, off: usize, len: usize) {
+        if let Some(r) = &self.race {
+            r.state
+                .record(r.rank, self.inner.id, self.base + off, len, kind);
         }
     }
 
@@ -169,6 +221,7 @@ impl<T: ShmElem> SharedWindow<T> {
     /// Load the element at `idx` (default value in phantom mode).
     pub fn read(&self, idx: usize) -> T {
         assert!(idx < self.view_len, "window read out of bounds");
+        self.note_access(AccessKind::Read, idx, 1);
         match &self.inner.storage {
             Storage::Real(cells) => T::from_bits64(cells[self.base + idx].load(Ordering::Relaxed)),
             Storage::Phantom => T::default(),
@@ -178,6 +231,7 @@ impl<T: ShmElem> SharedWindow<T> {
     /// Store `v` at `idx` (bounds-checked no-op in phantom mode).
     pub fn write(&self, idx: usize, v: T) {
         assert!(idx < self.view_len, "window write out of bounds");
+        self.note_access(AccessKind::Write, idx, 1);
         match &self.inner.storage {
             Storage::Real(cells) => cells[self.base + idx].store(v.to_bits64(), Ordering::Relaxed),
             Storage::Phantom => {}
@@ -190,6 +244,7 @@ impl<T: ShmElem> SharedWindow<T> {
             off + out.len() <= self.view_len,
             "window read out of bounds"
         );
+        self.note_access(AccessKind::Read, off, out.len());
         if let Storage::Real(cells) = &self.inner.storage {
             for (i, slot) in out.iter_mut().enumerate() {
                 *slot = T::from_bits64(cells[self.base + off + i].load(Ordering::Relaxed));
@@ -207,6 +262,7 @@ impl<T: ShmElem> SharedWindow<T> {
             off + src.len() <= self.view_len,
             "window write out of bounds"
         );
+        self.note_access(AccessKind::Write, off, src.len());
         if let Storage::Real(cells) = &self.inner.storage {
             for (i, &v) in src.iter().enumerate() {
                 cells[self.base + off + i].store(v.to_bits64(), Ordering::Relaxed);
@@ -218,6 +274,7 @@ impl<T: ShmElem> SharedWindow<T> {
     /// storage-wise in phantom mode.
     pub fn fill_with(&self, off: usize, len: usize, mut f: impl FnMut(usize) -> T) {
         assert!(off + len <= self.view_len, "window fill out of bounds");
+        self.note_access(AccessKind::Write, off, len);
         if let Storage::Real(cells) = &self.inner.storage {
             for i in 0..len {
                 cells[self.base + off + i].store(f(i).to_bits64(), Ordering::Relaxed);

@@ -53,7 +53,7 @@ impl TrafficStats {
                 EventKind::Barrier => s.barriers += 1,
                 EventKind::WinAlloc { bytes } => s.window_bytes += bytes,
                 EventKind::Decision { .. } => s.decisions += 1,
-                EventKind::Recv { .. } => {}
+                EventKind::Recv { .. } | EventKind::RaceCheck { .. } => {}
             }
         }
         s

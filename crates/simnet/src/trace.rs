@@ -33,6 +33,17 @@ pub enum EventKind {
     WinAlloc { bytes: usize },
     /// Completed a barrier (any implementation).
     Barrier,
+    /// Summary of a shared-window happens-before race sweep: how many
+    /// (coalesced) window accesses were checked and how many race reports
+    /// survived canonicalization. Recorded once per run, at rank 0 and
+    /// virtual time 0.0, only when the detector is enabled — so traces of
+    /// detector-off runs (all goldens) are byte-identical to before.
+    RaceCheck {
+        /// Coalesced window-access records swept.
+        accesses: usize,
+        /// Confirmed race reports (after dedup/cap).
+        races: usize,
+    },
     /// An algorithm-selection decision made by a `SelectionPolicy`
     /// (operation, chosen algorithm name, free-form "why" string). Charged
     /// no virtual time; recorded so traces explain *which* schedule ran.
