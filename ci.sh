@@ -3,9 +3,9 @@
 # (all dependencies are path/vendored; .cargo/config.toml forces offline).
 #
 # Usage:
-#   ci.sh                 run every stage (fmt build test lint race smoke perf)
+#   ci.sh                 run every stage (fmt build test lint race ft smoke perf)
 #   ci.sh STAGE [...]     run only the named stage(s), in the given order
-#   ci.sh --quick         inner-loop subset: fmt + build + test + 1-seed race
+#   ci.sh --quick         inner-loop subset: fmt + build + test + 1-seed race + 1-seed ft
 #
 # Stages:
 #   fmt     cargo fmt --check
@@ -23,6 +23,19 @@
 #           window-heavy suites; the whole stage is ~30 s on the CI
 #           reference host, well under the test stage itself. `--quick`
 #           keeps the stage on a 1-seed subset (MSIM_CONF_SEEDS=1).
+#   ft      fault-tolerance gate (docs/fault-tolerance.md): the kill-
+#           matrix conformance suite (every collective family x every
+#           victim rank x 3 sync methods x regular+irregular layouts x
+#           seeds, Shrink policy, exact shrunk-world oracles), the
+#           runtime detector/drop/retry suite in both executor modes,
+#           the BPMF/SUMMA app-level recovery tests, a timeout-storm
+#           smoke (total blackout must surface as typed timeouts, not
+#           hangs), and the recovery-latency micro (`ft --ci` writes
+#           BENCH_ft.json, canonical-JSON round-trip enforced). Also
+#           re-asserts the figure goldens and the 96-rank perf gate so
+#           a *disarmed* run provably stays bit-identical: with no
+#           FaultPlan the FT paths are never entered. `--quick` keeps
+#           the matrix on a 1-seed subset (MSIM_FT_SEEDS=1).
 #   smoke   pinned-seed fault-injection + autotune + tuning-table goldens
 #   perf    wall-clock gate: `scale --ranks 96 --ci` writes BENCH_scale.json
 #           at the repo root and fails if the measured wall-clock exceeds
@@ -87,6 +100,40 @@ stage_race() {
     MSIM_EXEC=threads cargo test -q -p msim --test race
 }
 
+# Seed subset for the ft stage's kill matrix: four seeds in a normal
+# run, one in `--quick` (set by the --quick branch below).
+FT_SEEDS=4
+
+stage_ft() {
+    # Kill-matrix conformance under the Shrink policy: allgatherv /
+    # allgather / bcast / allreduce each complete with the exact
+    # shrunk-world result for any single victim, across sync methods,
+    # layouts (incl. irregular [1,3,4]) and seeds. Also pins recovery
+    # determinism (same-seed repeats and pooled-vs-threads agree byte
+    # for byte), the Abort and Retry policies, and the recovery trace.
+    MSIM_FT_SEEDS="$FT_SEEDS" cargo test -q -p hmpi-core --test ft
+    # Runtime layer, both executor modes: dead-rank detection from a
+    # parked wait, the timeout-storm smoke (drop_prob=1.0 blackout must
+    # produce a typed Timeout promptly), seeded drop determinism with
+    # transport retry, heartbeat piggybacking, agree/shrink semantics.
+    cargo test -q -p msim --test ft
+    MSIM_EXEC=threads cargo test -q -p msim --test ft
+    # App-level recovery: BPMF reconverges to the serial RMSE and SUMMA
+    # recomputes on the shrunk grid after a mid-run kill; the pooled
+    # executor matches thread-per-rank on a leader-failover run.
+    cargo test -q -p bpmf ft_bpmf
+    cargo test -q -p summa ft_summa
+    cargo test -q -p msim --test pooled pooled_matches_threads_on_leader_failover
+    # Recovery-latency micro: emits BENCH_ft.json at the repo root and
+    # fails unless the artifact round-trips the canonical serializer.
+    cargo run --release -p bench --bin ft -- --ci
+    # Disarmed bit-identity: with no FaultPlan the FT machinery must be
+    # invisible — the figure goldens and the 96-rank perf gate (both
+    # fault-free runs) must hold exactly as before this layer existed.
+    cargo test -q -p bench --test regression
+    cargo run --release -p bench --bin scale -- --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
+}
+
 stage_smoke() {
     # Pinned-seed fault-injection smoke run: reproducible clocks/trace,
     # oracle-exact data, injected kill surfaced (see docs/testing.md).
@@ -129,20 +176,22 @@ run_stage() {
     echo "ci: === stage $name OK ==="
 }
 
-ALL_STAGES=(fmt build test lint race smoke perf)
+ALL_STAGES=(fmt build test lint race ft smoke perf)
 
 if [ "$#" -eq 0 ]; then
     stages=("${ALL_STAGES[@]}")
 elif [ "$1" = "--quick" ]; then
-    # The race stage rides along on a 1-seed subset so the inner loop
-    # still exercises the detector without the full 8-seed matrix.
+    # The race and ft stages ride along on 1-seed subsets so the inner
+    # loop still exercises the detector and the kill matrix without the
+    # full seed sweeps.
     RACE_SEEDS=1
-    stages=(fmt build test race)
+    FT_SEEDS=1
+    stages=(fmt build test race ft)
 else
     stages=("$@")
     for s in "${stages[@]}"; do
         case "$s" in
-        fmt | build | test | lint | race | smoke | perf) ;;
+        fmt | build | test | lint | race | ft | smoke | perf) ;;
         *)
             echo "ci: unknown stage '$s' (stages: ${ALL_STAGES[*]}, or --quick)" >&2
             exit 2

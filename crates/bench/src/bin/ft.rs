@@ -1,0 +1,218 @@
+//! Recovery-latency micro-benchmark: virtual-time cost of a ULFM-style
+//! leader failover (detect → agree → shrink → rebuild → re-run) inside
+//! the fault-tolerant hybrid allgather, across cluster sizes. Emits
+//! `BENCH_ft.json` (canonical JSON, same serializer as the tuning
+//! tables) with the failure-free baseline, the failover makespan, and
+//! the recovery overhead per point.
+//!
+//! ```text
+//! ft [--out PATH] [--ci]
+//! ft --verify PATH
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bench::Machine;
+use collectives::json::Json;
+use collectives::FaultPolicy;
+use hmpi::{FtComm, SyncMethod};
+use msim::{Ctx, FaultPlan, SimConfig, Universe};
+use simnet::ClusterSpec;
+
+/// (nodes, ppn): small-to-mid scales — a recovery is dominated by the
+/// re-setup of the hierarchy, so modest sizes already show the shape.
+const LADDER: &[(usize, usize)] = &[(2, 4), (2, 8), (4, 8), (4, 16)];
+
+/// Doubles per rank in the measured allgather.
+const ELEMS: usize = 64;
+
+struct Point {
+    nodes: usize,
+    ppn: usize,
+    ranks: usize,
+    baseline_us: f64,
+    failover_us: f64,
+    wall_s: f64,
+}
+
+/// Two protected allgather rounds; under the failover plan the node-0
+/// leader (global rank 0) dies mid-round and the survivors recover.
+fn body(ctx: &mut Ctx, machine: &Machine, fault: FaultPolicy) -> f64 {
+    let world = ctx.world();
+    let mut ft = FtComm::new(&world, machine.tuning.clone(), SyncMethod::Barrier).with_fault(fault);
+    let mine = vec![0.0f64; ELEMS];
+    let t = ctx.now();
+    for _ in 0..2 {
+        ft.allgather(ctx, &mine);
+    }
+    ctx.now() - t
+}
+
+fn run_point(nodes: usize, ppn: usize, machine: &Machine) -> Point {
+    let ranks = nodes * ppn;
+    let cfg = || {
+        SimConfig::new(ClusterSpec::regular(nodes, ppn), machine.cost.clone())
+            .phantom()
+            .with_recv_timeout(Duration::from_secs(60))
+    };
+    let m = machine.clone();
+    let baseline = Universe::run(cfg(), move |ctx| body(ctx, &m, FaultPolicy::Abort))
+        .expect("baseline run must not fail")
+        .per_rank
+        .into_iter()
+        .fold(0.0f64, f64::max);
+
+    let m = machine.clone();
+    let t0 = Instant::now();
+    let failover = Universe::run_ft(
+        cfg().with_fault(FaultPlan::none().with_kill(0, 1)),
+        move |ctx| body(ctx, &m, FaultPolicy::Shrink),
+    )
+    .expect("failover run must recover");
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(failover.failed, vec![0], "the leader kill must land");
+    let failover_us = failover
+        .per_rank
+        .into_iter()
+        .flatten()
+        .fold(0.0f64, f64::max);
+    Point {
+        nodes,
+        ppn,
+        ranks,
+        baseline_us: baseline,
+        failover_us,
+        wall_s,
+    }
+}
+
+fn to_json(points: &[Point], total_wall_s: f64) -> Json {
+    let mut root = BTreeMap::new();
+    root.insert("bench".into(), Json::Str("ft".into()));
+    root.insert("cluster".into(), Json::Str("hazel_hen".into()));
+    root.insert("elems_per_rank".into(), Json::Num(ELEMS as f64));
+    root.insert(
+        "points".into(),
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    let round = |v: f64| (v * 1e3).round() / 1e3;
+                    let mut m = BTreeMap::new();
+                    m.insert("baseline_us".into(), Json::Num(round(p.baseline_us)));
+                    m.insert("failover_us".into(), Json::Num(round(p.failover_us)));
+                    m.insert("nodes".into(), Json::Num(p.nodes as f64));
+                    m.insert("ppn".into(), Json::Num(p.ppn as f64));
+                    m.insert("ranks".into(), Json::Num(p.ranks as f64));
+                    m.insert(
+                        "recovery_overhead_us".into(),
+                        Json::Num(round(p.failover_us - p.baseline_us)),
+                    );
+                    m.insert("wall_s".into(), Json::Num((p.wall_s * 1e6).round() / 1e6));
+                    Json::Obj(m)
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "total_wall_s".into(),
+        Json::Num((total_wall_s * 1e6).round() / 1e6),
+    );
+    Json::Obj(root)
+}
+
+/// The CI artifact check: the emitted file must round-trip the canonical
+/// serializer byte-for-byte (parse → pretty → same bytes).
+fn verify(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ft: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("ft: {path} does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.pretty() != text {
+        eprintln!("ft: {path} is not in canonical form (parse→serialize changed the bytes)");
+        return ExitCode::FAILURE;
+    }
+    let npoints = parsed
+        .get("points")
+        .and_then(|p| p.as_arr())
+        .map_or(0, |a| a.len());
+    if npoints == 0 {
+        eprintln!("ft: {path} has no points");
+        return ExitCode::FAILURE;
+    }
+    println!("ft: {path} round-trips byte-for-byte ({npoints} points)");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_ft.json".to_string();
+    let mut ci = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => return usage("--out needs a path"),
+            },
+            "--ci" => ci = true,
+            "--verify" => match args.next() {
+                Some(p) => return verify(&p),
+                None => return usage("--verify needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let machine = Machine::hazel_hen();
+    let mut points = Vec::with_capacity(LADDER.len());
+    let t0 = Instant::now();
+    for &(nodes, ppn) in LADDER {
+        let p = run_point(nodes, ppn, &machine);
+        println!(
+            "ft: {} ranks ({}x{}): baseline {:.1} us, failover {:.1} us \
+             (+{:.1} us recovery), {:.3} s wall",
+            p.ranks,
+            p.nodes,
+            p.ppn,
+            p.baseline_us,
+            p.failover_us,
+            p.failover_us - p.baseline_us,
+            p.wall_s
+        );
+        points.push(p);
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    let doc = to_json(&points, total_wall_s);
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        eprintln!("ft: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ft: {} point(s), {:.3} s total wall -> {out}",
+        points.len(),
+        total_wall_s
+    );
+    if ci && verify(&out) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("ft: {err}");
+    eprintln!("usage: ft [--out PATH] [--ci] | ft --verify PATH");
+    ExitCode::FAILURE
+}

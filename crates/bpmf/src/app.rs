@@ -1,8 +1,8 @@
 //! Distributed BPMF drivers: Ori_ (pure MPI) and Hy_ (hybrid MPI+MPI).
 
 use collectives::{allgatherv, barrier, Tuning};
-use hmpi::{HyAllgatherv, HybridComm};
-use msim::{Buf, Ctx, DataMode};
+use hmpi::{FtComm, HyAllgatherv, HybridComm};
+use msim::{Buf, Communicator, Ctx, DataMode};
 
 use crate::data::{owner, partition, Dataset};
 use crate::gibbs::{
@@ -77,9 +77,17 @@ enum LatentExchange<'a> {
     },
 }
 
-/// Generic driver; `ori_bpmf`/`hy_bpmf` pick the exchange flavor.
-fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> BpmfReport {
-    let world = ctx.world();
+/// Generic driver over an explicit communicator (so fault-tolerant
+/// callers can re-run it on a shrunk world); `ori_bpmf`/`hy_bpmf` pick
+/// the exchange flavor over `MPI_COMM_WORLD`.
+fn run_bpmf(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    data: &Dataset,
+    cfg: &BpmfConfig,
+    hybrid: bool,
+) -> BpmfReport {
+    let world = comm.clone();
     let p = world.size();
     let me = world.rank();
     let k = cfg.k;
@@ -173,7 +181,7 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
             hp_u.as_ref(),
             p,
         );
-        exchange(ctx, &mut ex, /*users=*/ true, &u_counts, me);
+        exchange(ctx, &world, &mut ex, /*users=*/ true, &u_counts, me);
 
         // --- Sample my items against the full U, then allgather V ---
         sample_side(
@@ -187,7 +195,7 @@ fn run_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig, hybrid: bool) -> Bp
             hp_v.as_ref(),
             p,
         );
-        exchange(ctx, &mut ex, /*users=*/ false, &v_counts, me);
+        exchange(ctx, &world, &mut ex, /*users=*/ false, &v_counts, me);
     }
 
     let elapsed_us = ctx.now() - t0;
@@ -290,10 +298,16 @@ fn sample_side(
 }
 
 /// Run the allgather of one side.
-fn exchange(ctx: &mut Ctx, ex: &mut LatentExchange, users_side: bool, counts: &[usize], me: usize) {
+fn exchange(
+    ctx: &mut Ctx,
+    world: &Communicator,
+    ex: &mut LatentExchange,
+    users_side: bool,
+    counts: &[usize],
+    me: usize,
+) {
     match ex {
         LatentExchange::Private { u, v, tuning } => {
-            let world = ctx.world();
             let total: usize = counts.iter().sum();
             let m = if users_side { u } else { v };
             let send: Buf<f64> = match ctx.mode() {
@@ -304,7 +318,7 @@ fn exchange(ctx: &mut Ctx, ex: &mut LatentExchange, users_side: bool, counts: &[
                 DataMode::Phantom => Buf::Phantom(counts[me]),
             };
             let mut recv: Buf<f64> = ctx.buf_zeroed(total);
-            allgatherv::tuned(ctx, &world, &send, counts, &mut recv, tuning);
+            allgatherv::tuned(ctx, world, &send, counts, &mut recv, tuning);
             if let Some(slice) = recv.as_slice() {
                 m.copy_from_slice(slice);
             }
@@ -320,7 +334,8 @@ fn exchange(ctx: &mut Ctx, ex: &mut LatentExchange, users_side: bool, counts: &[
 /// replica of both latent matrices and exchanges slices with the MPI
 /// library's `MPI_Allgatherv`.
 pub fn ori_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig) -> BpmfReport {
-    run_bpmf(ctx, data, cfg, false)
+    let world = ctx.world();
+    run_bpmf(ctx, &world, data, cfg, false)
 }
 
 /// **Hy_BPMF**: the hybrid MPI+MPI version — the latent matrices live in
@@ -329,7 +344,34 @@ pub fn ori_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig) -> BpmfReport {
 /// processes needs to be added before and after the all-to-all gather
 /// communication operations in Hy_BPMF", §5.2.2).
 pub fn hy_bpmf(ctx: &mut Ctx, data: &Dataset, cfg: &BpmfConfig) -> BpmfReport {
-    run_bpmf(ctx, data, cfg, true)
+    let world = ctx.world();
+    run_bpmf(ctx, &world, data, cfg, true)
+}
+
+/// Hy_BPMF over an explicit communicator (a shrunk world after
+/// recovery). Ranks re-partition the dataset by their rank *within*
+/// `comm`, so any subset of survivors computes the same factorization a
+/// fresh run at that size would — the final RMSE matches the serial
+/// oracle regardless of how many ranks remain.
+pub fn hy_bpmf_on(
+    ctx: &mut Ctx,
+    comm: &Communicator,
+    data: &Dataset,
+    cfg: &BpmfConfig,
+) -> BpmfReport {
+    run_bpmf(ctx, comm, data, cfg, true)
+}
+
+/// Fault-tolerant Hy_BPMF: the whole run is one protected round of
+/// `ft`. If a rank dies mid-run under `FaultPolicy::Shrink`, the
+/// survivors agree, shrink, and restart the factorization from the top
+/// on the reduced world; the Gibbs chain is seeded, so the restarted
+/// run converges to the same factorization a clean run at the shrunk
+/// size would.
+pub fn ft_bpmf(ctx: &mut Ctx, ft: &mut FtComm, data: &Dataset, cfg: &BpmfConfig) -> BpmfReport {
+    ft.run_raw(ctx, "bpmf", |ctx, comm| {
+        run_bpmf(ctx, comm, data, cfg, true)
+    })
 }
 
 #[cfg(test)]
@@ -337,9 +379,12 @@ mod tests {
     use super::*;
     use crate::data::{Dataset, SyntheticSpec};
     use crate::gibbs::serial_gibbs;
-    use msim::{SimConfig, Universe};
+    use collectives::FaultPolicy;
+    use hmpi::SyncMethod;
+    use msim::{FaultPlan, SimConfig, Universe};
     use simnet::{ClusterSpec, CostModel};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn tiny_cfg() -> BpmfConfig {
         BpmfConfig {
@@ -392,6 +437,44 @@ mod tests {
                 assert!(
                     (got - want).abs() < 1e-9,
                     "hybrid={hybrid} rank {rank}: rmse {got} vs serial {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ft_bpmf_recovers_to_the_serial_rmse_after_a_kill() {
+        // A rank dies mid-Gibbs; under Shrink the survivors restart the
+        // factorization on the reduced world. The final RMSE is the
+        // serial oracle's — it is p-independent, so the shrunk run must
+        // land on exactly the same factorization.
+        let data = Arc::new(Dataset::synthesize(&SyntheticSpec::tiny(11)));
+        let cfg = tiny_cfg();
+        let want = serial_rmse(&data, &cfg);
+        for victim in [0usize, 3] {
+            let plan = FaultPlan::none().with_kill(victim, 12);
+            let sim = SimConfig::new(ClusterSpec::regular(2, 2), CostModel::uniform_test())
+                .with_fault(plan)
+                .with_recv_timeout(Duration::from_secs(5));
+            let data = Arc::clone(&data);
+            let cfg = cfg.clone();
+            let r = Universe::run_ft(sim, move |ctx| {
+                let world = ctx.world();
+                let mut ft = FtComm::new(&world, cfg.tuning.clone(), SyncMethod::Barrier)
+                    .with_fault(FaultPolicy::Shrink);
+                ft_bpmf(ctx, &mut ft, &data, &cfg).rmse.unwrap()
+            })
+            .unwrap();
+            assert_eq!(r.failed, vec![victim]);
+            for (rank, got) in r.per_rank.iter().enumerate() {
+                if rank == victim {
+                    assert!(got.is_none());
+                    continue;
+                }
+                let got = got.unwrap();
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "victim={victim} rank {rank}: rmse {got} vs serial {want}"
                 );
             }
         }

@@ -30,5 +30,5 @@ pub mod app;
 pub mod data;
 pub mod gibbs;
 
-pub use app::{hy_bpmf, ori_bpmf, BpmfConfig, BpmfReport};
+pub use app::{ft_bpmf, hy_bpmf, hy_bpmf_on, ori_bpmf, BpmfConfig, BpmfReport};
 pub use data::{Dataset, SyntheticSpec};

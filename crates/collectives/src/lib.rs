@@ -54,8 +54,8 @@ pub mod util;
 pub use hierarchy::Hierarchy;
 pub use op::ReduceOp;
 pub use policy::{
-    flavor_from_key, flavor_key, legacy_choice, Decision, DecisionLog, PolicyKind, SelectionPolicy,
-    TableEntry, TuningTable,
+    flavor_from_key, flavor_key, legacy_choice, Decision, DecisionLog, FaultPolicy, PolicyKind,
+    SelectionPolicy, TableEntry, TuningTable,
 };
 pub use registry::{AlgorithmRegistry, AlgorithmSpec, CollectiveAlgorithm, CollectiveOp, CommCase};
 pub use selection::{MpiFlavor, Tuning};

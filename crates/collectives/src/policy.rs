@@ -344,6 +344,33 @@ pub fn flavor_from_key(key: &str) -> Option<MpiFlavor> {
     }
 }
 
+/// What a fault-aware driver does when a protected operation fails
+/// (a peer dies, diverts into recovery, or a message is lost past all
+/// retransmissions). Carried by [`SelectionPolicy`] so the choice rides
+/// the same object that already steers algorithm selection; consumed by
+/// the `hmpi` crate's fault-tolerant driver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FaultPolicy {
+    /// No recovery: the failure propagates and the run aborts with the
+    /// root-cause error (the pre-fault-tolerance behavior).
+    #[default]
+    Abort,
+    /// ULFM-style graceful degradation: agree on the dead set, exclude it
+    /// (`Comm_shrink`), rebuild the hierarchy, and re-run the failed
+    /// operation on the survivors.
+    Shrink,
+    /// Re-run after transport timeouts, up to `max_retries` times,
+    /// charging a virtual backoff of `backoff_us * 2^i` before retry
+    /// `i`. Confirmed rank failures still shrink (retrying against a
+    /// dead rank cannot succeed); exhausted retries abort.
+    Retry {
+        /// Timeout re-runs allowed before giving up.
+        max_retries: u32,
+        /// Base virtual backoff charged before the first retry (µs).
+        backoff_us: f64,
+    },
+}
+
 /// How a [`SelectionPolicy`] decides.
 #[derive(Debug, Clone)]
 pub enum PolicyKind {
@@ -378,6 +405,7 @@ type AutotuneCache = Arc<Mutex<BTreeMap<(CollectiveOp, usize, usize, u32), &'sta
 pub struct SelectionPolicy {
     tuning: Tuning,
     kind: PolicyKind,
+    fault: FaultPolicy,
     log: DecisionLog,
     cache: AutotuneCache,
 }
@@ -404,9 +432,22 @@ impl SelectionPolicy {
         Self {
             tuning,
             kind,
+            fault: FaultPolicy::default(),
             log: DecisionLog::new(),
             cache: Arc::default(),
         }
+    }
+
+    /// Attach a [`FaultPolicy`]: what a fault-aware driver built from
+    /// this policy does when a protected operation fails.
+    pub fn with_fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The attached fault policy ([`FaultPolicy::Abort`] by default).
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault
     }
 
     /// The thresholds backing legacy/fallback decisions.

@@ -1,0 +1,288 @@
+//! Fault-tolerant driver for the hybrid collectives.
+//!
+//! Real MPI has no fault tolerance in the standard; the ULFM proposal
+//! (User-Level Failure Mitigation) adds exactly three user-visible
+//! mechanisms: operations *fail* with an error instead of hanging,
+//! survivors *agree* on who died (`MPI_Comm_agree`), and the
+//! communicator is rebuilt without the dead (`MPI_Comm_shrink`). This
+//! module layers those semantics over the hybrid MPI+MPI collectives:
+//!
+//! * [`FtComm`] owns the (possibly already shrunk) parent communicator
+//!   and a recipe for rebuilding the [`HybridComm`] hierarchy over it;
+//! * [`FtComm::run`] executes one collective "round" under the
+//!   configured [`FaultPolicy`]: it traps the typed
+//!   [`WaitError`] unwinds produced by the simulator's failure detector,
+//!   drives the agree → shrink → rebuild → re-run recovery loop, and
+//!   round-calls a commit protocol so that ranks which completed the
+//!   round *before* a peer died still join the recovery deterministically;
+//! * leader failover is not a special case: the hybrid hierarchy elects
+//!   the lowest parent rank of each node as leader, so rebuilding the
+//!   hierarchy on the shrunk communicator automatically promotes the
+//!   lowest-rank surviving follower and re-allocates the shared window.
+//!
+//! Recovery is deterministic: the agreed dead set, the new epoch, and
+//! the survivor count are recorded as `EventKind::Recovery` trace
+//! events, byte-identical across same-seed runs and executor modes.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use collectives::{FaultPolicy, ReduceOp, SelectionPolicy, Tuning};
+use msim::{CommitOutcome, Communicator, Ctx, ShmElem, WaitError};
+
+use crate::allgather::HyAllgatherv;
+use crate::allreduce::HyAllreduce;
+use crate::bcast::HyBcast;
+use crate::hybrid::HybridComm;
+use crate::sync::SyncMethod;
+
+/// How to rebuild the hybrid context after the communicator shrinks.
+#[derive(Clone)]
+enum Rebuild {
+    Sync(Tuning, SyncMethod),
+    Policy(SelectionPolicy),
+}
+
+impl Rebuild {
+    fn hybrid(&self, ctx: &mut Ctx, comm: &Communicator) -> HybridComm {
+        match self {
+            Rebuild::Sync(tuning, sync) => HybridComm::with_sync(ctx, comm, tuning.clone(), *sync),
+            Rebuild::Policy(policy) => HybridComm::with_policy(ctx, comm, policy.clone()),
+        }
+    }
+}
+
+/// A fault-tolerant communicator: the survivor-side state of the ULFM
+/// recovery loop.
+///
+/// Collectively constructed by every member of the parent communicator
+/// and then driven in lockstep: each [`run`](FtComm::run) /
+/// [`run_raw`](FtComm::run_raw) call is one protected round. After a
+/// recovery the handle owns the *shrunk* communicator, so later rounds
+/// (and [`comm`](FtComm::comm)) see the reduced world.
+pub struct FtComm {
+    comm: Communicator,
+    rebuild: Rebuild,
+    fault: FaultPolicy,
+    op_seq: u64,
+}
+
+impl FtComm {
+    /// A fault-tolerant context rebuilding hierarchies with an explicit
+    /// tuning + sync flavor (fault policy: [`FaultPolicy::Abort`] until
+    /// overridden with [`with_fault`](FtComm::with_fault)).
+    pub fn new(comm: &Communicator, tuning: Tuning, sync: SyncMethod) -> Self {
+        Self {
+            comm: comm.clone(),
+            rebuild: Rebuild::Sync(tuning, sync),
+            fault: FaultPolicy::default(),
+            op_seq: 0,
+        }
+    }
+
+    /// A fault-tolerant context rebuilding hierarchies through a
+    /// [`SelectionPolicy`]; the fault policy is taken from
+    /// [`SelectionPolicy::fault_policy`].
+    pub fn with_policy(comm: &Communicator, policy: SelectionPolicy) -> Self {
+        let fault = policy.fault_policy();
+        Self {
+            comm: comm.clone(),
+            rebuild: Rebuild::Policy(policy),
+            fault,
+            op_seq: 0,
+        }
+    }
+
+    /// Override the fault policy.
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The current (post-recovery) parent communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// The active fault policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault
+    }
+
+    /// Run one protected round, rebuilding the [`HybridComm`] hierarchy
+    /// for every attempt (after a shrink this is what re-elects node
+    /// leaders and re-allocates the shared window).
+    ///
+    /// `body` must be a *restartable* collective round: it may be run
+    /// several times, each time over the communicator it is handed, and
+    /// only the final completed attempt's effects count.
+    pub fn run<T>(
+        &mut self,
+        ctx: &mut Ctx,
+        label: &str,
+        mut body: impl FnMut(&mut Ctx, &HybridComm) -> T,
+    ) -> T {
+        let rebuild = self.rebuild.clone();
+        self.run_raw(ctx, label, move |ctx, comm| {
+            let hc = rebuild.hybrid(ctx, comm);
+            body(ctx, &hc)
+        })
+    }
+
+    /// Run one protected round directly over the parent communicator
+    /// (for bodies like whole applications that build their own
+    /// sub-communicators).
+    ///
+    /// Disarmed (no fault plan): runs `body` once, no wrapping — the
+    /// instruction stream is identical to calling `body` directly.
+    ///
+    /// Armed: traps [`WaitError`] unwinds from `body` and applies the
+    /// [`FaultPolicy`]:
+    ///
+    /// * `Abort` — rethrow; the run fails with the root-cause error.
+    /// * `Shrink` — agree on the dead set, shrink, re-run on survivors.
+    /// * `Retry` — transport timeouts re-run the round (up to
+    ///   `max_retries`, charging `backoff_us * 2^i` of virtual time
+    ///   before retry `i`); confirmed failures shrink as above.
+    ///
+    /// A completed `body` is followed by a commit round-call: if any
+    /// peer diverted into recovery instead of committing, this rank
+    /// joins the same recovery and re-runs, keeping all survivors in
+    /// lockstep. Recovery always rebuilds the communicator — even when
+    /// the agreed dead set is empty — so that retransmitted rounds run
+    /// under a fresh communicator id, isolated from stale packets.
+    pub fn run_raw<T>(
+        &mut self,
+        ctx: &mut Ctx,
+        label: &str,
+        mut body: impl FnMut(&mut Ctx, &Communicator) -> T,
+    ) -> T {
+        self.op_seq += 1;
+        ctx.set_op_label(label);
+        if !ctx.ft_armed() {
+            return body(ctx, &self.comm);
+        }
+        let mut timeouts = 0u32;
+        loop {
+            ctx.set_op_label(label);
+            let comm = self.comm.clone();
+            match catch_unwind(AssertUnwindSafe(|| body(ctx, &comm))) {
+                Ok(v) => match ctx.ft_commit(&comm, self.op_seq) {
+                    CommitOutcome::AllOk => return v,
+                    CommitOutcome::Diverted => self.recover(ctx, label),
+                },
+                Err(payload) => {
+                    let err = match payload.downcast::<WaitError>() {
+                        Ok(e) => *e,
+                        // Injected kills, assertion failures, SPMD bugs:
+                        // not recoverable conditions — surface verbatim.
+                        Err(other) => resume_unwind(other),
+                    };
+                    match self.fault {
+                        FaultPolicy::Abort => resume_unwind(Box::new(err)),
+                        FaultPolicy::Shrink => self.recover(ctx, label),
+                        FaultPolicy::Retry {
+                            max_retries,
+                            backoff_us,
+                        } => {
+                            if matches!(err, WaitError::Timeout { .. }) {
+                                timeouts += 1;
+                                if timeouts > max_retries {
+                                    resume_unwind(Box::new(err));
+                                }
+                                ctx.charge_time(backoff_us * f64::powi(2.0, timeouts as i32 - 1));
+                            }
+                            // Confirmed failures don't consume retries:
+                            // retrying against a dead rank cannot succeed,
+                            // so go straight to the shrink path.
+                            self.recover(ctx, label);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One joint recovery round: publish the divert marker (so peers
+    /// blocked in this round's waits unwind promptly), agree on the dead
+    /// set, shrink, advance the epoch, and trace the outcome.
+    fn recover(&mut self, ctx: &mut Ctx, label: &str) {
+        let epoch = ctx.ft_epoch() + 1;
+        ctx.ft_divert(epoch);
+        let outcome = ctx.ft_agree(&self.comm, ctx.ft_epoch());
+        let shrunk = self.comm.shrink(ctx, &outcome);
+        ctx.set_ft_epoch(epoch);
+        ctx.trace_recovery(label, epoch, &outcome.dead, shrunk.size());
+        self.comm = shrunk;
+    }
+
+    /// Fault-tolerant irregular allgather. `count_of` maps a *global*
+    /// rank to its block length (so shrunk worlds keep per-rank counts
+    /// stable); `mine` must have `count_of(my_rank)` elements. Returns
+    /// the survivor blocks concatenated in communicator order.
+    pub fn allgatherv<T: ShmElem>(
+        &mut self,
+        ctx: &mut Ctx,
+        mine: &[T],
+        count_of: impl Fn(usize) -> usize + Copy,
+    ) -> Vec<T> {
+        self.run(ctx, "ft.allgatherv", |ctx, hc| {
+            let counts: Vec<usize> = hc.comm().members().iter().map(|&g| count_of(g)).collect();
+            let ag = HyAllgatherv::new(ctx, hc, &counts);
+            ag.write_my_block(ctx, mine);
+            ag.execute(ctx);
+            let mut out = Vec::with_capacity(counts.iter().sum());
+            for r in 0..hc.comm().size() {
+                out.extend(ag.read_block(r));
+            }
+            out
+        })
+    }
+
+    /// Fault-tolerant regular allgather (every rank contributes
+    /// `mine.len()` elements).
+    pub fn allgather<T: ShmElem>(&mut self, ctx: &mut Ctx, mine: &[T]) -> Vec<T> {
+        let n = mine.len();
+        self.allgatherv(ctx, mine, move |_| n)
+    }
+
+    /// Fault-tolerant broadcast. `root` is a *global* rank; if it died
+    /// in an earlier round the lowest-rank survivor takes over as
+    /// effective root. `message_of` maps the effective root's global
+    /// rank to the `len`-element message (every rank must be able to
+    /// produce it if elected — in practice apps broadcast
+    /// rank-independent or replicated state).
+    pub fn bcast<T: ShmElem>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        len: usize,
+        message_of: impl Fn(usize) -> Vec<T> + Copy,
+    ) -> Vec<T> {
+        self.run(ctx, "ft.bcast", |ctx, hc| {
+            let members = hc.comm().members();
+            let eff_local = members.iter().position(|&g| g == root).unwrap_or(0);
+            let eff_global = members[eff_local];
+            let bc = HyBcast::new(ctx, hc, len);
+            if hc.comm().rank() == eff_local {
+                bc.write_message(ctx, &message_of(eff_global));
+            }
+            bc.execute(ctx, eff_local);
+            bc.read_message()
+        })
+    }
+
+    /// Fault-tolerant allreduce over the survivors' contributions.
+    pub fn allreduce<T: ShmElem, O: ReduceOp<T>>(
+        &mut self,
+        ctx: &mut Ctx,
+        mine: &[T],
+        op: O,
+    ) -> Vec<T> {
+        self.run(ctx, "ft.allreduce", |ctx, hc| {
+            let contribution = ctx.buf_from_fn(mine.len(), |i| mine[i]);
+            let ar = HyAllreduce::new(ctx, hc, mine.len());
+            ar.execute(ctx, &contribution, op);
+            ar.read_result()
+        })
+    }
+}

@@ -3,7 +3,7 @@
 //! "the hierarchical communicator splitting and the allocation of the
 //! shared-memory segment are one-offs").
 
-use collectives::{CollectiveOp, CommCase, Hierarchy, SelectionPolicy, Tuning};
+use collectives::{CollectiveOp, CommCase, FaultPolicy, Hierarchy, SelectionPolicy, Tuning};
 use msim::{Communicator, Ctx};
 
 use crate::sync::SyncMethod;
@@ -89,6 +89,16 @@ impl HybridComm {
             Some(policy) => policy.choose(ctx, &case) == "allgather.hy_shared_window",
             None => true,
         }
+    }
+
+    /// The fault policy a fault-aware driver should apply to operations
+    /// over this communicator: the one attached to the selection policy,
+    /// or [`FaultPolicy::Abort`] when built without a policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
+            .as_ref()
+            .map(|p| p.fault_policy())
+            .unwrap_or_default()
     }
 
     /// The parent communicator.

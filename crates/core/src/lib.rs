@@ -49,6 +49,7 @@ pub mod allgather;
 pub mod allreduce;
 pub mod alltoall;
 pub mod bcast;
+pub mod ft;
 pub mod gather_scatter;
 pub mod hybrid;
 pub mod memory;
@@ -59,6 +60,7 @@ pub use allgather::{HyAllgather, HyAllgatherv};
 pub use allreduce::HyAllreduce;
 pub use alltoall::HyAlltoall;
 pub use bcast::HyBcast;
+pub use ft::FtComm;
 pub use gather_scatter::{HyGather, HyScatter};
 pub use hybrid::HybridComm;
 pub use sync::SyncMethod;

@@ -1,0 +1,344 @@
+//! Fault-tolerance conformance: under `FaultPolicy::Shrink` every hybrid
+//! collective family completes with correct *shrunk-world* results when
+//! any single rank — node leader or follower — is killed mid-operation,
+//! across fuzz seeds, all three sync methods, and regular + irregular
+//! layouts. Recovery traces are deterministic: same seed, same bytes.
+//!
+//! `MSIM_FT_SEEDS=n` trims the seed sweep (CI `--quick` uses 1).
+
+use collectives::op::Sum;
+use collectives::{FaultPolicy, Tuning};
+use hmpi::{FtComm, SyncMethod};
+use msim::{Ctx, ExecMode, FaultPlan, SimConfig, Universe};
+use simnet::{ClusterSpec, CostModel};
+use std::time::Duration;
+
+const SYNCS: [SyncMethod; 3] = [
+    SyncMethod::Barrier,
+    SyncMethod::SharedFlags,
+    SyncMethod::P2p,
+];
+
+/// (layout, leader victim, follower victim): victims cover "a whole node
+/// dies" (rank 0 is alone on node 0 of the irregular layout) and "a
+/// non-leader follower dies".
+fn layouts() -> Vec<(ClusterSpec, usize, usize)> {
+    vec![
+        (ClusterSpec::regular(2, 3), 0, 5),
+        (ClusterSpec::irregular(vec![1, 3, 4]), 0, 7),
+    ]
+}
+
+fn seeds() -> Vec<u64> {
+    let n = std::env::var("MSIM_FT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4u64);
+    (0..n.max(1)).collect()
+}
+
+/// Irregular block length for global rank `g` (irregular on purpose —
+/// the shrunk world must keep per-rank counts straight).
+fn count_of(g: usize) -> usize {
+    g % 3 + 1
+}
+
+fn block_of(g: usize) -> Vec<f64> {
+    (0..count_of(g)).map(|i| (g * 10 + i) as f64).collect()
+}
+
+fn bcast_message(root: usize) -> Vec<f64> {
+    (0..4).map(|i| (root * 100 + i) as f64).collect()
+}
+
+fn reduce_contribution(g: usize) -> Vec<f64> {
+    vec![g as f64, (2 * g) as f64, (3 * g) as f64]
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    Allgatherv,
+    Allgather,
+    Bcast,
+    Allreduce,
+}
+
+/// Two protected rounds of one family; returns the last round's result.
+/// Two rounds guarantee the kill (op index < 4) lands mid-operation even
+/// on the leanest path (a follower under `SharedFlags` performs only two
+/// tracked ops per round), and exercise post-recovery rounds on the
+/// already-shrunk communicator.
+fn run_family(ctx: &mut Ctx, family: Family, sync: SyncMethod, fault: FaultPolicy) -> Vec<f64> {
+    let world = ctx.world();
+    let mut ft = FtComm::new(&world, Tuning::cray_mpich(), sync).with_fault(fault);
+    let mut last = Vec::new();
+    for _round in 0..2 {
+        last = match family {
+            Family::Allgatherv => {
+                let mine = block_of(ctx.rank());
+                ft.allgatherv(ctx, &mine, count_of)
+            }
+            Family::Allgather => {
+                let mine = vec![ctx.rank() as f64; 3];
+                ft.allgather(ctx, &mine)
+            }
+            Family::Bcast => ft.bcast(ctx, 0, 4, bcast_message),
+            Family::Allreduce => {
+                let mine = reduce_contribution(ctx.rank());
+                ft.allreduce(ctx, &mine, Sum)
+            }
+        };
+    }
+    last
+}
+
+/// What the last round must produce on a world shrunk to `survivors`.
+fn expected(family: Family, survivors: &[usize]) -> Vec<f64> {
+    match family {
+        Family::Allgatherv => survivors.iter().flat_map(|&g| block_of(g)).collect(),
+        Family::Allgather => survivors.iter().flat_map(|&g| vec![g as f64; 3]).collect(),
+        // Root 0 may be the victim: the lowest-rank survivor takes over.
+        Family::Bcast => bcast_message(if survivors.contains(&0) {
+            0
+        } else {
+            survivors[0]
+        }),
+        Family::Allreduce => (0..3)
+            .map(|i| {
+                survivors
+                    .iter()
+                    .map(|&g| reduce_contribution(g)[i])
+                    .sum::<f64>()
+            })
+            .collect(),
+    }
+}
+
+fn cfg(spec: &ClusterSpec) -> SimConfig {
+    SimConfig::new(spec.clone(), CostModel::uniform_test())
+        .with_recv_timeout(Duration::from_secs(5))
+}
+
+/// The kill matrix for one family: layouts × {leader, follower} victims
+/// × sync methods × seeds, kill landing at a seed-dependent op index.
+fn kill_matrix(family: Family) {
+    for (spec, leader, follower) in layouts() {
+        let p = spec.total_cores();
+        for victim in [leader, follower] {
+            let survivors: Vec<usize> = (0..p).filter(|&r| r != victim).collect();
+            let want = expected(family, &survivors);
+            for sync in SYNCS {
+                for seed in seeds() {
+                    // The kill must land within the victim's op stream:
+                    // bcast has no arrive phase, so a non-root follower
+                    // performs only one tracked op per round.
+                    let at_op = seed
+                        % if matches!(family, Family::Bcast) {
+                            2
+                        } else {
+                            4
+                        };
+                    let plan = FaultPlan::from_seed(seed, p).with_kill(victim, at_op);
+                    let r = Universe::run_ft(cfg(&spec).with_fault(plan), move |ctx| {
+                        run_family(ctx, family, sync, FaultPolicy::Shrink)
+                    })
+                    .unwrap_or_else(|e| {
+                        panic!("{family:?} sync={sync:?} seed={seed} victim={victim}: {e}")
+                    });
+                    assert_eq!(
+                        r.failed,
+                        vec![victim],
+                        "{family:?} sync={sync:?} seed={seed}: wrong victim set"
+                    );
+                    for (rank, got) in r.per_rank.iter().enumerate() {
+                        if rank == victim {
+                            assert!(got.is_none(), "victim {rank} must have no result");
+                            continue;
+                        }
+                        assert_eq!(
+                            got.as_deref(),
+                            Some(&want[..]),
+                            "{family:?} sync={sync:?} seed={seed} victim={victim}: \
+                             rank {rank} has a wrong shrunk-world result"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allgatherv_survives_any_single_kill() {
+    kill_matrix(Family::Allgatherv);
+}
+
+#[test]
+fn allgather_survives_any_single_kill() {
+    kill_matrix(Family::Allgather);
+}
+
+#[test]
+fn bcast_survives_any_single_kill() {
+    kill_matrix(Family::Bcast);
+}
+
+#[test]
+fn allreduce_survives_any_single_kill() {
+    kill_matrix(Family::Allreduce);
+}
+
+/// Same-seed leader-failover runs are byte-identical: results, virtual
+/// clocks, and the full trace (including the `Recovery` events).
+#[test]
+fn recovery_is_deterministic_across_repeats() {
+    let spec = ClusterSpec::irregular(vec![1, 3, 4]);
+    let run = |seed: u64| {
+        let plan = FaultPlan::from_seed(seed, 8).with_kill(0, 1);
+        Universe::run_ft(cfg(&spec).traced().with_fault(plan), move |ctx| {
+            run_family(ctx, Family::Bcast, SyncMethod::Barrier, FaultPolicy::Shrink)
+        })
+        .unwrap()
+    };
+    for seed in seeds() {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a.per_rank, b.per_rank, "seed {seed} changed results");
+        assert_eq!(a.clocks, b.clocks, "seed {seed} changed clocks");
+        assert_eq!(
+            format!("{:?}", a.tracer.events()),
+            format!("{:?}", b.tracer.events()),
+            "seed {seed}: recovery traces must be byte-identical"
+        );
+    }
+}
+
+/// The recovery shows up in the trace with the agreed dead set, the new
+/// epoch, and the survivor count — once per surviving rank.
+#[test]
+fn recovery_events_record_the_agreed_outcome() {
+    let plan = FaultPlan::none().with_kill(5, 2);
+    let spec = ClusterSpec::regular(2, 3);
+    let r = Universe::run_ft(cfg(&spec).traced().with_fault(plan), |ctx| {
+        run_family(
+            ctx,
+            Family::Allreduce,
+            SyncMethod::SharedFlags,
+            FaultPolicy::Shrink,
+        )
+    })
+    .unwrap();
+    let recoveries: Vec<_> = r
+        .tracer
+        .events()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            simnet::trace::EventKind::Recovery {
+                op,
+                epoch,
+                dead,
+                survivors,
+            } => Some((e.rank, op, epoch, dead, survivors)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(recoveries.len(), 5, "one recovery event per survivor");
+    for (rank, op, epoch, dead, survivors) in recoveries {
+        assert_ne!(rank, 5, "the victim records no recovery");
+        assert_eq!(op, "ft.allreduce");
+        assert_eq!(epoch, 1);
+        assert_eq!(dead, vec![5]);
+        assert_eq!(survivors, 5);
+    }
+}
+
+/// Pooled coroutines and thread-per-rank execution agree byte-for-byte
+/// on a leader-failover recovery: results, clocks, victim list, trace.
+#[test]
+fn executor_modes_agree_on_recovery() {
+    let spec = ClusterSpec::regular(2, 3);
+    let mk = |exec: ExecMode| {
+        let plan = FaultPlan::none().with_kill(0, 1);
+        Universe::run_ft(
+            cfg(&spec).traced().with_fault(plan).with_exec(exec),
+            |ctx| {
+                run_family(
+                    ctx,
+                    Family::Allgatherv,
+                    SyncMethod::Barrier,
+                    FaultPolicy::Shrink,
+                )
+            },
+        )
+        .unwrap()
+    };
+    let threads = mk(ExecMode::ThreadPerRank);
+    let pooled = mk(ExecMode::pooled());
+    assert_eq!(pooled.per_rank, threads.per_rank, "results diverged");
+    assert_eq!(pooled.failed, threads.failed, "victim lists diverged");
+    assert_eq!(pooled.clocks, threads.clocks, "virtual clocks diverged");
+    assert_eq!(
+        format!("{:?}", pooled.tracer.events()),
+        format!("{:?}", threads.tracer.events()),
+        "recovery traces diverged across executors"
+    );
+}
+
+/// Under `FaultPolicy::Abort` the same kill is fatal: the run surfaces
+/// the injected kill instead of recovering.
+#[test]
+fn abort_policy_does_not_recover() {
+    let plan = FaultPlan::none().with_kill(2, 1);
+    let spec = ClusterSpec::regular(1, 4);
+    let err = Universe::run(cfg(&spec).with_fault(plan), |ctx| {
+        run_family(
+            ctx,
+            Family::Allgather,
+            SyncMethod::Barrier,
+            FaultPolicy::Abort,
+        )
+    })
+    .unwrap_err();
+    assert!(err.is_injected_kill(), "{err}");
+    assert_eq!(err.rank(), 2);
+}
+
+/// A timeout storm: seeded message loss with no transport retransmission
+/// forces round-level `FaultPolicy::Retry` re-runs; nobody dies, results
+/// stay full-world correct, and the retry backoff is visible in virtual
+/// time only as a deterministic charge.
+#[test]
+fn retry_policy_rides_out_message_loss() {
+    let spec = ClusterSpec::regular(2, 2);
+    let survivors: Vec<usize> = (0..4).collect();
+    let want = expected(Family::Allreduce, &survivors);
+    let run = || {
+        let plan = FaultPlan::from_seed(7, 4)
+            .with_drop(0.04)
+            .with_detect_timeout(Duration::from_millis(150));
+        Universe::run_ft(cfg(&spec).with_fault(plan), move |ctx| {
+            run_family(
+                ctx,
+                Family::Allreduce,
+                SyncMethod::Barrier,
+                FaultPolicy::Retry {
+                    max_retries: 10,
+                    backoff_us: 50.0,
+                },
+            )
+        })
+        .unwrap()
+    };
+    let r = run();
+    assert!(r.failed.is_empty(), "nobody dies from dropped messages");
+    for (rank, got) in r.per_rank.iter().enumerate() {
+        assert_eq!(
+            got.as_deref(),
+            Some(&want[..]),
+            "rank {rank}: loss must not corrupt the result"
+        );
+    }
+    let again = run();
+    assert_eq!(r.per_rank, again.per_rank, "loss pattern is seeded");
+    assert_eq!(r.clocks, again.clocks, "backoff charges are deterministic");
+}

@@ -90,7 +90,8 @@ impl Communicator {
         if let Some(r) = &shared.race {
             r.fence_deposit(my_global, board_key, self.size());
         }
-        let groups = shared.board.rendezvous(
+        let watch = ctx.ft_watch(self);
+        let groups = shared.board.rendezvous_watched(
             &shared.exec,
             my_global,
             board_key,
@@ -98,6 +99,7 @@ impl Communicator {
             self.size(),
             (my_global, color, key),
             shared.recv_timeout,
+            watch.as_ref(),
             |deposits| {
                 // Group by color; order groups by color for deterministic
                 // id assignment; order members by (key, parent rank).
@@ -145,6 +147,34 @@ impl Communicator {
         let node = ctx.map().node_of(ctx.rank()) as i64;
         self.split(ctx, Some(node), 0)
             .expect("split_shared never returns UNDEFINED")
+    }
+
+    /// `MPI_Comm_shrink` (ULFM): construct the communicator of survivors
+    /// from an [`AgreeOutcome`] produced by [`Ctx::ft_agree`] on this
+    /// communicator. Purely local — every survivor holds the same agreed
+    /// dead set and the same freshly minted context id (`outcome.token`),
+    /// so no further coordination is needed. The fresh id is what
+    /// isolates post-recovery traffic from stale packets of the aborted
+    /// attempt: they can never match.
+    ///
+    /// # Panics
+    /// Panics if the calling rank is itself in the dead set.
+    pub fn shrink(&self, ctx: &Ctx, outcome: &crate::ft::AgreeOutcome) -> Communicator {
+        let me = ctx.rank();
+        assert!(
+            !outcome.dead.contains(&me),
+            "a dead rank cannot shrink a communicator"
+        );
+        let survivors: Vec<usize> = self
+            .inner
+            .members
+            .iter()
+            .copied()
+            .filter(|g| !outcome.dead.contains(g))
+            .collect();
+        let inner = Arc::new(CommInner::new(outcome.token, survivors));
+        let local_rank = inner.local_of[&me];
+        Communicator { inner, local_rank }
     }
 
     /// The bridge communicator of the paper (Fig. 2): the lowest rank of

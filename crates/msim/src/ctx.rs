@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use simnet::{Clock, CostModel, EventKind, LinkClass, RankMap};
 
@@ -10,6 +11,7 @@ use crate::comm::Communicator;
 use crate::elem::ShmElem;
 use crate::error::SimError;
 use crate::fault::KILL_MARKER;
+use crate::ft::{AgreeOutcome, CommitOutcome, FtWatch, WaitError, FT_POLL_SLICE};
 use crate::msg::{Packet, Payload};
 use crate::universe::{DataMode, Shared};
 
@@ -28,6 +30,12 @@ pub struct Ctx {
     /// Shared windows allocated so far by this rank (feeds the
     /// deterministic window identity used by the race detector).
     win_seq: u64,
+    /// Recovery epoch this rank is currently executing in (0 before any
+    /// recovery). Armed wait paths treat a peer whose divert marker
+    /// exceeds this epoch as having abandoned the current attempt.
+    ft_epoch: u64,
+    /// Human-readable label of the operation in flight (fault reporting).
+    op_label: String,
 }
 
 impl Ctx {
@@ -40,6 +48,8 @@ impl Ctx {
             op_count: 0,
             send_seqs: HashMap::new(),
             win_seq: 0,
+            ft_epoch: 0,
+            op_label: String::new(),
         }
     }
 
@@ -56,9 +66,29 @@ impl Ctx {
         let op = self.op_count;
         self.op_count += 1;
         let fault = &self.shared.fault;
+        if let Some(ft) = &self.shared.ft {
+            ft.bump_beat(self.global_rank);
+        }
         if let Some(at) = fault.kill_op_of(self.global_rank) {
             if op >= at {
-                panic!("{KILL_MARKER}: rank {} killed at op {op}", self.global_rank);
+                // Mark death *before* unwinding: every message this rank
+                // pushed happened-before the mark (mailbox mutex), so an
+                // observer that sees the mark and drains once more loses
+                // nothing. Also publish the interrupted op's label so the
+                // failure report names the collective (not just an index).
+                if let Some(ft) = &self.shared.ft {
+                    ft.mark_dead(self.global_rank);
+                }
+                self.shared.set_op_label(self.global_rank, &self.op_label);
+                let during = if self.op_label.is_empty() {
+                    String::new()
+                } else {
+                    format!(" during {}", self.op_label)
+                };
+                panic!(
+                    "{KILL_MARKER}: rank {} killed at op {op}{during}",
+                    self.global_rank
+                );
             }
         }
         if message_op {
@@ -68,20 +98,41 @@ impl Ctx {
         }
     }
 
-    /// Extra modeled wire latency (µs) for the next message to
-    /// `global_dst`, per the active perturbation. Zero when unperturbed.
-    fn perturb_extra(&mut self, global_dst: usize) -> f64 {
+    /// Perturbation outcome for the next message to `global_dst`: extra
+    /// modeled wire latency (µs, including deterministic retransmit
+    /// penalties under transport loss) and whether the message is
+    /// delivered at all (false once every retransmission attempt was
+    /// dropped). `(0.0, true)` when unperturbed.
+    fn perturb_transit(&mut self, global_dst: usize) -> (f64, bool) {
         let perturb = &self.shared.fault.perturb;
         if perturb.is_none() {
-            return 0.0;
+            return (0.0, true);
         }
         let seq = self.send_seqs.entry(global_dst).or_insert(0);
         let s = *seq;
         *seq += 1;
-        self.shared
-            .fault
-            .perturb
-            .message_extra(self.global_rank, global_dst, s)
+        let perturb = &self.shared.fault.perturb;
+        let mut extra = perturb.message_extra(self.global_rank, global_dst, s);
+        let mut delivered = true;
+        if perturb.has_drops() {
+            // Seeded per-attempt loss with sender-side retransmission:
+            // each failed attempt charges a deterministic, exponentially
+            // backed-off virtual timeout; when every attempt is lost the
+            // message is simply never pushed (the receiver's deadline
+            // path reports `WaitError::Timeout`).
+            let retry = &self.shared.fault.retry;
+            let mut failed = 0u32;
+            delivered = false;
+            for attempt in 0..=retry.max_retries {
+                if !perturb.dropped(self.global_rank, global_dst, s, attempt) {
+                    delivered = true;
+                    break;
+                }
+                failed += 1;
+            }
+            extra += retry.penalty_us(failed);
+        }
+        (extra, delivered)
     }
 
     /// Global rank (position in `MPI_COMM_WORLD`).
@@ -224,10 +275,9 @@ impl Ctx {
         } else {
             0.0
         };
-        let arrival = self.clock.now()
-            + self.shared.cost.transit(link, bytes)
-            + topo_extra
-            + self.perturb_extra(global_dst);
+        let (perturb_extra, delivered) = self.perturb_transit(global_dst);
+        let arrival =
+            self.clock.now() + self.shared.cost.transit(link, bytes) + topo_extra + perturb_extra;
         self.shared.tracer.record(
             self.global_rank,
             self.clock.now(),
@@ -237,11 +287,21 @@ impl Ctx {
                 intra: link == LinkClass::SharedMem,
             },
         );
+        if !delivered {
+            // Lost in transit past all retransmissions: the sender moves
+            // on (eager semantics); detection is the receiver's job.
+            return;
+        }
         let vc = self
             .shared
             .race
             .as_ref()
             .map(|r| r.on_send(self.global_rank, format!("send to g{global_dst} tag {tag}")));
+        let beat = self
+            .shared
+            .ft
+            .as_ref()
+            .map(|ft| ft.current_beat(self.global_rank));
         self.shared.mailboxes[global_dst].push(
             (comm.id(), comm.rank(), tag),
             Packet {
@@ -250,6 +310,7 @@ impl Ctx {
                 payload,
                 arrival,
                 vc,
+                beat,
             },
         );
     }
@@ -269,17 +330,153 @@ impl Ctx {
             "recv source {src} out of range (comm size {})",
             comm.size()
         );
-        let key = (comm.id(), src, tag);
-        let packet =
-            match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout) {
+        let packet = match self.pop_matching(comm, src, tag) {
+            Ok(p) => p,
+            // Unhandled failure in a plain (infallible) receive: unwind
+            // with the typed error so a fault-aware driver above can
+            // `catch_unwind` and recover, while an unaware program aborts
+            // with a named peer instead of a deadlock timeout.
+            Err(e) => std::panic::panic_any(e),
+        };
+        self.finish_recv(comm, src, tag, packet)
+    }
+
+    /// Deadline-aware receive: like [`Ctx::recv`] but returns a typed
+    /// [`WaitError`] (peer dead, peer diverted into recovery, or — under
+    /// transport loss — detection timeout) instead of parking forever.
+    /// With fault tolerance disarmed it still converts a wait exceeding
+    /// the detection timeout into [`WaitError::Timeout`].
+    pub fn recv_deadline(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+    ) -> Result<Payload, WaitError> {
+        self.fault_step(true);
+        assert!(
+            src < comm.size(),
+            "recv source {src} out of range (comm size {})",
+            comm.size()
+        );
+        let packet = if self.shared.ft.is_some() {
+            self.pop_armed(comm, src, tag)?
+        } else {
+            let key = (comm.id(), src, tag);
+            let timeout = self.shared.fault.detect_timeout();
+            match self.shared.mailboxes[self.global_rank].pop(key, timeout) {
                 Some(p) => p,
-                None => std::panic::panic_any(SimError::DeadlockSuspected {
-                    rank: self.global_rank,
+                None => {
+                    return Err(WaitError::Timeout {
+                        rank: self.global_rank,
+                        comm: comm.id(),
+                        src,
+                        tag,
+                    })
+                }
+            }
+        };
+        Ok(self.finish_recv(comm, src, tag, packet))
+    }
+
+    /// Match one packet, choosing the plain fast path (disarmed: block on
+    /// the mailbox until the deadlock timeout) or the armed polling loop.
+    fn pop_matching(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+    ) -> Result<Packet, WaitError> {
+        if self.shared.ft.is_some() {
+            return self.pop_armed(comm, src, tag);
+        }
+        let key = (comm.id(), src, tag);
+        match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout) {
+            Some(p) => Ok(p),
+            None => std::panic::panic_any(SimError::DeadlockSuspected {
+                rank: self.global_rank,
+                comm: comm.id(),
+                src,
+                tag,
+            }),
+        }
+    }
+
+    /// Armed wait loop: poll the mailbox in short slices, watching the
+    /// awaited peer in the liveness table. A peer observed dead or
+    /// diverted past this rank's epoch gets **one final drain** (its last
+    /// pushes happened-before the mark) before the typed error is raised.
+    fn pop_armed(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+    ) -> Result<Packet, WaitError> {
+        let key = (comm.id(), src, tag);
+        let me = self.global_rank;
+        let ft = Arc::clone(
+            self.shared
+                .ft
+                .as_ref()
+                .expect("pop_armed requires armed ft"),
+        );
+        let global_src = comm.global_of(src);
+        let drops = self.shared.fault.perturb.has_drops();
+        let detect = self.shared.fault.detect_timeout();
+        let start = Instant::now();
+        let hard_deadline = start + self.shared.recv_timeout;
+        loop {
+            if let Some(p) = self.shared.mailboxes[me].pop(key, FT_POLL_SLICE) {
+                return Ok(p);
+            }
+            let dead = ft.is_dead(global_src);
+            if dead || ft.diverted_past(global_src, self.ft_epoch) {
+                if let Some(p) = self.shared.mailboxes[me].pop(key, Duration::ZERO) {
+                    return Ok(p);
+                }
+                return Err(if dead {
+                    WaitError::RankFailed {
+                        rank: me,
+                        failed: global_src,
+                        comm: comm.id(),
+                        tag,
+                    }
+                } else {
+                    WaitError::PeerDiverted {
+                        rank: me,
+                        peer: global_src,
+                        comm: comm.id(),
+                        tag,
+                    }
+                });
+            }
+            if drops && start.elapsed() >= detect {
+                return Err(WaitError::Timeout {
+                    rank: me,
                     comm: comm.id(),
                     src,
                     tag,
-                }),
-            };
+                });
+            }
+            if Instant::now() >= hard_deadline {
+                std::panic::panic_any(SimError::DeadlockSuspected {
+                    rank: me,
+                    comm: comm.id(),
+                    src,
+                    tag,
+                });
+            }
+        }
+    }
+
+    /// Completion half of a receive: clock advance, trace, race edge,
+    /// heartbeat fold.
+    fn finish_recv(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+        packet: Packet,
+    ) -> Payload {
         self.clock.advance(self.shared.cost.o_recv);
         self.clock.advance_to(packet.arrival);
         let global_src = comm.global_of(src);
@@ -299,6 +496,9 @@ impl Ctx {
                 packet.vc.as_ref(),
                 format!("recv from g{global_src} tag {tag}"),
             );
+        }
+        if let (Some(ft), Some(beat)) = (&self.shared.ft, packet.beat) {
+            ft.observe_beat(global_src, beat);
         }
         packet.payload
     }
@@ -321,7 +521,8 @@ impl Ctx {
         if let Some(r) = &shared.race {
             r.fence_deposit(self.global_rank, key, comm.size());
         }
-        shared.board.rendezvous(
+        let watch = self.ft_watch(comm);
+        shared.board.rendezvous_watched(
             &shared.exec,
             self.rank(),
             key,
@@ -329,6 +530,7 @@ impl Ctx {
             comm.size(),
             (),
             shared.recv_timeout,
+            watch.as_ref(),
             |_| (),
         );
         if let Some(r) = &shared.race {
@@ -369,6 +571,11 @@ impl Ctx {
             .race
             .as_ref()
             .map(|r| r.on_send(self.global_rank, format!("flag to g{global_dst} tag {tag}")));
+        let beat = self
+            .shared
+            .ft
+            .as_ref()
+            .map(|ft| ft.current_beat(self.global_rank));
         self.shared.mailboxes[global_dst].push(
             (comm.id(), comm.rank(), tag),
             Packet {
@@ -377,6 +584,7 @@ impl Ctx {
                 payload: Payload::Phantom(0),
                 arrival,
                 vc,
+                beat,
             },
         );
     }
@@ -406,6 +614,11 @@ impl Ctx {
             .race
             .as_ref()
             .map(|r| r.on_send(self.global_rank, format!("flag multicast tag {tag}")));
+        let beat = self
+            .shared
+            .ft
+            .as_ref()
+            .map(|ft| ft.current_beat(self.global_rank));
         for dst in 0..comm.size() {
             if dst == comm.rank() {
                 continue;
@@ -428,6 +641,7 @@ impl Ctx {
                     payload: Payload::Phantom(0),
                     arrival,
                     vc: vc.clone(),
+                    beat,
                 },
             );
         }
@@ -436,17 +650,47 @@ impl Ctx {
     /// Wait for a flag posted by communicator-local rank `src` (same-node).
     pub fn wait_flag(&mut self, comm: &Communicator, src: usize, tag: u32) {
         self.fault_step(true);
-        let key = (comm.id(), src, tag);
-        let packet =
-            match self.shared.mailboxes[self.global_rank].pop(key, self.shared.recv_timeout) {
+        let packet = match self.pop_matching(comm, src, tag) {
+            Ok(p) => p,
+            Err(e) => std::panic::panic_any(e),
+        };
+        self.finish_flag(comm, src, tag, packet);
+    }
+
+    /// Deadline-aware flag wait: like [`Ctx::wait_flag`] but returns a
+    /// typed [`WaitError`] instead of parking forever (see
+    /// [`Ctx::recv_deadline`]).
+    pub fn wait_flag_deadline(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+    ) -> Result<(), WaitError> {
+        self.fault_step(true);
+        let packet = if self.shared.ft.is_some() {
+            self.pop_armed(comm, src, tag)?
+        } else {
+            let key = (comm.id(), src, tag);
+            let timeout = self.shared.fault.detect_timeout();
+            match self.shared.mailboxes[self.global_rank].pop(key, timeout) {
                 Some(p) => p,
-                None => std::panic::panic_any(SimError::DeadlockSuspected {
-                    rank: self.global_rank,
-                    comm: comm.id(),
-                    src,
-                    tag,
-                }),
-            };
+                None => {
+                    return Err(WaitError::Timeout {
+                        rank: self.global_rank,
+                        comm: comm.id(),
+                        src,
+                        tag,
+                    })
+                }
+            }
+        };
+        self.finish_flag(comm, src, tag, packet);
+        Ok(())
+    }
+
+    /// Completion half of a flag wait: clock advance, trace, race edge,
+    /// heartbeat fold.
+    fn finish_flag(&mut self, comm: &Communicator, src: usize, tag: u32, packet: Packet) {
         self.clock.advance(self.shared.cost.flag_poll_us);
         self.clock.advance_to(packet.arrival);
         let global_src = comm.global_of(src);
@@ -465,6 +709,9 @@ impl Ctx {
                 packet.vc.as_ref(),
                 format!("flag from g{global_src} tag {tag}"),
             );
+        }
+        if let (Some(ft), Some(beat)) = (&self.shared.ft, packet.beat) {
+            ft.observe_beat(global_src, beat);
         }
     }
 
@@ -562,6 +809,140 @@ impl Ctx {
                 op: op.to_string(),
                 algo: algo.to_string(),
                 why: why.to_string(),
+            },
+        );
+    }
+
+    /// Whether the fault-tolerance machinery is armed for this run (some
+    /// rank can die or messages can be lost).
+    pub fn ft_armed(&self) -> bool {
+        self.shared.ft.is_some()
+    }
+
+    /// Label the operation about to run (e.g. `"allgatherv"`), for fault
+    /// reports: an injected kill names the interrupted collective, and
+    /// executor failures carry the victim's last label. Free.
+    pub fn set_op_label(&mut self, label: &str) {
+        self.op_label.clear();
+        self.op_label.push_str(label);
+        self.shared.set_op_label(self.global_rank, label);
+    }
+
+    /// The current operation label (empty when none was set).
+    pub fn op_label(&self) -> &str {
+        &self.op_label
+    }
+
+    /// Recovery epoch this rank is executing in (0 before any recovery).
+    pub fn ft_epoch(&self) -> u64 {
+        self.ft_epoch
+    }
+
+    /// Enter recovery epoch `epoch` (called by the recovery driver after
+    /// consensus). Armed waits thereafter ignore divert markers `<= epoch`.
+    pub fn set_ft_epoch(&mut self, epoch: u64) {
+        self.ft_epoch = epoch;
+    }
+
+    /// Announce that this rank is abandoning the current attempt and
+    /// entering recovery epoch `epoch` — peers blocked on this rank then
+    /// observe `WaitError::PeerDiverted` instead of hanging. No-op when
+    /// disarmed.
+    pub fn ft_divert(&mut self, epoch: u64) {
+        if let Some(ft) = &self.shared.ft {
+            ft.divert(self.global_rank, epoch);
+        }
+    }
+
+    /// `Comm_agree` over `comm`: block until every member is registered
+    /// or dead, returning the consensus dead set and a fresh communicator
+    /// token (identical on every survivor). `gen` is the recovery epoch
+    /// being agreed on; wall-clock only, zero virtual cost.
+    ///
+    /// # Panics
+    /// Panics when fault tolerance is disarmed.
+    pub fn ft_agree(&mut self, comm: &Communicator, gen: u64) -> AgreeOutcome {
+        let ft = Arc::clone(
+            self.shared
+                .ft
+                .as_ref()
+                .expect("ft_agree requires an armed fault plan"),
+        );
+        let shared = Arc::clone(&self.shared);
+        ft.agree(
+            &shared.exec,
+            self.global_rank,
+            comm.id(),
+            gen,
+            comm.members(),
+            || {
+                shared
+                    .next_comm_id
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            },
+            shared.recv_timeout,
+        )
+    }
+
+    /// Per-operation commit roll-call over `comm` (see
+    /// [`crate::ft::CommitOutcome`]): returns `AllOk` when every member
+    /// completed protected operation `op_seq`, `Diverted` when some
+    /// member died or entered recovery mid-operation. Trivially `AllOk`
+    /// when disarmed. Wall-clock only, zero virtual cost.
+    pub fn ft_commit(&mut self, comm: &Communicator, op_seq: u64) -> CommitOutcome {
+        let Some(ft) = self.shared.ft.as_ref().map(Arc::clone) else {
+            return CommitOutcome::AllOk;
+        };
+        ft.commit(
+            &self.shared.exec,
+            self.global_rank,
+            comm.id(),
+            op_seq,
+            self.ft_epoch,
+            comm.members(),
+            self.shared.recv_timeout,
+        )
+    }
+
+    /// Watch handle over `comm`'s members for the armed setup-collective
+    /// wait paths (`None` when disarmed).
+    pub(crate) fn ft_watch(&self, comm: &Communicator) -> Option<FtWatch> {
+        self.shared.ft.as_ref().map(|ft| FtWatch {
+            live: Arc::clone(ft),
+            members: comm.members().to_vec(),
+            epoch: self.ft_epoch,
+        })
+    }
+
+    /// Probe `comm` for an already-failed member: the lowest-ranked
+    /// member (excluding this rank) that is dead or diverted past this
+    /// rank's epoch, if any. Lets a fault-aware driver notice a failure
+    /// at operation entry instead of waiting to block on the victim.
+    /// Always `None` when disarmed.
+    pub fn ft_probe(&self, comm: &Communicator) -> Option<usize> {
+        self.ft_watch(comm)
+            .and_then(|w| w.failed_member(self.global_rank))
+    }
+
+    /// Highest heartbeat epoch observed from `rank` (failure-detector
+    /// diagnostics; `None` when disarmed).
+    pub fn ft_last_seen(&self, rank: usize) -> Option<u64> {
+        self.shared.ft.as_ref().map(|ft| ft.last_seen(rank))
+    }
+
+    /// Record a completed recovery step on this rank: the protected
+    /// operation `op` was re-run in epoch `epoch` after the members in
+    /// `dead` were excluded, leaving `survivors` members. Charges no
+    /// virtual time, so same-seed recovery traces are byte-identical.
+    pub fn trace_recovery(&self, op: &str, epoch: u64, dead: &[usize], survivors: usize) {
+        self.shared.tracer.record(
+            self.global_rank,
+            self.clock.now(),
+            EventKind::Recovery {
+                op: op.to_string(),
+                epoch,
+                dead: dead.to_vec(),
+                survivors,
             },
         );
     }

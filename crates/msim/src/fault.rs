@@ -81,6 +81,48 @@ pub struct KillRule {
     pub at_op: u64,
 }
 
+/// Sender-side retransmission policy for transport message loss injected
+/// via [`simnet::Perturbation::drop_prob`]. Each failed attempt charges a
+/// deterministic virtual retransmit-timeout penalty that grows by
+/// `backoff` per attempt, so perturbed clocks stay a pure function of the
+/// seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retransmissions after the first attempt (so a message is
+    /// tried `max_retries + 1` times before being declared lost).
+    pub max_retries: u32,
+    /// Virtual retransmit timeout charged for the first failed attempt
+    /// (µs).
+    pub timeout_us: f64,
+    /// Multiplier applied to the timeout for each subsequent failed
+    /// attempt (exponential backoff).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            timeout_us: 50.0,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Total virtual penalty (µs) accrued after `failed` failed attempts:
+    /// `Σ_{i<failed} timeout_us · backoff^i`.
+    pub fn penalty_us(&self, failed: u32) -> f64 {
+        let mut total = 0.0;
+        let mut t = self.timeout_us;
+        for _ in 0..failed {
+            total += t;
+            t *= self.backoff;
+        }
+        total
+    }
+}
+
 /// A complete, seeded description of the adversities injected into one
 /// run. The same plan always reproduces the same behavior.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -91,7 +133,18 @@ pub struct FaultPlan {
     pub perturb: Perturbation,
     /// Ranks to kill, and when.
     pub kills: Vec<KillRule>,
+    /// Sender-side retransmission policy (consulted only when
+    /// `perturb.drop_prob > 0`).
+    pub retry: RetryPolicy,
+    /// Wall-clock budget a *fault-tolerant* wait path spends before
+    /// declaring [`crate::ft::WaitError::Timeout`]. Shorter than the
+    /// deadlock timeout so FT runs detect total message loss well before
+    /// the deadlock detector fires. `None` uses the default (5 s).
+    pub detect_timeout: Option<Duration>,
 }
+
+/// Default wall-clock budget for fault-tolerant waits.
+pub(crate) const DEFAULT_DETECT_TIMEOUT: Duration = Duration::from_secs(5);
 
 impl FaultPlan {
     /// The empty plan: no faults, natural scheduling, nominal costs.
@@ -115,7 +168,7 @@ impl FaultPlan {
         Self {
             schedule: SchedulePolicy::adversarial(mix(seed, 0x5C4E_D01E, 0, 0)),
             perturb: Perturbation::from_seed(mix(seed, 0xC057, 0, 0), nranks),
-            kills: Vec::new(),
+            ..Self::default()
         }
     }
 
@@ -135,6 +188,40 @@ impl FaultPlan {
     pub fn with_kill(mut self, rank: usize, at_op: u64) -> Self {
         self.kills.push(KillRule { rank, at_op });
         self
+    }
+
+    /// Builder: drop each transmission attempt with probability `p`
+    /// (shorthand for setting [`simnet::Perturbation::drop_prob`]).
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.perturb = self.perturb.with_drop_prob(p);
+        self
+    }
+
+    /// Builder: use the given sender-side retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: wall-clock budget for fault-tolerant waits before
+    /// declaring a timeout.
+    pub fn with_detect_timeout(mut self, d: Duration) -> Self {
+        self.detect_timeout = Some(d);
+        self
+    }
+
+    /// Effective wall-clock budget for fault-tolerant waits.
+    pub(crate) fn detect_timeout(&self) -> Duration {
+        self.detect_timeout.unwrap_or(DEFAULT_DETECT_TIMEOUT)
+    }
+
+    /// Whether the fault-tolerance machinery (liveness table, armed wait
+    /// paths, retry transport) is active for this plan: something can
+    /// actually die or get lost. Pure latency/schedule fuzzing stays on
+    /// the plain fast paths so disarmed runs are bit-identical to a build
+    /// without the detector.
+    pub(crate) fn ft_armed(&self) -> bool {
+        !self.kills.is_empty() || self.perturb.has_drops()
     }
 
     /// The operation index at which `rank` dies, if any (earliest rule
@@ -194,6 +281,29 @@ mod tests {
         assert_eq!(FaultPlan::from_seed(3, 8), FaultPlan::from_seed(3, 8));
         assert_ne!(FaultPlan::from_seed(3, 8), FaultPlan::from_seed(4, 8));
         assert!(!FaultPlan::from_seed(3, 8).is_none());
+    }
+
+    #[test]
+    fn retry_penalty_backs_off_exponentially() {
+        let r = RetryPolicy {
+            max_retries: 3,
+            timeout_us: 10.0,
+            backoff: 2.0,
+        };
+        assert_eq!(r.penalty_us(0), 0.0);
+        assert_eq!(r.penalty_us(1), 10.0);
+        assert_eq!(r.penalty_us(3), 10.0 + 20.0 + 40.0);
+    }
+
+    #[test]
+    fn ft_arms_on_kills_or_drops_only() {
+        assert!(!FaultPlan::none().ft_armed());
+        assert!(
+            !FaultPlan::from_seed(1, 8).ft_armed(),
+            "fuzzing alone stays disarmed"
+        );
+        assert!(FaultPlan::none().with_kill(0, 1).ft_armed());
+        assert!(FaultPlan::none().with_drop(0.1).ft_armed());
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Fault-tolerance primitives: the per-universe liveness table, typed
+//! wait errors, and the ULFM-style `agree`/`commit` consensus boards.
+//!
+//! The design follows User-Level Failure Mitigation (ULFM) as adapted to
+//! the simulator's determinism contract:
+//!
+//! * Every rank that dies from an injected [`crate::KillRule`] marks
+//!   itself dead in the shared [`Liveness`] table *before* its kill panic
+//!   unwinds (all its prior sends happened-before the mark via the
+//!   mailbox mutex, so an observer that sees the mark and then drains its
+//!   mailbox once more cannot lose a message).
+//! * Armed wait paths (mailbox pop, flag wait, oob rendezvous) poll the
+//!   table and raise a typed [`WaitError`] instead of parking forever.
+//! * Survivors run a *commit* roll-call after every protected operation
+//!   ([`Liveness::commit`]); a failed round diverts every survivor into
+//!   the same recovery epoch, where [`Liveness::agree`] reaches consensus
+//!   on the dead set and mints a fresh communicator token
+//!   (`Comm_agree` + `Comm_shrink`).
+//!
+//! Everything here is wall-clock machinery with **zero virtual cost**:
+//! recovery control traffic is out-of-band, like the setup collectives
+//! (splits, window allocation) the paper excludes from measurements. See
+//! `docs/fault-tolerance.md`.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::exec::ExecCtl;
+
+/// Board kind for recovery-epoch consensus entries ([`Liveness::agree`]).
+const KIND_AGREE: u8 = 16;
+/// Board kind for per-operation commit roll-calls ([`Liveness::commit`]).
+const KIND_COMMIT: u8 = 17;
+
+/// Poll slice for fault-tolerant wait loops: short enough that failure
+/// detection latency is negligible, long enough not to spin.
+pub(crate) const FT_POLL_SLICE: Duration = Duration::from_micros(200);
+
+/// Typed error raised by deadline-aware wait paths when fault tolerance
+/// is armed. Doubles as the `panic_any` payload of the plain (infallible)
+/// wait paths, so a fault-aware driver above can `catch_unwind` and
+/// recover while an unaware program still aborts loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The wait exceeded the fault-detection deadline without the peer
+    /// being declared dead — transport-level loss (all retransmissions
+    /// dropped) or a genuinely silent peer.
+    Timeout {
+        /// Global rank that was waiting.
+        rank: usize,
+        /// Communicator context id of the pending wait.
+        comm: u32,
+        /// Expected source (communicator-local rank).
+        src: usize,
+        /// Expected tag (or flag id for window waits).
+        tag: u32,
+    },
+    /// The awaited peer was declared dead by the failure detector.
+    RankFailed {
+        /// Global rank that was waiting.
+        rank: usize,
+        /// Global rank of the dead peer.
+        failed: usize,
+        /// Communicator context id of the pending wait.
+        comm: u32,
+        /// Expected tag (or flag id for window waits).
+        tag: u32,
+    },
+    /// The awaited peer abandoned the current epoch and entered recovery;
+    /// the waiter must divert too or it would wait forever.
+    PeerDiverted {
+        /// Global rank that was waiting.
+        rank: usize,
+        /// Global rank of the diverted peer.
+        peer: usize,
+        /// Communicator context id of the pending wait.
+        comm: u32,
+        /// Expected tag (or flag id for window waits).
+        tag: u32,
+    },
+}
+
+impl WaitError {
+    /// Global rank of the failed/diverted peer, when known.
+    pub fn peer(&self) -> Option<usize> {
+        match self {
+            WaitError::Timeout { .. } => None,
+            WaitError::RankFailed { failed, .. } => Some(*failed),
+            WaitError::PeerDiverted { peer, .. } => Some(*peer),
+        }
+    }
+
+    /// Global rank that was waiting.
+    pub fn rank(&self) -> usize {
+        match self {
+            WaitError::Timeout { rank, .. }
+            | WaitError::RankFailed { rank, .. }
+            | WaitError::PeerDiverted { rank, .. } => *rank,
+        }
+    }
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::Timeout {
+                rank,
+                comm,
+                src,
+                tag,
+            } => write!(
+                f,
+                "rank {rank} timed out waiting on comm={comm}, src={src}, tag={tag} \
+                 (message lost past all retransmissions?)"
+            ),
+            WaitError::RankFailed {
+                rank,
+                failed,
+                comm,
+                tag,
+            } => write!(
+                f,
+                "rank {rank} detected failure of rank {failed} while waiting \
+                 on comm={comm}, tag={tag}"
+            ),
+            WaitError::PeerDiverted {
+                rank,
+                peer,
+                comm,
+                tag,
+            } => write!(
+                f,
+                "rank {rank} observed rank {peer} divert into recovery while \
+                 waiting on comm={comm}, tag={tag}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// Result of a [`Liveness::agree`] consensus round: the dead set every
+/// survivor observed, plus a freshly minted communicator context id for
+/// the shrunk communicator. Matching on a *fresh* id is what isolates a
+/// recovered run from stale packets of the aborted attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreeOutcome {
+    /// Globally agreed dead ranks (sorted global ranks).
+    pub dead: Vec<usize>,
+    /// Fresh communicator context id for the shrunk communicator.
+    pub token: u32,
+}
+
+/// Result of a per-operation commit roll-call ([`Liveness::commit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Every member completed the protected operation; its results stand.
+    AllOk,
+    /// Some member died or entered recovery mid-operation; every survivor
+    /// must divert into recovery and re-run.
+    Diverted,
+}
+
+/// One consensus-board entry (shared by agree and commit keys).
+#[derive(Debug, Default)]
+struct BoardEntry {
+    /// Global ranks that have checked in.
+    registered: BTreeSet<usize>,
+    /// Published agree outcome (first completer wins; commit never sets it).
+    agreed: Option<AgreeOutcome>,
+}
+
+/// The per-universe liveness table: who is dead, who has abandoned which
+/// epoch, last heartbeat seen per rank, and the consensus boards. One
+/// instance is shared by all ranks; allocated only when the fault plan
+/// arms fault tolerance, so disarmed runs carry no overhead.
+#[derive(Debug)]
+pub(crate) struct Liveness {
+    /// `dead[g]`: global rank `g` died (kill panic). Set by the victim
+    /// itself before unwinding.
+    dead: Vec<AtomicBool>,
+    /// `diverted[g]`: the recovery epoch rank `g` is entering (0 = none).
+    /// Monotonic; a waiter at epoch `e` diverges when it observes a
+    /// marker `> e`.
+    diverted: Vec<AtomicU64>,
+    /// `beats[g]`: rank `g`'s own heartbeat epoch, bumped at every
+    /// fault-step and piggybacked on outgoing packets.
+    beats: Vec<AtomicU64>,
+    /// `seen[g]`: highest heartbeat of rank `g` observed by any receiver.
+    seen: Vec<AtomicU64>,
+    /// Consensus boards keyed by `(comm id, sequence, kind)`. Entries are
+    /// never removed: recovery is rare and bounded, and keeping them
+    /// makes late re-checks (a slow rank polling a completed round)
+    /// trivially correct.
+    boards: Mutex<HashMap<(u32, u64, u8), BoardEntry>>,
+}
+
+impl Liveness {
+    pub(crate) fn new(nranks: usize) -> Self {
+        Self {
+            dead: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            diverted: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            beats: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            seen: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            boards: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Ranks are killed by panics, so the boards mutex may be poisoned;
+    /// the map is never left torn (all mutations are single statements).
+    fn lock_boards(&self) -> MutexGuard<'_, HashMap<(u32, u64, u8), BoardEntry>> {
+        self.boards.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mark `rank` dead. Called by the victim itself before its kill
+    /// panic unwinds; `SeqCst` so any observer that sees the mark also
+    /// sees every board registration the victim made before dying.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Record that `rank` is abandoning its current epoch and entering
+    /// recovery epoch `epoch`. Monotonic max.
+    pub(crate) fn divert(&self, rank: usize, epoch: u64) {
+        self.diverted[rank].fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// Whether `rank` has announced a recovery epoch newer than `epoch`.
+    pub(crate) fn diverted_past(&self, rank: usize, epoch: u64) -> bool {
+        self.diverted[rank].load(Ordering::SeqCst) > epoch
+    }
+
+    /// Bump and return `rank`'s own heartbeat epoch.
+    pub(crate) fn bump_beat(&self, rank: usize) -> u64 {
+        self.beats[rank].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// `rank`'s current heartbeat epoch (piggybacked on outgoing packets).
+    pub(crate) fn current_beat(&self, rank: usize) -> u64 {
+        self.beats[rank].load(Ordering::Relaxed)
+    }
+
+    /// Fold a heartbeat piggybacked on a received packet into the table.
+    pub(crate) fn observe_beat(&self, src: usize, beat: u64) {
+        self.seen[src].fetch_max(beat, Ordering::Relaxed);
+    }
+
+    /// Highest heartbeat of `src` any receiver has observed (diagnostics).
+    pub(crate) fn last_seen(&self, src: usize) -> u64 {
+        self.seen[src].load(Ordering::Relaxed)
+    }
+
+    /// `Comm_agree`: block until every member of the communicator is
+    /// either registered on this epoch's board or dead, then return the
+    /// outcome the first completer published — the sorted dead set and a
+    /// fresh communicator token from `alloc_token`. All survivors return
+    /// the identical outcome (the token is allocated exactly once, under
+    /// the board lock).
+    ///
+    /// Known limitation (documented non-goal): with *multiple* kills the
+    /// agreed dead set snapshots whichever deaths are visible when the
+    /// last survivor checks in; a second death racing the roll-call edge
+    /// may land in the next epoch instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn agree(
+        &self,
+        exec: &ExecCtl,
+        me: usize,
+        comm_id: u32,
+        gen: u64,
+        members: &[usize],
+        alloc_token: impl Fn() -> u32,
+        timeout: Duration,
+    ) -> AgreeOutcome {
+        let key = (comm_id, gen, KIND_AGREE);
+        self.lock_boards()
+            .entry(key)
+            .or_default()
+            .registered
+            .insert(me);
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut boards = self.lock_boards();
+                let e = boards.entry(key).or_default();
+                if let Some(out) = &e.agreed {
+                    return out.clone();
+                }
+                let complete = members
+                    .iter()
+                    .all(|&m| e.registered.contains(&m) || self.is_dead(m));
+                if complete {
+                    let dead: Vec<usize> = members
+                        .iter()
+                        .copied()
+                        .filter(|&m| self.is_dead(m))
+                        .collect();
+                    let out = AgreeOutcome {
+                        dead,
+                        token: alloc_token(),
+                    };
+                    e.agreed = Some(out.clone());
+                    return out;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "ft agree(comm={comm_id}, gen={gen}) timed out at rank {me}: \
+                 some member neither registered nor died"
+            );
+            ft_poll_sleep(exec);
+        }
+    }
+
+    /// Per-operation commit roll-call: after finishing a protected
+    /// operation's body, every member registers under the operation's
+    /// sequence number and waits until either **all** members registered
+    /// ([`CommitOutcome::AllOk`] — checked first, so a victim that
+    /// completed the body before dying still commits the round) or some
+    /// member is dead / diverted past `epoch` while the roll-call is
+    /// incomplete ([`CommitOutcome::Diverted`]).
+    ///
+    /// Determinism: registrations are monotonic and a victim's death mark
+    /// is ordered after its own registrations (see [`Liveness::mark_dead`]),
+    /// so whether a given round commits is a pure function of *where* the
+    /// victim's kill op lies in its program — not of wall-clock timing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn commit(
+        &self,
+        exec: &ExecCtl,
+        me: usize,
+        comm_id: u32,
+        op_seq: u64,
+        epoch: u64,
+        members: &[usize],
+        timeout: Duration,
+    ) -> CommitOutcome {
+        let key = (comm_id, op_seq, KIND_COMMIT);
+        self.lock_boards()
+            .entry(key)
+            .or_default()
+            .registered
+            .insert(me);
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut boards = self.lock_boards();
+                let e = boards.entry(key).or_default();
+                if members.iter().all(|&m| e.registered.contains(&m)) {
+                    return CommitOutcome::AllOk;
+                }
+                let failed = members
+                    .iter()
+                    .any(|&m| m != me && (self.is_dead(m) || self.diverted_past(m, epoch)));
+                if failed {
+                    return CommitOutcome::Diverted;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "ft commit(comm={comm_id}, op={op_seq}) timed out at rank {me}: \
+                 no member died yet the roll-call never completed"
+            );
+            ft_poll_sleep(exec);
+        }
+    }
+}
+
+/// What an armed wait path needs to watch for failures: the liveness
+/// table plus the waiting communicator's membership and the waiter's
+/// current recovery epoch.
+#[derive(Clone)]
+pub(crate) struct FtWatch {
+    pub(crate) live: std::sync::Arc<Liveness>,
+    pub(crate) members: Vec<usize>,
+    pub(crate) epoch: u64,
+}
+
+impl FtWatch {
+    /// First member (excluding `me`) that is dead or diverted past the
+    /// watcher's epoch — the condition on which an armed wait path must
+    /// stop waiting. Deterministic tie-break: lowest global rank wins.
+    pub(crate) fn failed_member(&self, me: usize) -> Option<usize> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != me)
+            .find(|&m| self.live.is_dead(m) || self.live.diverted_past(m, self.epoch))
+    }
+}
+
+/// Sleep one poll slice without blocking a pool worker: parked coroutines
+/// re-ready at the deadline; thread-per-rank just sleeps.
+pub(crate) fn ft_poll_sleep(exec: &ExecCtl) {
+    if exec.is_pooled() {
+        crate::exec::park_current(Instant::now() + FT_POLL_SLICE);
+    } else {
+        std::thread::sleep(FT_POLL_SLICE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_and_divert_marks() {
+        let l = Liveness::new(4);
+        assert!(!l.is_dead(2));
+        l.mark_dead(2);
+        assert!(l.is_dead(2));
+        assert!(!l.diverted_past(1, 0));
+        l.divert(1, 1);
+        assert!(l.diverted_past(1, 0));
+        assert!(!l.diverted_past(1, 1), "strict: marker == epoch is stale");
+        l.divert(1, 1);
+        l.divert(1, 3);
+        assert!(l.diverted_past(1, 2));
+    }
+
+    #[test]
+    fn heartbeats_fold_monotonically() {
+        let l = Liveness::new(2);
+        assert_eq!(l.bump_beat(0), 1);
+        assert_eq!(l.bump_beat(0), 2);
+        l.observe_beat(0, 2);
+        l.observe_beat(0, 1);
+        assert_eq!(l.last_seen(0), 2);
+        assert_eq!(l.last_seen(1), 0);
+    }
+
+    #[test]
+    fn failed_member_skips_self_and_prefers_lowest() {
+        let l = std::sync::Arc::new(Liveness::new(4));
+        l.mark_dead(0);
+        l.mark_dead(3);
+        let watch = |members: &[usize]| FtWatch {
+            live: std::sync::Arc::clone(&l),
+            members: members.to_vec(),
+            epoch: 0,
+        };
+        assert_eq!(watch(&[0, 1, 3]).failed_member(0), Some(3));
+        assert_eq!(watch(&[0, 1, 3]).failed_member(1), Some(0));
+        assert_eq!(watch(&[1, 2]).failed_member(1), None);
+    }
+
+    #[test]
+    fn agree_completes_when_survivors_register() {
+        let l = Liveness::new(3);
+        l.mark_dead(1);
+        let exec = ExecCtl::Threads;
+        let t = Duration::from_secs(5);
+        // Both survivors must check in before either completes; the first
+        // completer publishes the outcome, the other adopts it (token
+        // allocated exactly once, so both see the same value).
+        let (a, b) = std::thread::scope(|s| {
+            let l = &l;
+            let h = s.spawn(move || l.agree(&ExecCtl::Threads, 2, 7, 1, &[0, 1, 2], || 99, t));
+            let a = l.agree(&exec, 0, 7, 1, &[0, 1, 2], || 99, t);
+            (a, h.join().unwrap())
+        });
+        assert_eq!(a, b);
+        assert_eq!(a.dead, vec![1]);
+        assert_eq!(a.token, 99);
+    }
+
+    #[test]
+    fn commit_all_ok_beats_late_death() {
+        let l = Liveness::new(2);
+        let exec = ExecCtl::Threads;
+        let t = Duration::from_secs(5);
+        // Both registered: AllOk even though rank 1 dies *after* checking in.
+        let first = std::thread::scope(|s| {
+            let l = &l;
+            let h = s.spawn(move || {
+                let o = l.commit(&ExecCtl::Threads, 1, 3, 0, 0, &[0, 1], t);
+                l.mark_dead(1);
+                o
+            });
+            let mine = l.commit(&exec, 0, 3, 0, 0, &[0, 1], t);
+            assert_eq!(h.join().unwrap(), CommitOutcome::AllOk);
+            mine
+        });
+        assert_eq!(first, CommitOutcome::AllOk);
+        // Next round: rank 1 is dead and never registers -> Diverted.
+        assert_eq!(
+            l.commit(&exec, 0, 3, 1, 0, &[0, 1], t),
+            CommitOutcome::Diverted
+        );
+    }
+
+    #[test]
+    fn wait_error_display_names_peers() {
+        let e = WaitError::RankFailed {
+            rank: 2,
+            failed: 5,
+            comm: 1,
+            tag: 9,
+        };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("rank 5"));
+        assert_eq!(e.peer(), Some(5));
+        assert_eq!(e.rank(), 2);
+        let t = WaitError::Timeout {
+            rank: 0,
+            comm: 1,
+            src: 2,
+            tag: 3,
+        };
+        assert_eq!(t.peer(), None);
+    }
+}

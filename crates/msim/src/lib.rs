@@ -36,6 +36,7 @@ pub mod elem;
 pub mod error;
 mod exec;
 pub mod fault;
+pub mod ft;
 mod mailbox;
 pub mod msg;
 mod oob;
@@ -51,8 +52,9 @@ pub use datatype::Layout;
 pub use elem::ShmElem;
 pub use error::SimError;
 pub use exec::ExecMode;
-pub use fault::{FaultPlan, KillRule, SchedulePolicy};
+pub use fault::{FaultPlan, KillRule, RetryPolicy, SchedulePolicy};
+pub use ft::{AgreeOutcome, CommitOutcome, WaitError};
 pub use msg::Payload;
 pub use race::{AccessKind, RaceAccess, RaceReport, VectorClock};
-pub use universe::{DataMode, SimConfig, SimResult, Universe};
+pub use universe::{DataMode, FtSimResult, SimConfig, SimResult, Universe};
 pub use window::SharedWindow;

@@ -233,6 +233,7 @@ mod tests {
             payload: Payload::empty(),
             arrival: 0.0,
             vc: None,
+            beat: None,
         }
     }
 

@@ -84,6 +84,9 @@ pub struct Packet {
     /// the happens-before edge the race detector derives from this
     /// message). `None` when the detector is off.
     pub vc: Option<Arc<VectorClock>>,
+    /// Sender's heartbeat epoch at send time, piggybacked for the failure
+    /// detector. `None` when fault tolerance is disarmed.
+    pub beat: Option<u64>,
 }
 
 #[cfg(test)]

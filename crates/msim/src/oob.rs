@@ -9,6 +9,7 @@
 //! receives the shared result. No virtual time is charged.
 
 use crate::exec::{self, ExecCtl};
+use crate::ft::{FtWatch, WaitError};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -53,6 +54,7 @@ impl OobBoard {
     /// # Panics
     /// Panics on timeout (a setup-collective deadlock: not all members of
     /// the communicator made the same call) or on type confusion.
+    #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn rendezvous<V, R>(
         &self,
@@ -63,6 +65,45 @@ impl OobBoard {
         expected: usize,
         value: V,
         timeout: Duration,
+        finish: impl FnOnce(Vec<(usize, V)>) -> R,
+    ) -> Arc<R>
+    where
+        V: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        self.rendezvous_watched(
+            exec, me_global, key, member, expected, value, timeout, None, finish,
+        )
+    }
+
+    /// Deposit `value` for `member` under `key`; block until all
+    /// `expected` members have deposited; return the shared result
+    /// computed by `finish` (run once, by the last depositor, over
+    /// deposits sorted by member id). In pooled mode "block" parks the
+    /// calling coroutine (`me_global` is the waker's handle to it)
+    /// instead of holding an OS thread on the condvar.
+    ///
+    /// With a fault-tolerance `watch`: when some watched member is dead
+    /// (or diverted into recovery) *without having deposited*, the
+    /// rendezvous can never complete, so the waiter unwinds with a typed
+    /// [`WaitError`] instead of timing out. A failed member that already
+    /// deposited keeps the rendezvous alive — the remaining live members
+    /// can still complete it.
+    ///
+    /// # Panics
+    /// Panics on timeout (a setup-collective deadlock: not all members of
+    /// the communicator made the same call) or on type confusion.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rendezvous_watched<V, R>(
+        &self,
+        exec: &ExecCtl,
+        me_global: usize,
+        key: BoardKey,
+        member: usize,
+        expected: usize,
+        value: V,
+        timeout: Duration,
+        watch: Option<&FtWatch>,
         finish: impl FnOnce(Vec<(usize, V)>) -> R,
     ) -> Arc<R>
     where
@@ -137,6 +178,39 @@ impl OobBoard {
                     Self::take(&mut entries, key);
                     return result;
                 }
+                if let Some(w) = watch {
+                    // Result not published (checked above, under the same
+                    // lock hold): a watched member that is dead/diverted
+                    // and never deposited can no longer arrive, so the
+                    // rendezvous is unfinishable — unwind with the typed
+                    // error. `deposits` is keyed by communicator-local
+                    // rank, matching `w.members` order.
+                    for (l, &g) in w.members.iter().enumerate() {
+                        if l == member {
+                            continue;
+                        }
+                        let dead = w.live.is_dead(g);
+                        if (dead || w.live.diverted_past(g, w.epoch))
+                            && !entry.deposits.iter().any(|(m, _)| *m == l)
+                        {
+                            std::panic::panic_any(if dead {
+                                WaitError::RankFailed {
+                                    rank: me_global,
+                                    failed: g,
+                                    comm: key.0,
+                                    tag: key.1,
+                                }
+                            } else {
+                                WaitError::PeerDiverted {
+                                    rank: me_global,
+                                    peer: g,
+                                    comm: key.0,
+                                    tag: key.1,
+                                }
+                            });
+                        }
+                    }
+                }
             } else {
                 // Entry vanished: everyone else already took the result
                 // after we deposited — cannot happen because we only remove
@@ -148,22 +222,32 @@ impl OobBoard {
                 "setup-collective rendezvous timed out \
                  (did every member of the communicator make the same call?)"
             );
+            // With a watch, wake in short slices so failures are noticed
+            // promptly even though no completion will ever signal us.
+            let slice_deadline = if watch.is_some() {
+                deadline.min(Instant::now() + crate::ft::FT_POLL_SLICE)
+            } else {
+                deadline
+            };
             if exec.is_pooled() {
                 drop(entries);
                 // A completion landing between unlock and park still
                 // wakes us (the executor tokenizes wakes against Running
                 // ranks); the executor also re-readies expired parks so
                 // the timeout assertion above fires eventually.
-                exec::park_current(deadline);
+                exec::park_current(slice_deadline);
                 entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             } else {
                 let (guard, wait) = self
                     .done
-                    .wait_timeout(entries, timeout)
+                    .wait_timeout(
+                        entries,
+                        slice_deadline.saturating_duration_since(Instant::now()),
+                    )
                     .unwrap_or_else(PoisonError::into_inner);
                 entries = guard;
                 assert!(
-                    !wait.timed_out(),
+                    watch.is_some() || !wait.timed_out(),
                     "setup-collective rendezvous timed out \
                      (did every member of the communicator make the same call?)"
                 );

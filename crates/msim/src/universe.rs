@@ -2,7 +2,7 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::AtomicU32;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use simnet::{ClusterSpec, CostModel, Placement, RankMap, Tracer};
@@ -12,6 +12,7 @@ use crate::ctx::Ctx;
 use crate::error::SimError;
 use crate::exec::{self, ExecCtl, ExecMode, PoolCore};
 use crate::fault::{FaultPlan, SchedulePolicy};
+use crate::ft::{Liveness, WaitError};
 use crate::mailbox::{Mailbox, StageFuzz};
 use crate::oob::OobBoard;
 use crate::race::RaceState;
@@ -174,6 +175,37 @@ pub(crate) struct Shared {
     /// Armed race detector (`None` when detection is off or the data
     /// mode is phantom — phantom windows have no storage to race on).
     pub(crate) race: Option<Arc<RaceState>>,
+    /// Armed failure detector / liveness table (`None` unless the fault
+    /// plan can actually lose a rank or a message — kills or drops).
+    pub(crate) ft: Option<Arc<Liveness>>,
+    /// Last operation label each rank published ([`Ctx::set_op_label`]);
+    /// threaded into fault contexts so kill/executor reports name the
+    /// interrupted collective.
+    op_labels: Vec<Mutex<String>>,
+}
+
+impl Shared {
+    /// Publish rank `rank`'s current operation label.
+    pub(crate) fn set_op_label(&self, rank: usize, label: &str) {
+        if let Some(slot) = self.op_labels.get(rank) {
+            let mut s = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            s.clear();
+            s.push_str(label);
+        }
+    }
+
+    /// The fault context for error reports attributed to `rank`: the
+    /// fault plan, plus the rank's last published op label when any.
+    pub(crate) fn fault_context_for(&self, rank: usize) -> String {
+        let mut s = format!("{:?}", self.fault);
+        if let Some(slot) = self.op_labels.get(rank) {
+            let label = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            if !label.is_empty() {
+                s.push_str(&format!("; last op of rank {rank}: {label}"));
+            }
+        }
+        s
+    }
 }
 
 /// The outcome of a run: each rank's return value and final virtual clock,
@@ -199,14 +231,254 @@ impl<T> SimResult<T> {
     }
 }
 
+/// The outcome of a fault-tolerant run ([`Universe::run_ft`]): like
+/// [`SimResult`], but ranks lost to *injected* kills are tolerated and
+/// reported in [`FtSimResult::failed`] instead of failing the run.
+#[derive(Debug)]
+pub struct FtSimResult<T> {
+    /// Rank programs' return values, indexed by global rank; `None` for
+    /// ranks that died from an injected kill.
+    pub per_rank: Vec<Option<T>>,
+    /// Global ranks that died from injected kills, ascending.
+    pub failed: Vec<usize>,
+    /// Final virtual time of each rank (µs); 0.0 for failed ranks.
+    pub clocks: Vec<f64>,
+    /// The event trace (empty unless tracing was enabled).
+    pub tracer: Tracer,
+    /// OS threads the executor used for rank programs.
+    pub peak_threads: usize,
+}
+
+impl<T> FtSimResult<T> {
+    /// The latest final clock among surviving ranks.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+}
+
 /// Entry point: runs SPMD programs.
 pub struct Universe;
+
+/// Raw per-rank outcomes of one launch, before error triage.
+struct LaunchOut<T> {
+    outcomes: Vec<Option<std::thread::Result<(T, f64)>>>,
+    infra: Vec<(usize, String)>,
+    peak_threads: usize,
+    shared: Arc<Shared>,
+}
+
+/// Rough severity used to pick the root-cause error of a run: a genuine
+/// rank panic outranks the deadlock timeouts it causes on its peers, and
+/// an *injected* kill outranks the typed wait errors it causes — so the
+/// reported error is always the fault, not a symptom, regardless of
+/// wall-clock completion order.
+fn error_priority(e: &SimError) -> u8 {
+    if e.is_injected_kill() {
+        3
+    } else if e.is_panic() {
+        2
+    } else {
+        1
+    }
+}
+
+/// Convert a caught rank-panic payload into a [`SimError`].
+fn payload_to_error(rank: usize, payload: &(dyn std::any::Any + Send)) -> SimError {
+    if let Some(e) = payload.downcast_ref::<SimError>() {
+        e.clone()
+    } else if let Some(w) = payload.downcast_ref::<WaitError>() {
+        SimError::RankPanicked {
+            rank,
+            message: w.to_string(),
+        }
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        SimError::RankPanicked {
+            rank,
+            message: (*s).to_string(),
+        }
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        SimError::RankPanicked {
+            rank,
+            message: s.clone(),
+        }
+    } else {
+        SimError::RankPanicked {
+            rank,
+            message: "<non-string panic>".into(),
+        }
+    }
+}
 
 impl Universe {
     /// Run `f` once per rank over the configured cluster and collect every
     /// rank's result. Returns an error if any rank panics or a deadlock is
     /// suspected.
     pub fn run<T, F>(config: SimConfig, f: F) -> Result<SimResult<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Send + Sync,
+    {
+        let LaunchOut {
+            outcomes,
+            infra,
+            peak_threads,
+            shared,
+        } = Self::launch(config, f);
+        let nranks = outcomes.len();
+        Self::triage_infra(&infra, &outcomes, &shared)?;
+        Self::race_sweep(&shared)?;
+        let mut per_rank = Vec::with_capacity(nranks);
+        let mut clocks = Vec::with_capacity(nranks);
+        let mut first_error: Option<SimError> = None;
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                None => unreachable!("missing outcomes are handled above"),
+                Some(Ok((value, clock))) => {
+                    per_rank.push(value);
+                    clocks.push(clock);
+                }
+                Some(Err(payload)) => {
+                    let err = payload_to_error(rank, payload.as_ref());
+                    let replace = first_error
+                        .as_ref()
+                        .is_none_or(|cur| error_priority(&err) > error_priority(cur));
+                    if replace {
+                        first_error = Some(err);
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(SimResult {
+            per_rank,
+            clocks,
+            tracer: shared.tracer.clone(),
+            peak_threads,
+        })
+    }
+
+    /// Fault-tolerant variant of [`Universe::run`]: ranks that die from
+    /// an **injected** kill ([`crate::KillRule`]) are tolerated — their
+    /// slots come back as `None` with the victims listed in
+    /// [`FtSimResult::failed`] — while every other failure (genuine
+    /// panics, deadlocks, unhandled [`crate::ft::WaitError`]s, races,
+    /// executor trouble) still fails the run. This is the harness for
+    /// programs that recover via `FaultPolicy::Shrink`/`Retry`: the
+    /// survivors' results must be present and correct even though the
+    /// victims are gone.
+    pub fn run_ft<T, F>(config: SimConfig, f: F) -> Result<FtSimResult<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Send + Sync,
+    {
+        let LaunchOut {
+            outcomes,
+            infra,
+            peak_threads,
+            shared,
+        } = Self::launch(config, f);
+        let nranks = outcomes.len();
+        Self::triage_infra(&infra, &outcomes, &shared)?;
+        Self::race_sweep(&shared)?;
+        let mut per_rank = Vec::with_capacity(nranks);
+        let mut clocks = Vec::with_capacity(nranks);
+        let mut failed = Vec::new();
+        let mut first_error: Option<SimError> = None;
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                None => unreachable!("missing outcomes are handled above"),
+                Some(Ok((value, clock))) => {
+                    per_rank.push(Some(value));
+                    clocks.push(clock);
+                }
+                Some(Err(payload)) => {
+                    let err = payload_to_error(rank, payload.as_ref());
+                    if err.is_injected_kill() {
+                        failed.push(rank);
+                        per_rank.push(None);
+                        clocks.push(0.0);
+                        continue;
+                    }
+                    let replace = first_error
+                        .as_ref()
+                        .is_none_or(|cur| error_priority(&err) > error_priority(cur));
+                    if replace {
+                        first_error = Some(err);
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(FtSimResult {
+            per_rank,
+            failed,
+            clocks,
+            tracer: shared.tracer.clone(),
+            peak_threads,
+        })
+    }
+
+    /// An infrastructure failure outranks everything: the run's other
+    /// errors (deadlocks, missing outcomes) are its symptoms.
+    fn triage_infra<T>(
+        infra: &[(usize, String)],
+        outcomes: &[Option<std::thread::Result<(T, f64)>>],
+        shared: &Shared,
+    ) -> Result<(), SimError> {
+        if let Some((rank, message)) = infra.first() {
+            return Err(SimError::ExecutorFailure {
+                rank: *rank,
+                message: message.clone(),
+                fault_context: shared.fault_context_for(*rank),
+            });
+        }
+        if let Some(rank) = outcomes.iter().position(|o| o.is_none()) {
+            // No recorded infra failure but the rank never ran to
+            // completion — still an executor-level failure.
+            return Err(SimError::ExecutorFailure {
+                rank,
+                message: "rank never completed (executor gave up)".into(),
+                fault_context: shared.fault_context_for(rank),
+            });
+        }
+        Ok(())
+    }
+
+    /// The race sweep runs before per-rank errors are surfaced: a race
+    /// must be reported even when a FaultPlan killed the racing rank
+    /// mid-collective (the kill's panic and the deadlocks it causes
+    /// would otherwise mask it); the fault context rides on the report.
+    /// Infrastructure failures still win — with a broken executor the
+    /// access log is not trustworthy.
+    fn race_sweep(shared: &Shared) -> Result<(), SimError> {
+        if let Some(race) = &shared.race {
+            let (accesses, reports) = race.detect();
+            shared.tracer.record(
+                0,
+                0.0,
+                simnet::EventKind::RaceCheck {
+                    accesses,
+                    races: reports.len(),
+                },
+            );
+            if !reports.is_empty() {
+                return Err(SimError::RaceDetected {
+                    reports,
+                    fault_context: format!("{:?}", shared.fault),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the shared universe state and execute one rank program per
+    /// rank, catching panics. Common to [`Universe::run`] and
+    /// [`Universe::run_ft`].
+    fn launch<T, F>(config: SimConfig, f: F) -> LaunchOut<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Send + Sync,
@@ -264,12 +536,16 @@ impl Universe {
             next_comm_id: AtomicU32::new(1),
             recv_timeout: config.recv_timeout,
             world,
+            ft: config
+                .fault
+                .ft_armed()
+                .then(|| Arc::new(Liveness::new(nranks))),
+            op_labels: (0..nranks).map(|_| Mutex::new(String::new())).collect(),
             fault: config.fault,
             exec: exec_ctl,
             race: (config.race_detect && config.mode == DataMode::Real)
                 .then(|| Arc::new(RaceState::new(nranks))),
         });
-        let fault_context = format!("{:?}", shared.fault);
 
         type RankOutcome<T> = std::thread::Result<(T, f64)>;
         type RunOut<T> = (Vec<Option<RankOutcome<T>>>, Vec<(usize, String)>, usize);
@@ -322,101 +598,12 @@ impl Universe {
                 (outcomes, infra, nranks)
             }
         };
-
-        let mut per_rank = Vec::with_capacity(nranks);
-        let mut clocks = Vec::with_capacity(nranks);
-        let mut first_error: Option<SimError> = None;
-        // An infrastructure failure outranks everything: the run's other
-        // errors (deadlocks, missing outcomes) are its symptoms.
-        if let Some((rank, message)) = infra.into_iter().next() {
-            return Err(SimError::ExecutorFailure {
-                rank,
-                message,
-                fault_context,
-            });
-        }
-        if let Some(rank) = outcomes.iter().position(|o| o.is_none()) {
-            // No recorded infra failure but the rank never ran to
-            // completion — still an executor-level failure.
-            return Err(SimError::ExecutorFailure {
-                rank,
-                message: "rank never completed (executor gave up)".into(),
-                fault_context,
-            });
-        }
-        // The race sweep runs before per-rank errors are surfaced: a
-        // race must be reported even when a FaultPlan killed the racing
-        // rank mid-collective (the kill's panic and the deadlocks it
-        // causes would otherwise mask it); the fault context rides on
-        // the report. Infrastructure failures above still win — with a
-        // broken executor the access log is not trustworthy.
-        if let Some(race) = &shared.race {
-            let (accesses, reports) = race.detect();
-            shared.tracer.record(
-                0,
-                0.0,
-                simnet::EventKind::RaceCheck {
-                    accesses,
-                    races: reports.len(),
-                },
-            );
-            if !reports.is_empty() {
-                return Err(SimError::RaceDetected {
-                    reports,
-                    fault_context,
-                });
-            }
-        }
-        for (rank, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                None => unreachable!("missing outcomes are handled above"),
-                Some(Ok((value, clock))) => {
-                    per_rank.push(value);
-                    clocks.push(clock);
-                }
-                Some(Err(payload)) => {
-                    let err = if let Some(e) = payload.downcast_ref::<SimError>() {
-                        e.clone()
-                    } else if let Some(s) = payload.downcast_ref::<&str>() {
-                        SimError::RankPanicked {
-                            rank,
-                            message: (*s).to_string(),
-                        }
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        SimError::RankPanicked {
-                            rank,
-                            message: s.clone(),
-                        }
-                    } else {
-                        SimError::RankPanicked {
-                            rank,
-                            message: "<non-string panic>".into(),
-                        }
-                    };
-                    // A genuine rank panic is the root cause; the deadlock
-                    // timeouts it triggers on other ranks are symptoms. So
-                    // prefer the first RankPanicked, falling back to the
-                    // first DeadlockSuspected.
-                    let is_panic = matches!(err, SimError::RankPanicked { .. });
-                    match &first_error {
-                        None => first_error = Some(err),
-                        Some(SimError::DeadlockSuspected { .. }) if is_panic => {
-                            first_error = Some(err)
-                        }
-                        Some(_) => {}
-                    }
-                }
-            }
-        }
-        if let Some(err) = first_error {
-            return Err(err);
-        }
-        Ok(SimResult {
-            per_rank,
-            clocks,
-            tracer: shared.tracer.clone(),
+        LaunchOut {
+            outcomes,
+            infra,
             peak_threads,
-        })
+            shared,
+        }
     }
 }
 

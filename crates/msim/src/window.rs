@@ -107,7 +107,8 @@ impl<T: ShmElem> SharedWindow<T> {
         if let Some(r) = &shared.race {
             r.fence_deposit(ctx.rank(), key, comm.size());
         }
-        let inner = shared.board.rendezvous(
+        let watch = ctx.ft_watch(comm);
+        let inner = shared.board.rendezvous_watched(
             &shared.exec,
             ctx.rank(),
             key,
@@ -115,6 +116,7 @@ impl<T: ShmElem> SharedWindow<T> {
             comm.size(),
             (my_len, id_candidate),
             shared.recv_timeout,
+            watch.as_ref(),
             move |sizes| {
                 let id = sizes.first().map_or(0, |(_, (_, id))| *id);
                 let mut offsets = Vec::with_capacity(sizes.len() + 1);

@@ -1,0 +1,208 @@
+//! Runtime-level fault-tolerance tests: the failure detector turns
+//! parked waits into typed errors, injected message loss is seeded and
+//! deterministic, heartbeats propagate through delivered packets, and an
+//! injected kill's error report names the victim's in-flight operation.
+
+use std::time::Duration;
+
+use msim::{Ctx, FaultPlan, Payload, SimConfig, SimError, Universe, WaitError};
+use simnet::{ClusterSpec, CostModel, Perturbation};
+
+fn cfg(nodes: usize, ppn: usize) -> SimConfig {
+    SimConfig::new(ClusterSpec::regular(nodes, ppn), CostModel::uniform_test())
+        .with_recv_timeout(Duration::from_secs(5))
+}
+
+/// With an armed fault plan, a receive from a dead rank unwinds as
+/// `WaitError::RankFailed` (caught here by the recovering body) rather
+/// than parking until the deadlock timeout.
+#[test]
+fn recv_from_dead_rank_reports_rank_failed() {
+    let plan = FaultPlan::none().with_kill(1, 0);
+    let r = Universe::run_ft(cfg(1, 2).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 1 {
+            // Dies at its first op, before sending anything.
+            ctx.send(&world, 0, 7, Payload::empty());
+            return String::new();
+        }
+        match ctx.recv_deadline(&world, 1, 7) {
+            Ok(_) => "delivered".to_string(),
+            Err(WaitError::RankFailed { failed, .. }) => format!("failed:{failed}"),
+            Err(other) => format!("unexpected:{other}"),
+        }
+    })
+    .unwrap();
+    assert_eq!(r.failed, vec![1]);
+    assert_eq!(r.per_rank[0].as_deref(), Some("failed:1"));
+}
+
+/// A totally lost message surfaces as `WaitError::Timeout` after the
+/// detection window — the run does not hang and the receiver learns the
+/// missing (src, tag).
+#[test]
+fn total_message_loss_times_out_with_a_typed_error() {
+    let plan = FaultPlan::none()
+        .with_drop(1.0) // every transit attempt is dropped
+        .with_detect_timeout(Duration::from_millis(100));
+    let t0 = std::time::Instant::now();
+    let r = Universe::run_ft(cfg(1, 2).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&world, 1, 3, Payload::empty());
+            return "sent".to_string();
+        }
+        match ctx.recv_deadline(&world, 0, 3) {
+            Ok(_) => "delivered".to_string(),
+            Err(WaitError::Timeout { src, tag, .. }) => format!("timeout:{src}:{tag}"),
+            Err(other) => format!("unexpected:{other}"),
+        }
+    })
+    .unwrap();
+    assert_eq!(r.per_rank[1].as_deref(), Some("timeout:0:3"));
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "loss detection must be prompt, took {:?}",
+        t0.elapsed()
+    );
+}
+
+/// Message loss is a pure function of (seed, link, sequence, attempt):
+/// same plan, same delivered set — and a transport retry policy turns
+/// partial loss back into delivery with only a latency penalty.
+#[test]
+fn drop_pattern_is_seeded_and_retry_recovers_it() {
+    let deliveries = |perturb_seed: u64, retries: u32| {
+        let mut perturb = Perturbation::none().with_drop_prob(0.5);
+        perturb.seed = perturb_seed;
+        let plan = FaultPlan::none()
+            .with_perturbation(perturb)
+            .with_retry(msim::RetryPolicy {
+                max_retries: retries,
+                timeout_us: 50.0,
+                backoff: 2.0,
+            })
+            .with_detect_timeout(Duration::from_millis(100));
+        Universe::run_ft(cfg(1, 2).with_fault(plan), |ctx| {
+            let world = ctx.world();
+            let mut delivered = Vec::new();
+            if ctx.rank() == 0 {
+                for tag in 0..16u32 {
+                    ctx.send(&world, 1, tag, Payload::empty());
+                }
+            } else {
+                for tag in 0..16u32 {
+                    if ctx.recv_deadline(&world, 0, tag).is_ok() {
+                        delivered.push(tag);
+                    }
+                }
+            }
+            delivered
+        })
+        .unwrap()
+        .per_rank[1]
+            .clone()
+            .unwrap()
+    };
+    let a = deliveries(11, 0);
+    let b = deliveries(11, 0);
+    assert_eq!(a, b, "same seed, same loss pattern");
+    assert!(a.len() < 16, "p=0.5 with no retries must lose something");
+    let retried = deliveries(11, 8);
+    assert_eq!(
+        retried.len(),
+        16,
+        "8 retransmissions at p=0.5 recover every message"
+    );
+    let c = deliveries(12, 0);
+    assert_ne!(a, c, "different seed, different loss pattern");
+}
+
+/// Heartbeat epochs ride delivered packets: after a receive, the
+/// receiver's liveness table has folded in the sender's beat.
+#[test]
+fn heartbeats_piggyback_on_messages() {
+    let plan = FaultPlan::none().with_kill(2, 1000); // arm, never fires
+    let r = Universe::run_ft(cfg(1, 3).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            for _ in 0..4 {
+                ctx.compute(1.0); // four beats
+            }
+            ctx.send(&world, 1, 0, Payload::empty());
+            return 0;
+        }
+        if ctx.rank() == 1 {
+            let before = ctx.ft_last_seen(0).unwrap();
+            ctx.recv(&world, 0, 0);
+            let after = ctx.ft_last_seen(0).unwrap();
+            assert!(
+                after > before && after >= 4,
+                "beat must advance across the receive: {before} -> {after}"
+            );
+            return 1;
+        }
+        2
+    })
+    .unwrap();
+    assert!(r.failed.is_empty());
+}
+
+/// The injected-kill error names the victim's in-flight operation (the
+/// op label set by the fault-tolerant driver), so post-mortems can tell
+/// *what* the rank was doing when it died.
+#[test]
+fn kill_error_carries_the_op_label() {
+    let plan = FaultPlan::none().with_kill(1, 2);
+    let err = Universe::run(cfg(1, 2).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        ctx.set_op_label("exchange.phase2");
+        let peer = 1 - ctx.rank();
+        for round in 0..4u32 {
+            ctx.send(&world, peer, round, Payload::empty());
+            ctx.recv(&world, peer, round);
+        }
+    })
+    .unwrap_err();
+    match &err {
+        SimError::RankPanicked { rank, message } => {
+            assert_eq!(*rank, 1);
+            assert!(
+                message.contains("during exchange.phase2"),
+                "kill report must name the in-flight op: {message}"
+            );
+        }
+        other => panic!("expected the injected kill, got {other}"),
+    }
+}
+
+/// `Comm_agree`/`Comm_shrink` from user code: survivors agree on the
+/// dead set and the shrunk communicator excludes exactly those ranks,
+/// with a fresh context id.
+#[test]
+fn agree_and_shrink_exclude_the_dead() {
+    let plan = FaultPlan::none().with_kill(1, 0);
+    let r = Universe::run_ft(cfg(1, 3).with_fault(plan), |ctx| {
+        let world = ctx.world();
+        let ping = |ctx: &mut Ctx| -> Result<(), WaitError> {
+            if ctx.rank() == 1 {
+                ctx.compute(1.0); // the kill op
+                return Ok(());
+            }
+            // 0 and 2 wait on 1, which never sends.
+            ctx.recv_deadline(&world, 1, 0).map(|_| ())
+        };
+        ping(ctx).expect_err("rank 1 is dead");
+        ctx.ft_divert(1);
+        let outcome = ctx.ft_agree(&world, 0);
+        assert_eq!(outcome.dead, vec![1]);
+        let shrunk = world.shrink(ctx, &outcome);
+        ctx.set_ft_epoch(1);
+        assert_ne!(shrunk.id(), world.id(), "shrink must get a fresh id");
+        (shrunk.members().to_vec(), shrunk.rank())
+    })
+    .unwrap();
+    assert_eq!(r.failed, vec![1]);
+    assert_eq!(r.per_rank[0], Some((vec![0, 2], 0)));
+    assert_eq!(r.per_rank[2], Some((vec![0, 2], 1)));
+}

@@ -237,6 +237,81 @@ fn pooled_many_more_ranks_than_workers() {
     assert_eq!(r.clocks, t.clocks);
 }
 
+/// A minimal shrink-recovery driver at the msim level (the full driver
+/// lives in the `hmpi` crate, which msim cannot depend on): run a ring
+/// round, trap the typed [`msim::WaitError`] unwinds, agree on the dead,
+/// shrink, and re-run on the survivors. Returns the final membership.
+fn recovering_ring(ctx: &mut Ctx) -> Vec<usize> {
+    let mut comm = ctx.world();
+    let mut op_seq = 0u64;
+    loop {
+        op_seq += 1;
+        ctx.set_op_label("ring");
+        let c = comm.clone();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let n = c.size();
+            let me = c.rank();
+            for round in 0..2u32 {
+                ctx.send(&c, (me + 1) % n, round, Payload::empty());
+                ctx.recv(&c, (me + n - 1) % n, round);
+            }
+        }));
+        match r {
+            Ok(()) => match ctx.ft_commit(&c, op_seq) {
+                msim::CommitOutcome::AllOk => return comm.members().to_vec(),
+                msim::CommitOutcome::Diverted => {}
+            },
+            Err(payload) => {
+                if payload.downcast_ref::<msim::WaitError>().is_none() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        let epoch = ctx.ft_epoch() + 1;
+        ctx.ft_divert(epoch);
+        let outcome = ctx.ft_agree(&comm, ctx.ft_epoch());
+        comm = comm.shrink(ctx, &outcome);
+        ctx.set_ft_epoch(epoch);
+        ctx.trace_recovery("ring", epoch, &outcome.dead, comm.size());
+    }
+}
+
+#[test]
+fn pooled_matches_threads_on_leader_failover() {
+    // Rank 0 dies mid-ring; the survivors detect, agree, shrink, and
+    // re-run. Results, clocks, victim list, and the trace (including
+    // the Recovery events) must be identical under both executors.
+    let mk = |exec: ExecMode| {
+        let plan = FaultPlan::none().with_kill(0, 2);
+        Universe::run_ft(
+            cfg(ClusterSpec::regular(2, 3))
+                .with_fault(plan)
+                .with_exec(exec),
+            recovering_ring,
+        )
+        .unwrap()
+    };
+    let threads = mk(ExecMode::ThreadPerRank);
+    let pooled = mk(ExecMode::pooled());
+    assert_eq!(pooled.per_rank, threads.per_rank, "results diverged");
+    assert_eq!(pooled.failed, threads.failed, "victim lists diverged");
+    assert_eq!(pooled.clocks, threads.clocks, "virtual clocks diverged");
+    assert_eq!(
+        pooled.tracer.events(),
+        threads.tracer.events(),
+        "recovery traces diverged"
+    );
+    assert_eq!(pooled.failed, vec![0]);
+    let survivors: Vec<usize> = (1..6).collect();
+    for (rank, got) in pooled.per_rank.iter().enumerate() {
+        if rank == 0 {
+            assert!(got.is_none());
+        } else {
+            assert_eq!(got.as_deref(), Some(&survivors[..]), "rank {rank}");
+        }
+    }
+}
+
 #[test]
 fn env_override_is_read_by_simconfig() {
     // MSIM_EXEC/MSIM_WORKERS are read at SimConfig::new time; exercise

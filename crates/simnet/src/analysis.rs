@@ -53,7 +53,9 @@ impl TrafficStats {
                 EventKind::Barrier => s.barriers += 1,
                 EventKind::WinAlloc { bytes } => s.window_bytes += bytes,
                 EventKind::Decision { .. } => s.decisions += 1,
-                EventKind::Recv { .. } | EventKind::RaceCheck { .. } => {}
+                EventKind::Recv { .. }
+                | EventKind::RaceCheck { .. }
+                | EventKind::Recovery { .. } => {}
             }
         }
         s

@@ -36,6 +36,13 @@ pub struct Perturbation {
     /// Per-rank extra send-side wire latency `(rank, extra_us)`: models a
     /// straggler NIC / congested injection port.
     pub rank_send_extra_us: Vec<(usize, f64)>,
+    /// Probability in `[0, 1)` that any given transmission *attempt* of a
+    /// point-to-point message is lost in transit (seeded per
+    /// `(src, dst, seq, attempt)`, so the drop set is a pure function of
+    /// the seed). Unlike the latency knobs above, drops change semantics:
+    /// they are only honored by fault-tolerant wait paths that retry
+    /// (see `msim`'s retry transport); plain runs must keep this at 0.
+    pub drop_prob: f64,
 }
 
 impl Perturbation {
@@ -51,6 +58,12 @@ impl Perturbation {
             && self.msg_jitter_us == 0.0
             && self.compute_scale.is_empty()
             && self.rank_send_extra_us.is_empty()
+            && self.drop_prob == 0.0
+    }
+
+    /// Whether transmission attempts may be dropped at all.
+    pub fn has_drops(&self) -> bool {
+        self.drop_prob > 0.0
     }
 
     /// A mild randomized perturbation derived from `seed`: some message
@@ -64,6 +77,7 @@ impl Perturbation {
             msg_jitter_us: 2.0,
             compute_scale: vec![(straggler, 1.5)],
             rank_send_extra_us: vec![(straggler, 3.0)],
+            drop_prob: 0.0,
         }
     }
 
@@ -96,6 +110,36 @@ impl Perturbation {
         assert!(us >= 0.0, "latency surcharges must be non-negative");
         self.rank_send_extra_us.push((rank, us));
         self
+    }
+
+    /// Builder: drop each transmission attempt with probability `p`
+    /// (`1.0` = total blackout — every attempt is lost, which is how
+    /// tests force the loss-detection timeout deterministically).
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Whether the `attempt`-th transmission attempt of the `seq`-th
+    /// message from global rank `src` to global rank `dst` is lost. Pure
+    /// in its arguments: the same seed always drops the same attempts.
+    /// The stream is salted so it never correlates with the jitter stream
+    /// drawn from the same `(seed, src, dst, seq)`.
+    pub fn dropped(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        if self.drop_prob == 0.0 {
+            return false;
+        }
+        let u = mix_unit(
+            self.seed ^ 0xD20B_5EED_0000_0000,
+            src as u64,
+            dst as u64,
+            seq.wrapping_mul(64).wrapping_add(attempt as u64),
+        );
+        u < self.drop_prob
     }
 
     /// Extra wire latency (µs) for the `seq`-th message sent from global
@@ -162,6 +206,33 @@ mod tests {
             .with_slow_rank(1, 3.0);
         assert_eq!(p.compute_scale_of(1), 6.0);
         assert_eq!(p.compute_scale_of(0), 1.0);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_seed_sensitive() {
+        let p = Perturbation::none().with_drop_prob(0.3);
+        assert!(p.has_drops());
+        assert!(!p.is_none());
+        let set_a: Vec<bool> = (0..256).map(|s| p.dropped(0, 1, s, 0)).collect();
+        let set_b: Vec<bool> = (0..256).map(|s| p.dropped(0, 1, s, 0)).collect();
+        assert_eq!(set_a, set_b, "same seed, same drop set");
+        assert!(set_a.iter().any(|&d| d), "p=0.3 should drop something");
+        assert!(set_a.iter().any(|&d| !d), "p=0.3 should deliver something");
+        let mut q = p.clone();
+        q.seed = 1;
+        let set_q: Vec<bool> = (0..256).map(|s| q.dropped(0, 1, s, 0)).collect();
+        assert_ne!(set_a, set_q, "different seed, different drop set");
+        // Retries draw fresh coins: some attempt succeeds where attempt 0
+        // failed.
+        let first_dropped = (0..256u64).find(|&s| p.dropped(0, 1, s, 0)).unwrap();
+        assert!((1..64u32).any(|a| !p.dropped(0, 1, first_dropped, a)));
+    }
+
+    #[test]
+    fn zero_drop_prob_never_drops() {
+        let p = Perturbation::none().with_message_jitter(2.0);
+        assert!(!p.has_drops());
+        assert!((0..64).all(|s| !p.dropped(1, 2, s, 0)));
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub enum EventKind {
         /// Confirmed race reports (after dedup/cap).
         races: usize,
     },
+    /// A fault-tolerance recovery step completed on this rank: the
+    /// protected operation `op` was interrupted, the survivors agreed on
+    /// the `dead` set and entered recovery epoch `epoch` with `survivors`
+    /// members. Charged no virtual time; recorded by every surviving rank
+    /// so same-seed recovery traces are byte-identical.
+    Recovery {
+        /// Label of the protected operation that was re-run.
+        op: String,
+        /// Recovery epoch entered (1 for the first recovery).
+        epoch: u64,
+        /// Globally agreed dead ranks (sorted global ranks).
+        dead: Vec<usize>,
+        /// Number of surviving members after the shrink.
+        survivors: usize,
+    },
     /// An algorithm-selection decision made by a `SelectionPolicy`
     /// (operation, chosen algorithm name, free-form "why" string). Charged
     /// no virtual time; recorded so traces explain *which* schedule ran.

@@ -1,10 +1,10 @@
 //! The SUMMA kernel: Ori_ (pure MPI) and Hy_ (hybrid MPI+MPI) variants.
 
 use collectives::{barrier, bcast, Tuning};
-use hmpi::{HyAllgatherv, HybridComm};
+use hmpi::{FtComm, HyAllgatherv, HybridComm};
 use linalg::gemm::{gemm, gemm_flops};
 use linalg::Mat;
-use msim::{Buf, Ctx, DataMode};
+use msim::{Buf, Communicator, Ctx, DataMode};
 
 use crate::grid::GridComms;
 
@@ -144,7 +144,14 @@ fn panel_bcast(ctx: &mut Ctx, hc: &HybridComm, panels: &HyAllgatherv<f64>, k: us
 /// barrier the paper adds after each broadcast ([`panel_bcast`]).
 pub fn hy_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
     let world = ctx.world();
-    let Some(g) = GridComms::build(ctx, &world, spec.q) else {
+    hy_summa_on(ctx, &world, spec)
+}
+
+/// Hy_SUMMA over an explicit communicator (a shrunk world after
+/// recovery): the q×q grid is carved out of `comm`'s lowest q² ranks;
+/// the rest are inactive (but still participate in the setup splits).
+pub fn hy_summa_on(ctx: &mut Ctx, comm: &Communicator, spec: &SummaSpec) -> SummaReport {
+    let Some(g) = GridComms::build(ctx, comm, spec.q) else {
         return SummaReport {
             active: false,
             elapsed_us: 0.0,
@@ -197,11 +204,36 @@ pub fn hy_summa(ctx: &mut Ctx, spec: &SummaSpec) -> SummaReport {
     }
 }
 
+/// Fault-tolerant Hy_SUMMA: one protected round that sizes the grid to
+/// the *current* world — q = ⌊√p⌋ over the surviving ranks — so a
+/// recovery that shrinks the communicator restarts the multiplication
+/// on the largest square grid the survivors can fill. Ranks left off
+/// the grid return an inactive report but still take part in the
+/// round's commit, keeping every survivor in lockstep.
+pub fn ft_summa(ctx: &mut Ctx, ft: &mut FtComm, block: usize, tuning: &Tuning) -> SummaReport {
+    ft.run_raw(ctx, "summa", |ctx, comm| {
+        let p = comm.size();
+        let mut q = 1;
+        while (q + 1) * (q + 1) <= p {
+            q += 1;
+        }
+        let spec = SummaSpec {
+            q,
+            block,
+            tuning: tuning.clone(),
+        };
+        hy_summa_on(ctx, comm, &spec)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msim::{SimConfig, Universe};
+    use collectives::FaultPolicy;
+    use hmpi::SyncMethod;
+    use msim::{FaultPlan, SimConfig, Universe};
     use simnet::{ClusterSpec, CostModel};
+    use std::time::Duration;
 
     type Kernel = fn(&mut Ctx, &SummaSpec) -> SummaReport;
 
@@ -240,6 +272,49 @@ mod tests {
         check_correct(1, 4, 2, 3, hy_summa);
         check_correct(2, 3, 2, 4, hy_summa);
         check_correct(2, 5, 3, 2, hy_summa);
+    }
+
+    #[test]
+    fn ft_summa_recomputes_on_the_shrunk_grid_after_a_kill() {
+        // 6 ranks, 2x2 grid. An active rank (the node-0 leader, or a
+        // follower on the same node) dies mid-multiplication; the five
+        // survivors shrink, re-carve a 2x2 grid out of their lowest four
+        // ranks, and every active survivor ends with the exact C block
+        // for its *new* grid position.
+        let b = 3;
+        for victim in [0usize, 2] {
+            let plan = FaultPlan::none().with_kill(victim, 3);
+            let cfg = SimConfig::new(ClusterSpec::regular(2, 3), CostModel::uniform_test())
+                .with_fault(plan)
+                .with_recv_timeout(Duration::from_secs(5));
+            let r = Universe::run_ft(cfg, move |ctx| {
+                let world = ctx.world();
+                let mut ft = FtComm::new(&world, Tuning::cray_mpich(), SyncMethod::Barrier)
+                    .with_fault(FaultPolicy::Shrink);
+                ft_summa(ctx, &mut ft, b, &Tuning::cray_mpich())
+            })
+            .unwrap();
+            assert_eq!(r.failed, vec![victim]);
+            let survivors: Vec<usize> = (0..6).filter(|&g| g != victim).collect();
+            for (rank, rep) in r.per_rank.iter().enumerate() {
+                if rank == victim {
+                    assert!(rep.is_none());
+                    continue;
+                }
+                let rep = rep.as_ref().unwrap();
+                let local = survivors.iter().position(|&g| g == rank).unwrap();
+                if local < 4 {
+                    let got = rep.c_block.as_ref().expect("active rank computes C");
+                    let want = expected_c_block(2, b, local / 2, local % 2);
+                    assert!(
+                        got.distance(&want) < 1e-9,
+                        "victim={victim} rank {rank} (grid slot {local}): wrong C block"
+                    );
+                } else {
+                    assert!(!rep.active, "rank {rank} must be off the shrunk grid");
+                }
+            }
+        }
     }
 
     #[test]

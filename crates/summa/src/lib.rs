@@ -27,4 +27,4 @@ pub mod grid;
 pub mod kernel;
 
 pub use grid::GridComms;
-pub use kernel::{hy_summa, ori_summa, SummaReport, SummaSpec};
+pub use kernel::{ft_summa, hy_summa, hy_summa_on, ori_summa, SummaReport, SummaSpec};
