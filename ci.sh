@@ -3,9 +3,10 @@
 # (all dependencies are path/vendored; .cargo/config.toml forces offline).
 #
 # Usage:
-#   ci.sh                 run every stage (fmt build test lint race ft smoke perf)
+#   ci.sh                 run every stage (fmt build test lint race ft events smoke perf)
 #   ci.sh STAGE [...]     run only the named stage(s), in the given order
-#   ci.sh --quick         inner-loop subset: fmt + build + test + 1-seed race + 1-seed ft
+#   ci.sh --quick         inner-loop subset: fmt + build + test + 1-seed race
+#                         + 1-seed ft + 1-seed events
 #
 # Stages:
 #   fmt     cargo fmt --check
@@ -36,22 +37,42 @@
 #           a *disarmed* run provably stays bit-identical: with no
 #           FaultPlan the FT paths are never entered. `--quick` keeps
 #           the matrix on a 1-seed subset (MSIM_FT_SEEDS=1).
+#   events  event-calendar gate (docs/simulator.md): the msim calendar
+#           differential suite (events ≡ pooled ≡ threads on results,
+#           clocks, and traces across fuzz seeds, layouts, kills, FT
+#           recovery) plus the hybrid-collective differential wall
+#           (every Hy* family x 3 sync methods x regular+irregular
+#           layouts x seeds, three executors bit-identical), then a
+#           65536-rank phantom smoke on a single driver thread, gated
+#           by EVENTS_BUDGET_S. `--quick` trims the wall to a 1-seed
+#           subset (MSIM_CONF_SEEDS=1).
 #   smoke   pinned-seed fault-injection + autotune + tuning-table goldens
-#   perf    wall-clock gate: `scale --ranks 96 --ci` writes BENCH_scale.json
-#           at the repo root and fails if the measured wall-clock exceeds
-#           SCALE_BUDGET_S by >25%; the artifact must round-trip the
-#           canonical JSON serializer byte-for-byte. Also asserts the
-#           detector-off artifact is unaffected by the race feature.
+#   perf    wall-clock gate: `scale --ranks 96 --ci` (pooled, temp
+#           artifact) and `scale --exec events --ranks 65536 --ci`
+#           (calendar, temp artifact) each fail if measured wall-clock
+#           exceeds their stored budget by >25%; the committed
+#           BENCH_scale.json must round-trip the canonical JSON
+#           serializer byte-for-byte. Also asserts the detector-off
+#           artifact is unaffected by the race feature. CI invocations
+#           write to /tmp — only an explicit full `scale` run
+#           regenerates the committed artifact (a lesson learned: a
+#           default-path `--ci` smoke once clobbered the committed
+#           sweep down to one 96-rank point).
 #
-# Perf budget bump procedure: the stored budget below is the wall-clock
-# (seconds) of `scale --ranks 96` on the CI reference host, with head-
-# room for load noise. If the gate fails and the slowdown is *intended*
-# (e.g. the simulator gained a feature that costs real time), re-measure
-# with `cargo run --release -p bench --bin scale -- --ranks 96`, round
-# up generously, and update SCALE_BUDGET_S in the same PR — never bump
-# it to paper over an unexplained regression. The full 48→4096 sweep
-# (`scale` with no --ranks) regenerates the whole BENCH_scale.json
-# trajectory and is worth re-running on executor changes.
+# Perf budget bump procedure: the stored budgets below are wall-clock
+# (seconds) of `scale --ranks 96` (SCALE_BUDGET_S, pooled) and
+# `scale --exec events --ranks 65536` (EVENTS_BUDGET_S, calendar) on
+# the CI reference host, with headroom for load noise. If a gate fails
+# and the slowdown is *intended* (e.g. the simulator gained a feature
+# that costs real time), re-measure with
+#   cargo run --release -p bench --bin scale -- --ranks 96
+#   cargo run --release -p bench --bin scale -- --exec events --ranks 65536
+# round up generously, and update the budget in the same PR — never
+# bump it to paper over an unexplained regression. The full sweep
+# (`scale` with no flags: pooled 48→4096 + events 8192→262144)
+# regenerates the whole BENCH_scale.json trajectory and is worth
+# re-running on executor changes (crates/bench/tests/artifact.rs pins
+# its shape).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -60,6 +81,12 @@ cd "$(dirname "$0")"
 # load noise while still catching order-of-magnitude regressions (e.g.
 # accidental thread-per-rank fallback or a syscall storm in the pool).
 SCALE_BUDGET_S=1.0
+
+# Stored wall-clock budget (seconds) for the 65536-rank event-calendar
+# point (events + perf stages). Measured ~21 s on the reference host
+# (single driver thread); 30 s absorbs load noise, and the 25% slack
+# puts the hard limit at 37.5 s.
+EVENTS_BUDGET_S=30.0
 
 stage_fmt() {
     cargo fmt --check
@@ -131,7 +158,31 @@ stage_ft() {
     # invisible — the figure goldens and the 96-rank perf gate (both
     # fault-free runs) must hold exactly as before this layer existed.
     cargo test -q -p bench --test regression
-    cargo run --release -p bench --bin scale -- --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
+    cargo run --release -p bench --bin scale -- --ranks 96 --ci \
+        --out /tmp/ci_scale_ft.json --budget-s "$SCALE_BUDGET_S"
+}
+
+# Seed subset for the events stage's differential wall: the full eight
+# in a normal run, one in `--quick` (set by the --quick branch below).
+EVENTS_SEEDS=8
+
+stage_events() {
+    # Calendar differential suite: events ≡ pooled ≡ threads on results,
+    # virtual clocks, and canonical traces, plus the typed rejections
+    # (events + real payloads / events + armed race detector fail fast).
+    cargo test -q -p msim --test calendar
+    # The hybrid-collective wall: every Hy* family, all 3 sync methods,
+    # regular 4x6 + irregular [1,3,4] layouts, across the fuzz seeds —
+    # three executors bit-identical.
+    MSIM_CONF_SEEDS="$EVENTS_SEEDS" cargo test -q -p hmpi-core --test events_conformance
+    # Figure-golden leg: fig 7/8/9 virtual times unchanged on the
+    # calendar.
+    cargo test -q -p bench --test regression events_executor_reproduces_goldens_bit_for_bit
+    # 65536-rank phantom smoke on one driver thread, budget-gated (see
+    # header for the bump procedure). Temp artifact: CI never touches
+    # the committed BENCH_scale.json.
+    cargo run --release -p bench --bin scale -- --exec events --ranks 65536 --ci \
+        --out /tmp/ci_scale_events.json --budget-s "$EVENTS_BUDGET_S"
 }
 
 stage_smoke() {
@@ -154,18 +205,24 @@ stage_smoke() {
 stage_perf() {
     # Pinned-seed wall-clock smoke on the pooled executor (96 ranks =
     # 4 nodes x 24 ppn, the paper's smallest multi-node scale). Writes
-    # BENCH_scale.json at the repo root, self-checks that the artifact
-    # round-trips the canonical JSON serializer, and enforces the
-    # budget (see header for the bump procedure).
-    cargo run --release -p bench --bin scale -- --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
+    # a temp artifact, self-checks that it round-trips the canonical
+    # JSON serializer, and enforces the budget (see header for the
+    # bump procedure).
+    cargo run --release -p bench --bin scale -- --ranks 96 --ci \
+        --out /tmp/ci_scale_perf.json --budget-s "$SCALE_BUDGET_S"
     # The same smoke with the race detector requested must stay inside
     # the same wall-clock budget: `scale` runs in phantom data mode,
     # where the detector is disarmed by design (docs/race-detection.md),
     # so MSIM_RACE=1 must be a no-op for both timing and the artifact.
     MSIM_RACE=1 cargo run --release -p bench --bin scale -- \
-        --ranks 96 --ci --budget-s "$SCALE_BUDGET_S"
-    # Belt and braces: the round-trip golden check must also pass as a
-    # standalone invocation (this is what guards hand-edited artifacts).
+        --ranks 96 --ci --out /tmp/ci_scale_perf_race.json --budget-s "$SCALE_BUDGET_S"
+    # The large-rank event-calendar point: 65536 ranks on one driver
+    # thread, its own budget (EVENTS_BUDGET_S — see header).
+    cargo run --release -p bench --bin scale -- --exec events --ranks 65536 --ci \
+        --out /tmp/ci_scale_perf_events.json --budget-s "$EVENTS_BUDGET_S"
+    # Belt and braces: the round-trip golden check must also pass against
+    # the *committed* artifact (this is what guards hand-edited or
+    # clobbered artifacts; crates/bench/tests/artifact.rs pins its shape).
     cargo run --release -p bench --bin scale -- --verify BENCH_scale.json
 }
 
@@ -176,22 +233,23 @@ run_stage() {
     echo "ci: === stage $name OK ==="
 }
 
-ALL_STAGES=(fmt build test lint race ft smoke perf)
+ALL_STAGES=(fmt build test lint race ft events smoke perf)
 
 if [ "$#" -eq 0 ]; then
     stages=("${ALL_STAGES[@]}")
 elif [ "$1" = "--quick" ]; then
-    # The race and ft stages ride along on 1-seed subsets so the inner
-    # loop still exercises the detector and the kill matrix without the
-    # full seed sweeps.
+    # The race, ft, and events stages ride along on 1-seed subsets so
+    # the inner loop still exercises the detector, the kill matrix, and
+    # the calendar differential wall without the full seed sweeps.
     RACE_SEEDS=1
     FT_SEEDS=1
-    stages=(fmt build test race ft)
+    EVENTS_SEEDS=1
+    stages=(fmt build test race ft events)
 else
     stages=("$@")
     for s in "${stages[@]}"; do
         case "$s" in
-        fmt | build | test | lint | race | ft | smoke | perf) ;;
+        fmt | build | test | lint | race | ft | events | smoke | perf) ;;
         *)
             echo "ci: unknown stage '$s' (stages: ${ALL_STAGES[*]}, or --quick)" >&2
             exit 2

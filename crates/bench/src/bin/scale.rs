@@ -1,19 +1,24 @@
 //! Executor scaling sweep: wall-clock cost of simulating the paper's
-//! hybrid allgather as the rank count grows 48 → 4096, far past what
-//! thread-per-rank execution can host. Emits `BENCH_scale.json` (canonical
-//! JSON, same serializer as the tuning tables) with wall-clock seconds,
-//! virtual latency, and the peak OS thread count per point — the repo's
-//! wall-clock performance trajectory, gated by `ci.sh perf`.
+//! hybrid allgather as the rank count grows 48 → 4096 on the pooled
+//! executor, then 8192 → 262144 on the event-calendar executor — far
+//! past what any thread-backed execution can host. Emits
+//! `BENCH_scale.json` (canonical JSON, same serializer as the tuning
+//! tables) with wall-clock seconds, virtual latency, the executor, and
+//! the peak OS thread count per point — the repo's wall-clock
+//! performance trajectory, gated by `ci.sh perf`.
 //!
 //! ```text
-//! scale [--ranks N] [--max-ranks N] [--threads] [--out PATH]
-//!       [--ci] [--budget-s SECS]
+//! scale [--ranks N] [--max-ranks N] [--exec pooled|threads|events]
+//!       [--threads] [--out PATH] [--ci] [--budget-s SECS]
 //! scale --verify PATH
 //! ```
 //!
 //! * `--ranks N` runs only the ladder point with exactly N ranks.
-//! * `--threads` uses `ExecMode::ThreadPerRank` instead of the pooled
-//!   executor (for differential timing; refuses ranks > 2048).
+//! * `--exec` restricts the sweep to one executor's ladder: `pooled` and
+//!   `threads` walk the 48 → 4096 ladder (threads refuses ranks > 2048),
+//!   `events` walks the 8192 → 262144 ladder. Without it, the default
+//!   sweep is the pooled ladder followed by the events ladder, into one
+//!   artifact.
 //! * `--ci` is the CI smoke: writes the JSON artifact and, with
 //!   `--budget-s`, fails when measured wall-clock exceeds the stored
 //!   budget by more than 25% (see the `ci.sh` header for the bump
@@ -32,8 +37,8 @@ use hmpi::{HyAllgather, HybridComm, SyncMethod};
 use msim::{ExecMode, SimConfig, Universe};
 use simnet::ClusterSpec;
 
-/// The sweep ladder: the paper's 24-ppn scales (Figs 7–12 live at 24
-/// processes per node) up to 128 nodes, then a 4096-rank top end.
+/// The pooled/threads ladder: the paper's 24-ppn scales (Figs 7–12 live
+/// at 24 processes per node) up to 128 nodes, then a 4096-rank top end.
 const LADDER: &[(usize, usize)] = &[
     (2, 24),   // 48
     (4, 24),   // 96
@@ -45,6 +50,15 @@ const LADDER: &[(usize, usize)] = &[
     (256, 16), // 4096
 ];
 
+/// The event-calendar ladder: phantom-payload runs at 64 ppn (a modern
+/// dual-socket node) reaching 262144 ranks on a single driver thread.
+const EVENTS_LADDER: &[(usize, usize)] = &[
+    (128, 64),  // 8192
+    (256, 64),  // 16384
+    (1024, 64), // 65536
+    (4096, 64), // 262144
+];
+
 /// Doubles per rank in the measured allgather (phantom data, so this
 /// sets modeled bytes, not host memory).
 const ELEMS: usize = 64;
@@ -53,10 +67,25 @@ const ELEMS: usize = 64;
 /// gate fails.
 const BUDGET_SLACK: f64 = 1.25;
 
+/// Timed collective calls per point: averaged over 3 below this rank
+/// count, a single call at and above it (the big points dominate the
+/// sweep's wall-clock; one call keeps the full ladder inside CI budgets).
+const SINGLE_ITER_RANKS: usize = 32768;
+
+fn exec_label(exec: ExecMode) -> &'static str {
+    match exec {
+        ExecMode::ThreadPerRank => "threads",
+        ExecMode::Pooled { .. } => "pooled",
+        ExecMode::Events => "events",
+    }
+}
+
 struct Point {
     nodes: usize,
     ppn: usize,
     ranks: usize,
+    exec: ExecMode,
+    iters: usize,
     latency_us: f64,
     wall_s: f64,
     peak_threads: usize,
@@ -67,11 +96,18 @@ struct Point {
 fn run_point(nodes: usize, ppn: usize, exec: ExecMode, machine: &Machine) -> Point {
     let spec = ClusterSpec::regular(nodes, ppn);
     let ranks = nodes * ppn;
-    // Coroutine stacks are the dominant memory cost at 4096 ranks; the
+    let iters = if ranks >= SINGLE_ITER_RANKS { 1 } else { 3 };
+    // Coroutine stacks are the dominant memory cost at scale; the
     // allgather keeps its data in windows/heap, so small stacks suffice.
+    // The calendar's arena commits stack pages lazily, so its quarter
+    //-megabyte points shrink further to 64 KiB reserved per rank.
+    let stack_size = match exec {
+        ExecMode::Events => 64 * 1024,
+        _ => 256 * 1024,
+    };
     let cfg = SimConfig::new(spec, machine.cost.clone())
         .phantom()
-        .with_stack_size(256 * 1024)
+        .with_stack_size(stack_size)
         .with_recv_timeout(std::time::Duration::from_secs(300))
         .with_exec(exec);
     let tuning = machine.tuning.clone();
@@ -82,10 +118,10 @@ fn run_point(nodes: usize, ppn: usize, exec: ExecMode, machine: &Machine) -> Poi
         let ag = HyAllgather::<f64>::new(ctx, &hc, ELEMS);
         barrier::tuned(ctx, &world);
         let t = ctx.now();
-        for _ in 0..3 {
+        for _ in 0..iters {
             ag.execute(ctx);
         }
-        (ctx.now() - t) / 3.0
+        (ctx.now() - t) / iters as f64
     })
     .expect("scale sweep universe must not fail");
     let wall_s = t0.elapsed().as_secs_f64();
@@ -93,27 +129,19 @@ fn run_point(nodes: usize, ppn: usize, exec: ExecMode, machine: &Machine) -> Poi
         nodes,
         ppn,
         ranks,
+        exec,
+        iters,
         latency_us: result.per_rank.into_iter().fold(0.0f64, f64::max),
         wall_s,
         peak_threads: result.peak_threads,
     }
 }
 
-fn to_json(points: &[Point], exec: ExecMode, total_wall_s: f64) -> Json {
+fn to_json(points: &[Point], total_wall_s: f64) -> Json {
     let mut root = BTreeMap::new();
     root.insert("bench".into(), Json::Str("scale".into()));
     root.insert("cluster".into(), Json::Str("hazel_hen".into()));
     root.insert("elems_per_rank".into(), Json::Num(ELEMS as f64));
-    root.insert(
-        "exec".into(),
-        Json::Str(
-            match exec {
-                ExecMode::ThreadPerRank => "threads",
-                ExecMode::Pooled { .. } => "pooled",
-            }
-            .into(),
-        ),
-    );
     root.insert(
         "points".into(),
         Json::Arr(
@@ -121,6 +149,8 @@ fn to_json(points: &[Point], exec: ExecMode, total_wall_s: f64) -> Json {
                 .iter()
                 .map(|p| {
                     let mut m = BTreeMap::new();
+                    m.insert("exec".into(), Json::Str(exec_label(p.exec).into()));
+                    m.insert("iters".into(), Json::Num(p.iters as f64));
                     m.insert("latency_us".into(), Json::Num(p.latency_us));
                     m.insert("nodes".into(), Json::Num(p.nodes as f64));
                     m.insert("peak_threads".into(), Json::Num(p.peak_threads as f64));
@@ -141,7 +171,8 @@ fn to_json(points: &[Point], exec: ExecMode, total_wall_s: f64) -> Json {
 }
 
 /// The CI artifact check: the emitted file must round-trip the canonical
-/// serializer byte-for-byte (parse → pretty → same bytes).
+/// serializer byte-for-byte (parse → pretty → same bytes), and every
+/// point must carry an executor label.
 fn verify(path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -161,22 +192,33 @@ fn verify(path: &str) -> ExitCode {
         eprintln!("scale: {path} is not in canonical form (parse→serialize changed the bytes)");
         return ExitCode::FAILURE;
     }
-    let npoints = parsed
+    let points = parsed
         .get("points")
         .and_then(|p| p.as_arr())
-        .map_or(0, |a| a.len());
-    if npoints == 0 {
+        .map(|a| a.to_vec())
+        .unwrap_or_default();
+    if points.is_empty() {
         eprintln!("scale: {path} has no sweep points");
         return ExitCode::FAILURE;
     }
-    println!("scale: {path} round-trips byte-for-byte ({npoints} points)");
+    for (i, p) in points.iter().enumerate() {
+        let exec = p.get("exec").and_then(|e| e.as_str());
+        if !matches!(exec, Some("pooled" | "threads" | "events")) {
+            eprintln!("scale: {path} point {i} has no recognized \"exec\" label");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "scale: {path} round-trips byte-for-byte ({} points)",
+        points.len()
+    );
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut only_ranks: Option<usize> = None;
     let mut max_ranks = usize::MAX;
-    let mut exec = ExecMode::pooled();
+    let mut only_exec: Option<ExecMode> = None;
     let mut out = "BENCH_scale.json".to_string();
     let mut ci = false;
     let mut budget_s: Option<f64> = None;
@@ -191,7 +233,13 @@ fn main() -> ExitCode {
                 Some(n) => max_ranks = n,
                 None => return usage("--max-ranks needs a number"),
             },
-            "--threads" => exec = ExecMode::ThreadPerRank,
+            "--exec" => match args.next().as_deref() {
+                Some("pooled") => only_exec = Some(ExecMode::pooled()),
+                Some("threads") => only_exec = Some(ExecMode::ThreadPerRank),
+                Some("events") => only_exec = Some(ExecMode::Events),
+                _ => return usage("--exec needs pooled|threads|events"),
+            },
+            "--threads" => only_exec = Some(ExecMode::ThreadPerRank),
             "--out" => match args.next() {
                 Some(p) => out = p,
                 None => return usage("--out needs a path"),
@@ -209,18 +257,35 @@ fn main() -> ExitCode {
         }
     }
 
-    let ladder: Vec<(usize, usize)> = LADDER
-        .iter()
-        .copied()
-        .filter(|&(n, p)| {
-            let r = n * p;
-            r <= max_ranks && only_ranks.is_none_or(|want| want == r)
-        })
-        .collect();
-    if ladder.is_empty() {
-        return usage("no ladder point matches --ranks/--max-ranks (ladder ranks: 48, 96, 192, 384, 768, 1536, 3072, 4096)");
+    // The work list: (nodes, ppn, exec). Default = pooled ladder followed
+    // by the events ladder; an explicit --exec restricts to its ladder.
+    let mut work: Vec<(usize, usize, ExecMode)> = Vec::new();
+    match only_exec {
+        Some(exec @ ExecMode::Events) => {
+            work.extend(EVENTS_LADDER.iter().map(|&(n, p)| (n, p, exec)));
+        }
+        Some(exec) => {
+            work.extend(LADDER.iter().map(|&(n, p)| (n, p, exec)));
+        }
+        None => {
+            work.extend(LADDER.iter().map(|&(n, p)| (n, p, ExecMode::pooled())));
+            work.extend(EVENTS_LADDER.iter().map(|&(n, p)| (n, p, ExecMode::Events)));
+        }
     }
-    if exec == ExecMode::ThreadPerRank && ladder.iter().any(|&(n, p)| n * p > 2048) {
+    work.retain(|&(n, p, _)| {
+        let r = n * p;
+        r <= max_ranks && only_ranks.is_none_or(|want| want == r)
+    });
+    if work.is_empty() {
+        return usage(
+            "no ladder point matches --ranks/--max-ranks (pooled ladder ranks: 48, 96, 192, \
+             384, 768, 1536, 3072, 4096; events ladder ranks: 8192, 16384, 65536, 262144)",
+        );
+    }
+    if work
+        .iter()
+        .any(|&(n, p, e)| e == ExecMode::ThreadPerRank && n * p > 2048)
+    {
         eprintln!(
             "scale: refusing a thread-per-rank sweep above 2048 ranks \
              (one OS thread per rank would thrash the host); add --max-ranks 2048"
@@ -229,19 +294,25 @@ fn main() -> ExitCode {
     }
 
     let machine = Machine::hazel_hen();
-    let mut points = Vec::with_capacity(ladder.len());
+    let mut points = Vec::with_capacity(work.len());
     let t0 = Instant::now();
-    for (nodes, ppn) in ladder {
+    for (nodes, ppn, exec) in work {
         let p = run_point(nodes, ppn, exec, &machine);
         println!(
-            "scale: {} ranks ({}x{}): {:.3} s wall, {:.1} us virtual, {} OS thread(s)",
-            p.ranks, p.nodes, p.ppn, p.wall_s, p.latency_us, p.peak_threads
+            "scale: {} ranks ({}x{}, {}): {:.3} s wall, {:.1} us virtual, {} OS thread(s)",
+            p.ranks,
+            p.nodes,
+            p.ppn,
+            exec_label(p.exec),
+            p.wall_s,
+            p.latency_us,
+            p.peak_threads
         );
         points.push(p);
     }
     let total_wall_s = t0.elapsed().as_secs_f64();
 
-    let doc = to_json(&points, exec, total_wall_s);
+    let doc = to_json(&points, total_wall_s);
     let text = doc.pretty();
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("scale: cannot write {out}: {e}");
@@ -278,8 +349,8 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("scale: {err}");
     eprintln!(
-        "usage: scale [--ranks N] [--max-ranks N] [--threads] [--out PATH] \
-         [--ci] [--budget-s SECS] | scale --verify PATH"
+        "usage: scale [--ranks N] [--max-ranks N] [--exec pooled|threads|events] [--threads] \
+         [--out PATH] [--ci] [--budget-s SECS] | scale --verify PATH"
     );
     ExitCode::FAILURE
 }

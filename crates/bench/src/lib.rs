@@ -16,4 +16,4 @@ pub mod micro;
 pub mod table;
 
 pub use machines::{cluster_for, Machine};
-pub use micro::{allgather_latency, AllgatherVariant};
+pub use micro::{allgather_latency, allgather_latency_with_exec, AllgatherVariant};

@@ -10,7 +10,7 @@
 
 use collectives::{allgather, barrier, smp_aware::SmpAware, SelectionPolicy};
 use hmpi::{pipeline::HyAllgatherPipelined, HyAllgather, HybridComm, SyncMethod};
-use msim::{SimConfig, Universe};
+use msim::{ExecMode, SimConfig, Universe};
 use simnet::{ClusterSpec, Placement};
 
 use crate::machines::Machine;
@@ -56,9 +56,39 @@ pub fn allgather_latency(
     variant: AllgatherVariant,
     placement: Placement,
 ) -> f64 {
-    let cfg = SimConfig::new(spec, machine.cost.clone())
+    allgather_latency_with(spec, machine, elems, variant, placement, None)
+}
+
+/// [`allgather_latency`] under an explicit executor, overriding the
+/// `MSIM_EXEC` session default. Virtual times are executor-invariant by
+/// construction; this entry point exists so regression tests can *prove*
+/// it (goldens pinned under `ExecMode::Events`) and so the scale sweep
+/// can select the calendar for its largest points.
+pub fn allgather_latency_with_exec(
+    spec: ClusterSpec,
+    machine: &Machine,
+    elems: usize,
+    variant: AllgatherVariant,
+    placement: Placement,
+    exec: ExecMode,
+) -> f64 {
+    allgather_latency_with(spec, machine, elems, variant, placement, Some(exec))
+}
+
+fn allgather_latency_with(
+    spec: ClusterSpec,
+    machine: &Machine,
+    elems: usize,
+    variant: AllgatherVariant,
+    placement: Placement,
+    exec: Option<ExecMode>,
+) -> f64 {
+    let mut cfg = SimConfig::new(spec, machine.cost.clone())
         .phantom()
         .with_placement(placement);
+    if let Some(exec) = exec {
+        cfg = cfg.with_exec(exec);
+    }
     let tuning = machine.tuning.clone();
     let iters = 3usize;
     let result = Universe::run(cfg, move |ctx| {

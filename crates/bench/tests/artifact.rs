@@ -1,0 +1,93 @@
+//! Sanity checks on the committed `BENCH_scale.json` artifact.
+//!
+//! PR 5's CI restructure quietly clobbered the committed sweep with a
+//! single 96-rank smoke point (every `scale --ci` invocation wrote to
+//! the default path). These tests pin the artifact's *shape* so that
+//! regression can never land silently again: canonical round-trip, the
+//! full pooled ladder with monotonically increasing rank counts, and
+//! event-calendar points up to 262144 ranks.
+
+use collectives::json::Json;
+
+fn artifact() -> (String, Json) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_scale.json must be committed");
+    let parsed = Json::parse(&text).expect("BENCH_scale.json must parse");
+    (text, parsed)
+}
+
+/// Each point as (exec label, ranks), in artifact order.
+fn points(doc: &Json) -> Vec<(String, usize)> {
+    doc.get("points")
+        .and_then(|p| p.as_arr())
+        .expect("artifact must have a points array")
+        .iter()
+        .map(|p| {
+            let exec = p
+                .get("exec")
+                .and_then(|e| e.as_str())
+                .expect("every point carries an exec label")
+                .to_string();
+            let ranks = p
+                .get("ranks")
+                .and_then(|r| r.as_f64())
+                .expect("every point carries a rank count") as usize;
+            (exec, ranks)
+        })
+        .collect()
+}
+
+#[test]
+fn artifact_round_trips_canonical_serializer() {
+    let (text, parsed) = artifact();
+    assert_eq!(
+        parsed.pretty(),
+        text,
+        "BENCH_scale.json must be in canonical form (regenerate with `cargo run --release -p \
+         bench --bin scale`)"
+    );
+}
+
+#[test]
+fn pooled_ladder_is_complete_and_monotonic() {
+    let (_, doc) = artifact();
+    let pooled: Vec<usize> = points(&doc)
+        .into_iter()
+        .filter(|(e, _)| e == "pooled")
+        .map(|(_, r)| r)
+        .collect();
+    assert_eq!(
+        pooled,
+        vec![48, 96, 192, 384, 768, 1536, 3072, 4096],
+        "the committed artifact must hold the full pooled sweep, ascending"
+    );
+}
+
+#[test]
+fn events_ladder_reaches_262144_ranks() {
+    let (_, doc) = artifact();
+    let events: Vec<usize> = points(&doc)
+        .into_iter()
+        .filter(|(e, _)| e == "events")
+        .map(|(_, r)| r)
+        .collect();
+    assert_eq!(
+        events,
+        vec![8192, 16384, 65536, 262144],
+        "the committed artifact must hold the full event-calendar sweep, ascending"
+    );
+}
+
+#[test]
+fn events_points_ran_on_a_single_thread() {
+    let (_, doc) = artifact();
+    for p in doc.get("points").and_then(|p| p.as_arr()).unwrap() {
+        if p.get("exec").and_then(|e| e.as_str()) == Some("events") {
+            assert_eq!(
+                p.get("peak_threads").and_then(|t| t.as_f64()),
+                Some(1.0),
+                "the calendar drives every rank from one thread"
+            );
+        }
+    }
+}

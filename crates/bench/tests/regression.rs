@@ -8,10 +8,10 @@
 //! Legacy, strictly faster somewhere, with the win attributable in the
 //! decision log.
 
-use bench::{allgather_latency, AllgatherVariant, Machine};
+use bench::{allgather_latency, allgather_latency_with_exec, AllgatherVariant, Machine};
 use collectives::{CollectiveOp, SelectionPolicy};
 use hmpi::{HyAllgather, HybridComm};
-use msim::{SimConfig, Universe};
+use msim::{ExecMode, SimConfig, Universe};
 use simnet::{ClusterSpec, Placement};
 
 fn machine(name: &str) -> Machine {
@@ -84,6 +84,35 @@ fn legacy_policy_reproduces_pre_refactor_goldens_bit_for_bit() {
         assert_eq!(
             t, want,
             "{fig} {mach} {param} {variant}: got {t:.17e}, golden {want:.17e}"
+        );
+    }
+}
+
+/// The same goldens, measured on the event-calendar executor: virtual
+/// time is computed from modeled costs along each rank's program order,
+/// so switching the executor must not move a single bit of any figure.
+/// This is the figure-level leg of the events differential wall.
+#[test]
+fn events_executor_reproduces_goldens_bit_for_bit() {
+    for &(fig, mach, param, variant, expected) in GOLDENS {
+        let m = machine(mach);
+        let (spec, elems) = match fig {
+            "fig7" => (ClusterSpec::single_node(24), param),
+            "fig8" => (ClusterSpec::regular(16, 1), param),
+            "fig9" => (ClusterSpec::regular(64, param), 512),
+            other => panic!("unknown figure {other}"),
+        };
+        let v = match variant {
+            "hy" => AllgatherVariant::Hybrid,
+            "pure" => AllgatherVariant::PureSmpAware,
+            other => panic!("unknown variant {other}"),
+        };
+        let t =
+            allgather_latency_with_exec(spec, &m, elems, v, Placement::SmpBlock, ExecMode::Events);
+        let want: f64 = expected.parse().unwrap();
+        assert_eq!(
+            t, want,
+            "{fig} {mach} {param} {variant} under events: got {t:.17e}, golden {want:.17e}"
         );
     }
 }

@@ -8,8 +8,15 @@
 //! algorithms correct for arbitrary (non-SMP) rank placements.
 
 use msim::{Communicator, Ctx};
+use std::sync::Arc;
 
 /// The result of hierarchical splitting on a communicator.
+///
+/// The layout arrays (`group_members`, `node_sorted`, `sorted_pos`) are
+/// O(p) in the communicator size but are computed **once** per
+/// communicator and shared by all members through `Arc`s — building a
+/// hierarchy costs each rank O(1) memory, which is what lets phantom
+/// sweeps reach hundreds of thousands of ranks.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     /// This rank's on-node sub-communicator (ordered by parent rank, so
@@ -20,15 +27,20 @@ pub struct Hierarchy {
     /// Index of this rank's node group (in bridge rank order).
     pub node_index: usize,
     /// Parent-communicator ranks of each node group, ascending, indexed by
-    /// node group (bridge rank order).
-    pub group_members: Vec<Vec<usize>>,
+    /// node group (bridge rank order). Shared by all members of `comm`.
+    pub group_members: Arc<Vec<Vec<usize>>>,
     /// Parent ranks sorted by (node group, parent rank): the node-sorted
     /// global rank array of §6. Equals `0..size` iff the placement is
-    /// rank-contiguous ("SMP-style").
-    pub node_sorted: Vec<usize>,
-    /// For each parent rank, its position in `node_sorted`.
-    pub sorted_pos: Vec<usize>,
+    /// rank-contiguous ("SMP-style"). Shared by all members of `comm`.
+    pub node_sorted: Arc<Vec<usize>>,
+    /// For each parent rank, its position in `node_sorted`. Shared by all
+    /// members of `comm`.
+    pub sorted_pos: Arc<Vec<usize>>,
 }
+
+/// The shared node-group layout, computed once per communicator by the
+/// last rank to arrive at the setup exchange.
+type NodeLayout = (Arc<Vec<Vec<usize>>>, Arc<Vec<usize>>, Arc<Vec<usize>>);
 
 impl Hierarchy {
     /// Collectively build the hierarchy over `comm`.
@@ -38,37 +50,52 @@ impl Hierarchy {
     /// their leader's — i.e. their minimum — parent rank, which is how
     /// `MPI_Comm_split` orders the leaders).
     pub fn build(ctx: &mut Ctx, comm: &Communicator) -> Self {
-        // Group parent ranks by physical node (pure local computation:
-        // every rank knows the member list and the rank→node map).
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (parent_rank, &global) in comm.members().iter().enumerate() {
-            let node = ctx.map().node_of(global);
-            match groups.iter_mut().find(|(n, _)| *n == node) {
-                Some((_, members)) => members.push(parent_rank),
-                None => groups.push((node, vec![parent_rank])),
-            }
-        }
-        // Bridge order: by leader parent rank (= min member, since members
-        // were pushed in ascending parent-rank order).
-        groups.sort_by_key(|(_, members)| members[0]);
-
+        // Every rank deposits only its own node id (O(1)); the last rank
+        // to arrive groups the deposits by node, once per communicator.
+        // Deposits arrive sorted by parent rank, so members are pushed in
+        // ascending parent-rank order.
         let my_node = ctx.map().node_of(comm.global_of(comm.rank()));
-        let node_index = groups
+        let layout: Arc<NodeLayout> = ctx.setup_exchange(comm, my_node, |deposits| {
+            let size = deposits.len();
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (parent_rank, node) in deposits {
+                match groups.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, members)) => members.push(parent_rank),
+                    None => groups.push((node, vec![parent_rank])),
+                }
+            }
+            // Bridge order: by leader parent rank (= min member, since
+            // members were pushed in ascending parent-rank order).
+            groups.sort_by_key(|(_, members)| members[0]);
+            let group_members: Vec<Vec<usize>> = groups.into_iter().map(|(_, m)| m).collect();
+            let node_sorted: Vec<usize> = group_members.iter().flatten().copied().collect();
+            let mut sorted_pos = vec![0usize; size];
+            for (pos, &parent_rank) in node_sorted.iter().enumerate() {
+                sorted_pos[parent_rank] = pos;
+            }
+            (
+                Arc::new(group_members),
+                Arc::new(node_sorted),
+                Arc::new(sorted_pos),
+            )
+        });
+        let (group_members, node_sorted, sorted_pos) = (
+            Arc::clone(&layout.0),
+            Arc::clone(&layout.1),
+            Arc::clone(&layout.2),
+        );
+
+        // Locate this rank's group (members are sorted ascending).
+        let me = comm.rank();
+        let node_index = group_members
             .iter()
-            .position(|(n, _)| *n == my_node)
-            .expect("own node must be present");
+            .position(|m| m.binary_search(&me).is_ok())
+            .expect("own rank must be present in some node group");
 
         let shm = comm
             .split(ctx, Some(my_node as i64), 0)
             .expect("node split never returns UNDEFINED");
         let bridge = comm.split_bridge(ctx, &shm);
-
-        let group_members: Vec<Vec<usize>> = groups.into_iter().map(|(_, m)| m).collect();
-        let node_sorted: Vec<usize> = group_members.iter().flatten().copied().collect();
-        let mut sorted_pos = vec![0usize; comm.size()];
-        for (pos, &parent_rank) in node_sorted.iter().enumerate() {
-            sorted_pos[parent_rank] = pos;
-        }
 
         Self {
             shm,
@@ -125,7 +152,7 @@ mod tests {
                 h.is_rank_contiguous(),
                 h.node_index,
                 h.is_leader(),
-                h.node_sorted.clone(),
+                (*h.node_sorted).clone(),
             )
         })
         .unwrap();
@@ -142,8 +169,8 @@ mod tests {
             let h = Hierarchy::build(ctx, &world);
             (
                 h.is_rank_contiguous(),
-                h.node_sorted.clone(),
-                h.sorted_pos.clone(),
+                (*h.node_sorted).clone(),
+                (*h.sorted_pos).clone(),
             )
         })
         .unwrap();

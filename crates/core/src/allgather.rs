@@ -22,20 +22,38 @@
 use collectives::allgatherv;
 use collectives::util::VectorLayout;
 use msim::{Buf, Ctx, SharedWindow, ShmElem};
+use std::sync::Arc;
 
 use crate::hybrid::HybridComm;
+
+/// How per-rank blocks are laid out inside the shared window.
+///
+/// The uniform case stores only the per-rank count — block offsets are
+/// derived from the hierarchy's `Arc`-shared node-sorted position array,
+/// so a [`HyAllgather`] handle costs O(1) memory per rank. The irregular
+/// case stores the caller's O(p) count/offset tables (the caller already
+/// materialized O(p) counts to construct it).
+#[derive(Debug, Clone)]
+enum BlockLayout {
+    /// Every rank contributes `count` elements.
+    Uniform { count: usize },
+    /// Rank `r` contributes `counts[r]` elements starting at `offsets[r]`.
+    Irregular {
+        counts: Vec<usize>,
+        offsets: Vec<usize>,
+    },
+}
 
 /// Irregular hybrid allgather: rank `r` contributes `counts[r]` elements.
 #[derive(Debug, Clone)]
 pub struct HyAllgatherv<T> {
     hc: HybridComm,
     win: SharedWindow<T>,
-    /// Elements contributed per parent rank.
-    counts: Vec<usize>,
-    /// Element offset of each parent rank's block inside the window.
-    offsets: Vec<usize>,
+    layout: BlockLayout,
     /// Aggregate element count per node group (bridge exchange counts).
-    bridge_counts: Vec<usize>,
+    /// `Some` exactly on node leaders of multi-node communicators — the
+    /// only ranks that drive the bridge exchange — and shared among them.
+    bridge_counts: Option<Arc<Vec<usize>>>,
 }
 
 impl<T: ShmElem> HyAllgatherv<T> {
@@ -58,17 +76,56 @@ impl<T: ShmElem> HyAllgatherv<T> {
         for (pos, &parent_rank) in h.node_sorted.iter().enumerate() {
             offsets[parent_rank] = layout.displs[pos];
         }
-        let bridge_counts: Vec<usize> = h
-            .group_members
-            .iter()
-            .map(|members| members.iter().map(|&r| counts[r]).sum())
-            .collect();
+        let bridge_counts = (!hc.single_node() && hc.is_leader()).then(|| {
+            Arc::new(
+                h.group_members
+                    .iter()
+                    .map(|members| members.iter().map(|&r| counts[r]).sum())
+                    .collect::<Vec<usize>>(),
+            )
+        });
 
         Self {
             hc: hc.clone(),
             win,
-            counts: counts.to_vec(),
-            offsets,
+            layout: BlockLayout::Irregular {
+                counts: counts.to_vec(),
+                offsets,
+            },
+            bridge_counts,
+        }
+    }
+
+    /// One-off setup for the uniform case: every rank contributes `count`
+    /// elements. Unlike [`HyAllgatherv::new`], this never materializes a
+    /// per-rank O(p) table: offsets come from the hierarchy's shared
+    /// node-sorted array, and the bridge counts are computed **once** (by
+    /// the last leader to arrive at a zero-virtual-cost setup exchange)
+    /// and `Arc`-shared among the leaders. This is what lets phantom
+    /// sweeps instantiate hundreds of thousands of handles.
+    pub fn new_uniform(ctx: &mut Ctx, hc: &HybridComm, count: usize) -> Self {
+        let h = hc.hierarchy();
+        let total = hc.comm().size() * count;
+        let my_len = if hc.is_leader() { total } else { 0 };
+        let win = SharedWindow::allocate(ctx, &h.shm, my_len);
+
+        let bridge_counts = match &h.bridge {
+            Some(bridge) if !hc.single_node() => {
+                let group_members = Arc::clone(&h.group_members);
+                Some(ctx.setup_exchange(bridge, (), move |_| {
+                    group_members
+                        .iter()
+                        .map(|members| members.len() * count)
+                        .collect::<Vec<usize>>()
+                }))
+            }
+            _ => None,
+        };
+
+        Self {
+            hc: hc.clone(),
+            win,
+            layout: BlockLayout::Uniform { count },
             bridge_counts,
         }
     }
@@ -77,12 +134,18 @@ impl<T: ShmElem> HyAllgatherv<T> {
     /// (the paper's "deduce the corresponding place of its block … in
     /// terms of any given global rank").
     pub fn block_offset(&self, r: usize) -> usize {
-        self.offsets[r]
+        match &self.layout {
+            BlockLayout::Uniform { count } => self.hc.hierarchy().sorted_pos[r] * count,
+            BlockLayout::Irregular { offsets, .. } => offsets[r],
+        }
     }
 
     /// Element count of parent rank `r`'s block.
     pub fn block_len(&self, r: usize) -> usize {
-        self.counts[r]
+        match &self.layout {
+            BlockLayout::Uniform { count } => *count,
+            BlockLayout::Irregular { counts, .. } => counts[r],
+        }
     }
 
     /// The shared window holding the result.
@@ -95,8 +158,12 @@ impl<T: ShmElem> HyAllgatherv<T> {
     /// the *original* write, not an extra copy — nothing is charged).
     pub fn write_my_block(&self, ctx: &Ctx, data: &[T]) {
         let me = self.hc.comm().rank();
-        assert_eq!(data.len(), self.counts[me], "data must match counts[rank]");
-        self.win.write_from(self.offsets[me], data);
+        assert_eq!(
+            data.len(),
+            self.block_len(me),
+            "data must match counts[rank]"
+        );
+        self.win.write_from(self.block_offset(me), data);
         let _ = ctx; // ctx witnesses that we are inside a running universe
     }
 
@@ -104,8 +171,8 @@ impl<T: ShmElem> HyAllgatherv<T> {
     /// load in the paper's model; free of charge, like any computation
     /// input read).
     pub fn read_block(&self, r: usize) -> Vec<T> {
-        let mut out = vec![T::default(); self.counts[r]];
-        self.win.read_into(self.offsets[r], &mut out);
+        let mut out = vec![T::default(); self.block_len(r)];
+        self.win.read_into(self.block_offset(r), &mut out);
         out
     }
 
@@ -122,21 +189,21 @@ impl<T: ShmElem> HyAllgatherv<T> {
         }
         sync.arrive(ctx, &h.shm);
         if let Some(bridge) = &h.bridge {
+            let bridge_counts = self
+                .bridge_counts
+                .as_ref()
+                .expect("leaders of a multi-node communicator carry bridge counts");
             let mut view = Buf::Shared(self.win.clone());
             // Same fees either way; a policy additionally gets to pick the
             // bridge algorithm (and records why).
             match self.hc.policy() {
-                Some(policy) => allgatherv::with_policy_in_place(
-                    ctx,
-                    bridge,
-                    &self.bridge_counts,
-                    &mut view,
-                    policy,
-                ),
+                Some(policy) => {
+                    allgatherv::with_policy_in_place(ctx, bridge, bridge_counts, &mut view, policy)
+                }
                 None => allgatherv::tuned_in_place(
                     ctx,
                     bridge,
-                    &self.bridge_counts,
+                    bridge_counts,
                     &mut view,
                     self.hc.tuning(),
                 ),
@@ -155,11 +222,12 @@ pub struct HyAllgather<T> {
 }
 
 impl<T: ShmElem> HyAllgather<T> {
-    /// One-off setup for `count` elements per rank.
+    /// One-off setup for `count` elements per rank. O(1) memory per rank:
+    /// delegates to [`HyAllgatherv::new_uniform`], never materializing a
+    /// per-rank counts table.
     pub fn new(ctx: &mut Ctx, hc: &HybridComm, count: usize) -> Self {
-        let counts = vec![count; hc.comm().size()];
         Self {
-            inner: HyAllgatherv::new(ctx, hc, &counts),
+            inner: HyAllgatherv::new_uniform(ctx, hc, count),
             count,
         }
     }

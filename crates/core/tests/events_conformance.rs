@@ -1,0 +1,199 @@
+//! The differential conformance wall for the event-calendar executor.
+//!
+//! Every `Hy*` collective family is run in phantom mode under all three
+//! executors — `ExecMode::Events`, `ExecMode::Pooled`, and
+//! `ExecMode::ThreadPerRank` — for **all three** synchronization
+//! protocols (`Barrier`, `SharedFlags`, `P2p`), on a regular 4×6 cluster
+//! and an irregular [1, 3, 4] cluster, across the standard fuzz seeds.
+//! Results, virtual clocks, and canonical traces must be byte-identical:
+//! the calendar's schedule, like the pool's, must be invisible to the
+//! model. Phantom windows read back defaults, so the per-rank results
+//! are degenerate — the load-bearing equalities are the clocks and the
+//! traces, which encode every modeled send, copy, and sync of the
+//! collective schedules.
+//!
+//! `MSIM_CONF_SEEDS=N` truncates the seed list (used by `ci.sh --quick`).
+
+use collectives::{op::Sum, Tuning};
+use hmpi::{
+    HyAllgather, HyAllgatherv, HyAllreduce, HyAlltoall, HyBcast, HyGather, HyScatter, HybridComm,
+    SyncMethod,
+};
+use msim::{Ctx, ExecMode, FaultPlan, SimConfig, SimResult, Universe};
+use simnet::{ClusterSpec, CostModel};
+
+const COUNT: usize = 5;
+const ROOT: usize = 1;
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+fn seeds() -> &'static [u64] {
+    let n = std::env::var("MSIM_CONF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(SEEDS.len(), |n| n.clamp(1, SEEDS.len()));
+    &SEEDS[..n]
+}
+
+const SYNCS: [SyncMethod; 3] = [
+    SyncMethod::Barrier,
+    SyncMethod::SharedFlags,
+    SyncMethod::P2p,
+];
+
+type Prog = fn(&mut Ctx, SyncMethod) -> Vec<f64>;
+
+fn vcounts(p: usize) -> Vec<usize> {
+    (0..p).map(|r| (r * 3 + 1) % 5).collect()
+}
+
+fn run_exec(
+    spec: ClusterSpec,
+    fault: FaultPlan,
+    sync: SyncMethod,
+    exec: ExecMode,
+    prog: Prog,
+) -> SimResult<Vec<f64>> {
+    let cfg = SimConfig::new(spec, CostModel::uniform_test())
+        .with_fault(fault)
+        .phantom()
+        .traced()
+        .with_exec(exec);
+    Universe::run(cfg, move |ctx| prog(ctx, sync)).expect("conformance universe must not fail")
+}
+
+/// The wall itself: for every (sync, layout, seed) cell, the three
+/// executors must agree bit-for-bit on results, clocks, and traces.
+fn check_family_differential(name: &str, prog: Prog) {
+    for sync in SYNCS {
+        for spec in [
+            ClusterSpec::regular(4, 6),
+            ClusterSpec::irregular(vec![1, 3, 4]),
+        ] {
+            let p = spec.total_cores();
+            // Baseline (no fuzz) plus every seeded plan.
+            let plans: Vec<(u64, FaultPlan)> = std::iter::once((0, FaultPlan::none()))
+                .chain(seeds().iter().map(|&s| (s, FaultPlan::from_seed(s, p))))
+                .collect();
+            for (seed, plan) in plans {
+                let threads = run_exec(
+                    spec.clone(),
+                    plan.clone(),
+                    sync,
+                    ExecMode::ThreadPerRank,
+                    prog,
+                );
+                let pooled = run_exec(spec.clone(), plan.clone(), sync, ExecMode::pooled(), prog);
+                let events = run_exec(spec.clone(), plan, sync, ExecMode::Events, prog);
+                let tag = format!("{name}/{sync:?}: seed {seed}, p={p}");
+                assert_eq!(events.per_rank, threads.per_rank, "{tag}: events/threads");
+                assert_eq!(events.clocks, threads.clocks, "{tag}: clocks vs threads");
+                assert_eq!(
+                    events.tracer.events(),
+                    threads.tracer.events(),
+                    "{tag}: traces vs threads"
+                );
+                assert_eq!(events.per_rank, pooled.per_rank, "{tag}: events/pooled");
+                assert_eq!(events.clocks, pooled.clocks, "{tag}: clocks vs pooled");
+                assert_eq!(
+                    events.tracer.events(),
+                    pooled.tracer.events(),
+                    "{tag}: traces vs pooled"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- programs
+//
+// The same shapes as `tests/conformance.rs`, phantom-safe: window writes
+// are bounds-checked no-ops and reads return defaults, so each program
+// still drives the full collective schedule.
+
+fn hy_allgather_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let ag = HyAllgather::<f64>::new(ctx, &hc, COUNT);
+    ag.execute(ctx);
+    (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect()
+}
+
+fn hy_allgatherv_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let counts = vcounts(world.size());
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::open_mpi(), sync);
+    let ag = HyAllgatherv::<f64>::new(ctx, &hc, &counts);
+    ag.execute(ctx);
+    (0..ctx.nranks()).flat_map(|r| ag.read_block(r)).collect()
+}
+
+fn hy_bcast_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let bc = HyBcast::<f64>::new(ctx, &hc, COUNT);
+    bc.execute(ctx, ROOT);
+    bc.read_message()
+}
+
+fn hy_allreduce_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let ar = HyAllreduce::<f64>::new(ctx, &hc, COUNT);
+    let contribution = ctx.buf_zeroed::<f64>(COUNT);
+    ar.execute(ctx, &contribution, Sum);
+    ar.read_result()
+}
+
+fn hy_alltoall_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let a2a = HyAlltoall::<f64>::new(ctx, &hc, COUNT);
+    a2a.execute(ctx);
+    (0..world.size())
+        .flat_map(|src| a2a.read_block(src))
+        .collect()
+}
+
+fn hy_gather_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let g = HyGather::<f64>::new(ctx, &hc, COUNT, ROOT);
+    g.execute(ctx);
+    if ctx.rank() == ROOT {
+        (0..world.size()).flat_map(|r| g.read_block(r)).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+fn hy_scatter_prog(ctx: &mut Ctx, sync: SyncMethod) -> Vec<f64> {
+    let world = ctx.world();
+    let hc = HybridComm::with_sync(ctx, &world, Tuning::cray_mpich(), sync);
+    let s = HyScatter::<f64>::new(ctx, &hc, COUNT, ROOT);
+    ctx.oob_fence(&world);
+    s.execute(ctx);
+    s.read_my_block()
+}
+
+// ------------------------------------------------------------------ suite
+
+macro_rules! family {
+    ($name:ident, $prog:path) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn events_matches_pooled_and_threads() {
+                check_family_differential(stringify!($name), $prog);
+            }
+        }
+    };
+}
+
+family!(hy_allgather, hy_allgather_prog);
+family!(hy_allgatherv, hy_allgatherv_prog);
+family!(hy_bcast, hy_bcast_prog);
+family!(hy_allreduce, hy_allreduce_prog);
+family!(hy_alltoall, hy_alltoall_prog);
+family!(hy_gather, hy_gather_prog);
+family!(hy_scatter, hy_scatter_prog);

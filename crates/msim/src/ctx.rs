@@ -361,6 +361,7 @@ impl Ctx {
         let packet = if self.shared.ft.is_some() {
             self.pop_armed(comm, src, tag)?
         } else {
+            self.publish_vtime();
             let key = (comm.id(), src, tag);
             let timeout = self.shared.fault.detect_timeout();
             match self.shared.mailboxes[self.global_rank].pop(key, timeout) {
@@ -378,6 +379,17 @@ impl Ctx {
         Ok(self.finish_recv(comm, src, tag, packet))
     }
 
+    /// Publish this rank's virtual clock to the executor (the event
+    /// calendar keys its ready heap on it; free in the other modes).
+    /// Called at every potentially-blocking entry point, before the
+    /// wait — a missed site only leaves the published value stale, which
+    /// affects resume *order*, never results (determinism contract).
+    pub(crate) fn publish_vtime(&self) {
+        self.shared
+            .exec
+            .publish_vtime(self.global_rank, self.clock.now());
+    }
+
     /// Match one packet, choosing the plain fast path (disarmed: block on
     /// the mailbox until the deadlock timeout) or the armed polling loop.
     fn pop_matching(
@@ -386,6 +398,7 @@ impl Ctx {
         src: usize,
         tag: u32,
     ) -> Result<Packet, WaitError> {
+        self.publish_vtime();
         if self.shared.ft.is_some() {
             return self.pop_armed(comm, src, tag);
         }
@@ -411,6 +424,7 @@ impl Ctx {
         src: usize,
         tag: u32,
     ) -> Result<Packet, WaitError> {
+        self.publish_vtime();
         let key = (comm.id(), src, tag);
         let me = self.global_rank;
         let ft = Arc::clone(
@@ -516,6 +530,7 @@ impl Ctx {
     /// role is played by the collective's own synchronization semantics.)
     pub fn oob_fence(&mut self, comm: &Communicator) {
         let seq = self.next_oob_seq(comm.id());
+        self.publish_vtime();
         let shared = Arc::clone(&self.shared);
         let key = (comm.id(), seq, crate::oob::KIND_FENCE);
         if let Some(r) = &shared.race {
@@ -536,6 +551,60 @@ impl Ctx {
         if let Some(r) = &shared.race {
             r.fence_join(self.global_rank, key, format!("oob fence #{seq}"));
         }
+    }
+
+    /// A **zero-virtual-cost** all-to-all value exchange over `comm`, for
+    /// one-off *setup* computations: every member deposits `value`; the
+    /// last member to arrive runs `finish` once over all deposits (sorted
+    /// by communicator-local rank); everyone receives the same
+    /// `Arc`-shared result.
+    ///
+    /// This is the scalability primitive behind topology discovery
+    /// ([`Hierarchy`-style] grouping): computing a node grouping needs
+    /// every rank's placement, but doing that *per rank* is O(p) work and
+    /// O(p) memory times p ranks — quadratic, and the wall that kept
+    /// phantom sweeps under ~4k ranks. Exchanging through the rendezvous
+    /// board computes the grouping **once** per communicator and hands
+    /// every rank an `Arc` to it. Like the other setup collectives
+    /// (`MPI_Comm_split`, `MPI_Win_allocate_shared`), it charges no
+    /// virtual time — the paper excludes one-off setup from measurements.
+    ///
+    /// # Panics
+    /// Panics on timeout (not all members made the same call — an SPMD
+    /// bug) exactly like the other setup collectives.
+    pub fn setup_exchange<V, R>(
+        &mut self,
+        comm: &Communicator,
+        value: V,
+        finish: impl FnOnce(Vec<(usize, V)>) -> R,
+    ) -> Arc<R>
+    where
+        V: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        let seq = self.next_oob_seq(comm.id());
+        self.publish_vtime();
+        let shared = Arc::clone(&self.shared);
+        let key = (comm.id(), seq, crate::oob::KIND_SETUP);
+        if let Some(r) = &shared.race {
+            r.fence_deposit(self.global_rank, key, comm.size());
+        }
+        let watch = self.ft_watch(comm);
+        let result = shared.board.rendezvous_watched(
+            &shared.exec,
+            self.rank(),
+            key,
+            comm.rank(),
+            comm.size(),
+            value,
+            shared.recv_timeout,
+            watch.as_ref(),
+            finish,
+        );
+        if let Some(r) = &shared.race {
+            r.fence_join(self.global_rank, key, format!("setup exchange #{seq}"));
+        }
+        result
     }
 
     /// Post a shared synchronization flag for communicator-local rank
@@ -670,6 +739,7 @@ impl Ctx {
         let packet = if self.shared.ft.is_some() {
             self.pop_armed(comm, src, tag)?
         } else {
+            self.publish_vtime();
             let key = (comm.id(), src, tag);
             let timeout = self.shared.fault.detect_timeout();
             match self.shared.mailboxes[self.global_rank].pop(key, timeout) {

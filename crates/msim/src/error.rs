@@ -55,6 +55,19 @@ pub enum SimError {
         /// alone.
         fault_context: String,
     },
+    /// The configured [`crate::ExecMode`] does not support a requested
+    /// feature, and running anyway would silently diverge from the
+    /// baseline executors. Rejected up front, before any rank program
+    /// starts — e.g. the event-calendar executor is phantom-only, so
+    /// `ExecMode::Events` with real payloads (or with the race detector,
+    /// which needs real payloads) fails fast with this error instead of
+    /// mispicking a mode.
+    UnsupportedExec {
+        /// The rejected execution mode (`"events"`, ...).
+        exec: String,
+        /// The unsupported feature that was requested with it.
+        feature: String,
+    },
 }
 
 impl SimError {
@@ -81,6 +94,11 @@ impl SimError {
         matches!(self, SimError::RaceDetected { .. })
     }
 
+    /// True for [`SimError::UnsupportedExec`].
+    pub fn is_unsupported_exec(&self) -> bool {
+        matches!(self, SimError::UnsupportedExec { .. })
+    }
+
     /// The global rank the error is attributed to. For races this is the
     /// first access of the first (canonically smallest) report.
     pub fn rank(&self) -> usize {
@@ -91,6 +109,8 @@ impl SimError {
             SimError::RaceDetected { reports, .. } => {
                 reports.first().map_or(usize::MAX, |r| r.first.rank)
             }
+            // Rejected before any rank program ran.
+            SimError::UnsupportedExec { .. } => usize::MAX,
         }
     }
 }
@@ -135,6 +155,11 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::UnsupportedExec { exec, feature } => write!(
+                f,
+                "execution mode '{exec}' does not support {feature}; \
+                 use MSIM_EXEC=pooled|threads (or SimConfig::with_exec) for this run"
+            ),
         }
     }
 }

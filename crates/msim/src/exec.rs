@@ -59,6 +59,14 @@ pub enum ExecMode {
         /// Worker thread count override.
         workers: Option<usize>,
     },
+    /// Single-threaded event-calendar executor for phantom-payload
+    /// runs (`crates/msim/src/calendar.rs`): ranks are resumed in
+    /// virtual-time order off a binary-heap calendar keyed on
+    /// `(virtual_time, rank, seq)`, with all coroutine stacks carved
+    /// from one lazily-committed arena. Scales to hundreds of
+    /// thousands of ranks; phantom-only (real payloads and the race
+    /// detector are rejected with [`crate::SimError::UnsupportedExec`]).
+    Events,
 }
 
 impl Default for ExecMode {
@@ -81,6 +89,8 @@ impl ExecMode {
                 let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
                 workers.unwrap_or(hw).clamp(1, nranks.max(1))
             }
+            // The calendar drives every rank from the caller's thread.
+            ExecMode::Events => 1,
         }
     }
 }
@@ -184,20 +194,20 @@ unsafe extern "C" {
     /// # Safety
     /// `*load` must be a stack pointer previously produced by this
     /// function or by [`prepare_stack`], on memory that is still alive.
-    fn msim_switch_stacks(save: *mut usize, load: *const usize);
+    pub(crate) fn msim_switch_stacks(save: *mut usize, load: *const usize);
     /// Label only; never called directly from Rust.
     fn msim_coro_thunk();
 }
 
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
-unsafe fn msim_switch_stacks(_save: *mut usize, _load: *const usize) {
+pub(crate) unsafe fn msim_switch_stacks(_save: *mut usize, _load: *const usize) {
     unreachable!("pooled execution is not supported on this target");
 }
 
 /// Canary written at the low end of every coroutine stack; checked on
 /// every return to the worker to detect stack overflows (coroutine
 /// stacks have no guard page).
-const STACK_CANARY: u64 = 0x5ca1_ab1e_dead_beef;
+pub(crate) const STACK_CANARY: u64 = 0x5ca1_ab1e_dead_beef;
 
 /// Lay out a fresh coroutine stack so that the first
 /// `msim_switch_stacks` into it lands in `msim_coro_thunk`, which calls
@@ -206,7 +216,7 @@ const STACK_CANARY: u64 = 0x5ca1_ab1e_dead_beef;
 /// # Safety
 /// `stack` must outlive every switch into the returned context.
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
-unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
+pub(crate) unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
     let base = stack.as_mut_ptr() as usize;
     // SAFETY: `stack` is a live allocation of at least 16 KiB (clamped in
     // `run_pool`), so the two canary words at its low end are in-bounds
@@ -257,7 +267,7 @@ unsafe fn prepare_stack(stack: &mut [u8], entry: usize, arg: usize) -> usize {
 }
 
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
-unsafe fn prepare_stack(_stack: &mut [u8], _entry: usize, _arg: usize) -> usize {
+pub(crate) unsafe fn prepare_stack(_stack: &mut [u8], _entry: usize, _arg: usize) -> usize {
     unreachable!("pooled execution is not supported on this target");
 }
 
@@ -267,7 +277,7 @@ unsafe fn prepare_stack(_stack: &mut [u8], _entry: usize, _arg: usize) -> usize 
 
 /// What a coroutine asked for when it last switched back to its worker.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Intent {
+pub(crate) enum Intent {
     /// Nothing yet (freshly created / mid-run).
     None,
     /// Park until woken or until `deadline` (wall clock); the rank
@@ -468,13 +478,17 @@ impl PoolCore {
 
 /// Handle through which the blocking wait-paths (mailbox, rendezvous)
 /// reach the executor. `Threads` preserves the historical
-/// condvar-per-structure blocking; `Pool` parks coroutines instead.
+/// condvar-per-structure blocking; `Pool` and `Events` park coroutines
+/// instead.
 #[derive(Clone)]
 pub(crate) enum ExecCtl {
     /// Thread-per-rank: block the OS thread on the structure's condvar.
     Threads,
     /// Pooled: park the calling coroutine; wakes come through the core.
     Pool(Arc<PoolCore>),
+    /// Event-calendar: like `Pool`, but single-threaded with the ready
+    /// set ordered by a `(virtual_time, rank, seq)` binary heap.
+    Events(Arc<crate::calendar::CalendarCore>),
 }
 
 impl std::fmt::Debug for ExecCtl {
@@ -482,21 +496,37 @@ impl std::fmt::Debug for ExecCtl {
         match self {
             ExecCtl::Threads => f.write_str("ExecCtl::Threads"),
             ExecCtl::Pool(_) => f.write_str("ExecCtl::Pool"),
+            ExecCtl::Events(_) => f.write_str("ExecCtl::Events"),
         }
     }
 }
 
 impl ExecCtl {
-    /// True when rank programs run as pooled coroutines.
-    pub(crate) fn is_pooled(&self) -> bool {
-        matches!(self, ExecCtl::Pool(_))
+    /// True when rank programs run as coroutines that park through the
+    /// executor (pooled or event-calendar) instead of blocking an OS
+    /// thread on a structure condvar.
+    pub(crate) fn parks_ranks(&self) -> bool {
+        matches!(self, ExecCtl::Pool(_) | ExecCtl::Events(_))
     }
 
     /// Wake `rank` if it is parked (no-op in threads mode — there the
     /// structure's own condvar does the waking).
     pub(crate) fn wake(&self, rank: usize) {
-        if let ExecCtl::Pool(core) = self {
-            core.wake(rank);
+        match self {
+            ExecCtl::Threads => {}
+            ExecCtl::Pool(core) => core.wake(rank),
+            ExecCtl::Events(core) => core.wake(rank),
+        }
+    }
+
+    /// Publish `rank`'s current virtual clock to the executor. The
+    /// event calendar keys its ready heap on this; the other modes
+    /// ignore it. Called by the blocking entry points before any park,
+    /// so a stale value only ever means "the rank has not blocked since"
+    /// — ordering quality, never correctness, depends on it.
+    pub(crate) fn publish_vtime(&self, rank: usize, t: f64) {
+        if let ExecCtl::Events(core) = self {
+            core.publish_vtime(rank, t);
         }
     }
 }
@@ -511,23 +541,24 @@ impl ExecCtl {
 /// switches, and cross-worker handoffs synchronize through the core
 /// mutex.
 #[derive(Debug)]
-struct CoroTask {
+pub(crate) struct CoroTask {
     /// Saved coroutine stack pointer (0 = not started yet).
-    sp: usize,
+    pub(crate) sp: usize,
     /// Saved worker stack pointer, valid while the coroutine runs.
-    worker_sp: usize,
-    intent: Intent,
+    pub(crate) worker_sp: usize,
+    pub(crate) intent: Intent,
     /// Low end of the stack allocation, for the canary check.
-    stack_base: *mut u8,
+    pub(crate) stack_base: *mut u8,
 }
 
 thread_local! {
-    static CURRENT_TASK: Cell<*mut CoroTask> = const { Cell::new(std::ptr::null_mut()) };
+    pub(crate) static CURRENT_TASK: Cell<*mut CoroTask> = const { Cell::new(std::ptr::null_mut()) };
 }
 
-/// Park the calling coroutine until [`PoolCore::wake`] or `deadline`.
-/// Must only be called from inside a pooled rank program (the blocking
-/// wait-paths guarantee this by checking [`ExecCtl::is_pooled`]).
+/// Park the calling coroutine until its executor wakes it ([`PoolCore::wake`]
+/// / [`crate::calendar::CalendarCore::wake`]) or `deadline` expires.
+/// Must only be called from inside a coroutine-hosted rank program (the
+/// blocking wait-paths guarantee this by checking [`ExecCtl::parks_ranks`]).
 pub(crate) fn park_current(deadline: Instant) {
     let task = CURRENT_TASK.with(|c| c.get());
     assert!(
@@ -547,17 +578,17 @@ pub(crate) fn park_current(deadline: Instant) {
 // The pooled run driver.
 // ---------------------------------------------------------------------------
 
-type RankOutcome<T> = std::thread::Result<(T, f64)>;
+pub(crate) type RankOutcome<T> = std::thread::Result<(T, f64)>;
 
 /// Everything a coroutine needs to run its rank program. Lives in the
 /// per-rank cell (never on the coroutine stack), so dropping the cell
 /// after the run releases all captured state.
-struct LaunchPack<'f, T, F> {
-    rank: usize,
-    shared: Arc<Shared>,
-    f: &'f F,
-    out: *mut Option<RankOutcome<T>>,
-    task: *mut CoroTask,
+pub(crate) struct LaunchPack<'f, T, F> {
+    pub(crate) rank: usize,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) f: &'f F,
+    pub(crate) out: *mut Option<RankOutcome<T>>,
+    pub(crate) task: *mut CoroTask,
 }
 
 /// One rank's executor cell: coroutine stack + switch cell + outcome.
@@ -579,7 +610,7 @@ struct CellTable<'f, T, F>(Vec<RankCell<'f, T, F>>);
 // the collecting thread; `F: Sync` because all workers call `f`.
 unsafe impl<T: Send, F: Sync> Sync for CellTable<'_, T, F> {}
 
-extern "C" fn coro_entry<T, F>(pack: *mut LaunchPack<'_, T, F>)
+pub(crate) extern "C" fn coro_entry<T, F>(pack: *mut LaunchPack<'_, T, F>)
 where
     F: Fn(&mut Ctx) -> T,
 {

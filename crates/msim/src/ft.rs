@@ -399,7 +399,7 @@ impl FtWatch {
 /// Sleep one poll slice without blocking a pool worker: parked coroutines
 /// re-ready at the deadline; thread-per-rank just sleeps.
 pub(crate) fn ft_poll_sleep(exec: &ExecCtl) {
-    if exec.is_pooled() {
+    if exec.parks_ranks() {
         crate::exec::park_current(Instant::now() + FT_POLL_SLICE);
     } else {
         std::thread::sleep(FT_POLL_SLICE);

@@ -29,6 +29,7 @@
 
 pub mod buffer;
 pub mod bytes;
+mod calendar;
 pub mod comm;
 pub mod ctx;
 pub mod datatype;

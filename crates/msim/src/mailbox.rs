@@ -130,7 +130,7 @@ impl Mailbox {
                 }
             }
         }
-        if self.exec.is_pooled() {
+        if self.exec.parks_ranks() {
             drop(s);
             // The owner may be parked in `pop`; hand the wake to the
             // executor after releasing the mailbox lock. Nobody ever
@@ -169,7 +169,7 @@ impl Mailbox {
     /// its worker thread to run other ranks.
     pub(crate) fn pop(&self, key: MatchKey, timeout: Duration) -> Option<Packet> {
         let deadline = Instant::now() + timeout;
-        if self.exec.is_pooled() {
+        if self.exec.parks_ranks() {
             return self.pop_pooled(key, deadline);
         }
         let mut s = self.lock();

@@ -21,6 +21,7 @@ pub(crate) type BoardKey = (u32, u32, u8);
 pub(crate) const KIND_SPLIT: u8 = 0;
 pub(crate) const KIND_WIN_ALLOC: u8 = 1;
 pub(crate) const KIND_FENCE: u8 = 2;
+pub(crate) const KIND_SETUP: u8 = 3;
 
 struct Entry {
     expected: usize,
@@ -148,7 +149,7 @@ impl OobBoard {
             let result: Arc<R> = Arc::new(finish(typed));
             entry.result = Some(result.clone());
             let waiting = std::mem::take(&mut entry.waiting);
-            if !exec.is_pooled() {
+            if !exec.parks_ranks() {
                 // Pooled members park through the executor instead of
                 // waiting on this condvar; skip the no-waiter syscall.
                 self.done.notify_all();
@@ -162,7 +163,7 @@ impl OobBoard {
             }
             return result;
         }
-        if exec.is_pooled() {
+        if exec.parks_ranks() {
             entry.waiting.push(me_global);
         }
 
@@ -229,7 +230,7 @@ impl OobBoard {
             } else {
                 deadline
             };
-            if exec.is_pooled() {
+            if exec.parks_ranks() {
                 drop(entries);
                 // A completion landing between unlock and park still
                 // wakes us (the executor tokenizes wakes against Running

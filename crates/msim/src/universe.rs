@@ -67,9 +67,9 @@ impl SimConfig {
     /// execution).
     ///
     /// The execution mode can be overridden for a whole process via the
-    /// `MSIM_EXEC` environment variable (`pooled` or `threads`) and the
-    /// pool width via `MSIM_WORKERS` — an escape hatch for differential
-    /// debugging; both are read once per config here.
+    /// `MSIM_EXEC` environment variable (`pooled`, `threads` or `events`)
+    /// and the pool width via `MSIM_WORKERS` — an escape hatch for
+    /// differential debugging; both are read once per config here.
     pub fn new(spec: ClusterSpec, cost: CostModel) -> Self {
         Self {
             spec,
@@ -96,6 +96,7 @@ impl SimConfig {
             .filter(|&w| w > 0);
         match std::env::var("MSIM_EXEC").as_deref() {
             Ok("threads") => ExecMode::ThreadPerRank,
+            Ok("events") => ExecMode::Events,
             Ok("pooled") => ExecMode::Pooled { workers },
             _ => ExecMode::Pooled { workers },
         }
@@ -318,6 +319,7 @@ impl Universe {
         T: Send,
         F: Fn(&mut Ctx) -> T + Send + Sync,
     {
+        Self::validate(&config)?;
         let LaunchOut {
             outcomes,
             infra,
@@ -373,6 +375,7 @@ impl Universe {
         T: Send,
         F: Fn(&mut Ctx) -> T + Send + Sync,
     {
+        Self::validate(&config)?;
         let LaunchOut {
             outcomes,
             infra,
@@ -420,6 +423,29 @@ impl Universe {
             tracer: shared.tracer.clone(),
             peak_threads,
         })
+    }
+
+    /// Reject configurations the chosen executor cannot faithfully run,
+    /// *before* any rank program starts. The event calendar is
+    /// phantom-only: real payloads would let window reads observe the
+    /// resume schedule, and the race detector requires real payloads —
+    /// either combination must fail fast with a typed error rather than
+    /// silently diverge or mispick a mode. (Phantom runs that merely
+    /// *request* the detector are fine: it never arms without real data,
+    /// in any mode.)
+    fn validate(config: &SimConfig) -> Result<(), SimError> {
+        if config.exec == ExecMode::Events && config.mode == DataMode::Real {
+            let feature = if config.race_detect {
+                "the happens-before race detector (requires real payloads)"
+            } else {
+                "real payloads (the event calendar is phantom-only)"
+            };
+            return Err(SimError::UnsupportedExec {
+                exec: "events".into(),
+                feature: feature.into(),
+            });
+        }
+        Ok(())
     }
 
     /// An infrastructure failure outranks everything: the run's other
@@ -488,11 +514,13 @@ impl Universe {
         // Fall back to thread-per-rank on targets without a coroutine
         // context switch (non-unix / exotic architectures).
         let exec_mode = match config.exec {
-            ExecMode::Pooled { .. } if !exec::POOL_SUPPORTED => ExecMode::ThreadPerRank,
+            ExecMode::Pooled { .. } | ExecMode::Events if !exec::POOL_SUPPORTED => {
+                ExecMode::ThreadPerRank
+            }
             mode => mode,
         };
-        let pool = match exec_mode {
-            ExecMode::ThreadPerRank => None,
+        let exec_ctl = match exec_mode {
+            ExecMode::ThreadPerRank => ExecCtl::Threads,
             ExecMode::Pooled { .. } => {
                 // Under an adversarial schedule the ready queue is drawn
                 // in a seeded order, mirroring the wall-clock wake-up
@@ -503,12 +531,15 @@ impl Universe {
                         Some(simnet::rng::mix(seed, 0xE0E0, 0, 0x9001))
                     }
                 };
-                Some(Arc::new(PoolCore::new(nranks, pick_seed)))
+                ExecCtl::Pool(Arc::new(PoolCore::new(nranks, pick_seed)))
             }
-        };
-        let exec_ctl = match &pool {
-            None => ExecCtl::Threads,
-            Some(core) => ExecCtl::Pool(Arc::clone(core)),
+            // The calendar's (virtual_time, rank, seq) order is canonical;
+            // an adversarial pick seed has nothing to perturb here (and
+            // determinism keeps the schedule invisible to results either
+            // way — pinned by the differential suite).
+            ExecMode::Events => {
+                ExecCtl::Events(Arc::new(crate::calendar::CalendarCore::new(nranks)))
+            }
         };
         let world = Arc::new(CommInner::new(0, (0..nranks).collect()));
         let shared = Arc::new(Shared {
@@ -542,21 +573,27 @@ impl Universe {
                 .then(|| Arc::new(Liveness::new(nranks))),
             op_labels: (0..nranks).map(|_| Mutex::new(String::new())).collect(),
             fault: config.fault,
-            exec: exec_ctl,
+            exec: exec_ctl.clone(),
             race: (config.race_detect && config.mode == DataMode::Real)
                 .then(|| Arc::new(RaceState::new(nranks))),
         });
 
         type RankOutcome<T> = std::thread::Result<(T, f64)>;
         type RunOut<T> = (Vec<Option<RankOutcome<T>>>, Vec<(usize, String)>, usize);
-        let (outcomes, infra, peak_threads): RunOut<T> = match &pool {
-            Some(core) => {
+        let (outcomes, infra, peak_threads): RunOut<T> = match &exec_ctl {
+            ExecCtl::Pool(core) => {
                 let workers = exec_mode.worker_count(nranks);
                 let (outcomes, infra) =
                     exec::run_pool(&shared, core, workers, config.stack_size, &f);
                 (outcomes, infra, workers)
             }
-            None => {
+            ExecCtl::Events(core) => {
+                // Single-threaded: the calling thread is the driver.
+                let (outcomes, infra) =
+                    crate::calendar::run_events(&shared, core, config.stack_size, &f);
+                (outcomes, infra, 1)
+            }
+            ExecCtl::Threads => {
                 let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..nranks).map(|_| None).collect();
                 let mut infra: Vec<(usize, String)> = Vec::new();
                 std::thread::scope(|scope| {

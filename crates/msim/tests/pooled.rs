@@ -319,8 +319,10 @@ fn env_override_is_read_by_simconfig() {
     // process environment (tests run concurrently).
     let c = SimConfig::new(ClusterSpec::regular(1, 2), CostModel::uniform_test());
     match c.exec {
-        ExecMode::Pooled { .. } | ExecMode::ThreadPerRank => {}
+        ExecMode::Pooled { .. } | ExecMode::ThreadPerRank | ExecMode::Events => {}
     }
     let c = c.with_exec(ExecMode::ThreadPerRank);
     assert_eq!(c.exec, ExecMode::ThreadPerRank);
+    let c = c.with_exec(ExecMode::Events);
+    assert_eq!(c.exec, ExecMode::Events);
 }
